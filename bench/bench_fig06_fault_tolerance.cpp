@@ -1,0 +1,66 @@
+// Figure 6: bandwidth loss and partition probability of a 33-switch
+// Quartz network under random fiber failures, for 1-4 physical rings.
+#include "report.hpp"
+
+#include "core/fault.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::core;
+
+void report() {
+  bench::print_banner("Figure 6", "Fault tolerance of multi-ring Quartz (33 switches)");
+
+  Table loss({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
+  Table part({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
+  for (int rings = 1; rings <= 4; ++rings) {
+    std::vector<std::string> loss_row{std::to_string(rings)};
+    std::vector<std::string> part_row{std::to_string(rings)};
+    for (int fails = 1; fails <= 4; ++fails) {
+      FaultParams params;
+      params.switches = 33;
+      params.physical_rings = rings;
+      params.failed_links = fails;
+      params.trials = 20'000;
+      const FaultResult r = analyze_faults(params);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * r.mean_bandwidth_loss);
+      loss_row.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.4f", r.partition_probability);
+      part_row.push_back(buf);
+    }
+    loss.add_row(loss_row);
+    part.add_row(part_row);
+  }
+  std::printf("top: mean bandwidth loss\n%s", loss.to_text().c_str());
+  std::printf("\nbottom: probability of network partition\n%s", part.to_text().c_str());
+  bench::print_note(
+      "paper: one ring loses ~20%% per failure and partitions (>90%%) at "
+      ">=2 failures; two rings partition with probability 0.0024 even at "
+      "four failures");
+}
+
+void BM_FaultTrial(benchmark::State& state) {
+  const auto plan = quartz::wavelength::greedy_assign(33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_failures(plan, 2, {{0, 3}, {1, 17}}));
+  }
+}
+BENCHMARK(BM_FaultTrial);
+
+void BM_MonteCarlo1k(benchmark::State& state) {
+  for (auto _ : state) {
+    FaultParams params;
+    params.physical_rings = static_cast<int>(state.range(0));
+    params.failed_links = 4;
+    params.trials = 1'000;
+    benchmark::DoNotOptimize(analyze_faults(params));
+  }
+}
+BENCHMARK(BM_MonteCarlo1k)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

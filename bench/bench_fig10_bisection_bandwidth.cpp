@@ -1,0 +1,64 @@
+// Figure 10: normalized throughput of three traffic patterns on Quartz
+// vs ideal and capacity-reduced fabrics (max-min fair flow allocation).
+#include "report.hpp"
+
+#include "common/table.hpp"
+#include "flow/bisection.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::flow;
+
+void report() {
+  bench::print_banner("Figure 10", "Normalized throughput for three traffic patterns");
+
+  const std::vector<FabricUnderTest> fabrics = {
+      FabricUnderTest::kFullBisection, FabricUnderTest::kQuartz,
+      FabricUnderTest::kQuartzDirectOnly, FabricUnderTest::kHalfBisection,
+      FabricUnderTest::kQuarterBisection};
+
+  Table table({"pattern", "full bisection", "quartz", "quartz direct-only", "1/2 bisection",
+               "1/4 bisection"});
+  BisectionParams params;  // 16 racks x 16 hosts, n = k
+  for (auto pattern : {ThroughputPattern::kPermutation, ThroughputPattern::kIncast,
+                       ThroughputPattern::kRackShuffle}) {
+    std::vector<std::string> row{throughput_pattern_name(pattern)};
+    for (auto fabric : fabrics) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f",
+                    run_bisection(fabric, pattern, params).normalized_throughput);
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_text().c_str());
+  bench::print_note(
+      "paper: quartz ~0.9 for permutation and incast, ~0.75 for rack "
+      "shuffle — below full bisection but above 1/2 bisection everywhere; "
+      "the direct-only column is our ablation showing why VLB matters");
+}
+
+void BM_MaxMinPermutation(benchmark::State& state) {
+  BisectionParams params;
+  params.racks = static_cast<int>(state.range(0));
+  params.hosts_per_rack = params.racks;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kPermutation, params));
+  }
+}
+BENCHMARK(BM_MaxMinPermutation)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_MaxMinIncast(benchmark::State& state) {
+  BisectionParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kIncast, params));
+  }
+}
+BENCHMARK(BM_MaxMinIncast)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

@@ -1,0 +1,65 @@
+// Figure 17(a-c): average latency per packet vs number of concurrent
+// scatter / gather / scatter-gather tasks, senders and receivers drawn
+// uniformly across the network.
+#include "report.hpp"
+
+#include "common/table.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::sim;
+
+const std::vector<Fabric> kFabrics = {
+    Fabric::kThreeTierTree, Fabric::kJellyfish, Fabric::kQuartzInCore, Fabric::kQuartzInEdge,
+    Fabric::kQuartzInEdgeAndCore};
+
+void run_pattern(Pattern pattern, int max_tasks) {
+  std::vector<std::string> header{"tasks"};
+  for (Fabric f : kFabrics) header.push_back(fabric_name(f));
+  Table table(header);
+
+  for (int tasks = 1; tasks <= max_tasks; ++tasks) {
+    std::vector<std::string> row{std::to_string(tasks)};
+    for (Fabric fabric : kFabrics) {
+      TaskExperimentParams params;
+      params.pattern = pattern;
+      params.tasks = tasks;
+      params.duration = milliseconds(10);
+      const auto r = run_task_experiment(fabric, {}, params);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", r.mean_latency_us);
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  std::printf("\n(%s) mean latency per packet (us)\n%s", pattern_name(pattern).c_str(),
+              table.to_text().c_str());
+}
+
+void report() {
+  bench::print_banner("Figure 17", "Average latency, global traffic patterns");
+  run_pattern(Pattern::kScatter, 8);
+  run_pattern(Pattern::kGather, 8);
+  run_pattern(Pattern::kScatterGather, 4);
+  bench::print_note(
+      "paper: the three-tier tree is highest and rises with task count "
+      "(its CCS core dominates); quartz in core removes >3 us; quartz in "
+      "edge and core roughly halves the tree's latency; jellyfish is low "
+      "at this small scale");
+}
+
+void BM_ScatterExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    TaskExperimentParams params;
+    params.tasks = static_cast<int>(state.range(0));
+    params.duration = milliseconds(2);
+    benchmark::DoNotOptimize(run_task_experiment(Fabric::kThreeTierTree, {}, params));
+  }
+}
+BENCHMARK(BM_ScatterExperiment)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

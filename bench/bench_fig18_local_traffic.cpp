@@ -1,0 +1,66 @@
+// Figure 18(a-c): average latency of one *localized* task (confined to
+// nearby racks) while additional global tasks generate cross-traffic.
+#include "report.hpp"
+
+#include "common/table.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::sim;
+
+const std::vector<Fabric> kFabrics = {Fabric::kThreeTierTree, Fabric::kJellyfish,
+                                      Fabric::kQuartzInJellyfish,
+                                      Fabric::kQuartzInEdgeAndCore};
+
+void run_pattern(Pattern pattern, int max_tasks) {
+  std::vector<std::string> header{"tasks"};
+  for (Fabric f : kFabrics) header.push_back(fabric_name(f));
+  Table table(header);
+
+  for (int tasks = 1; tasks <= max_tasks; ++tasks) {
+    std::vector<std::string> row{std::to_string(tasks)};
+    for (Fabric fabric : kFabrics) {
+      TaskExperimentParams params;
+      params.pattern = pattern;
+      params.tasks = tasks;
+      params.localized = true;
+      params.duration = milliseconds(10);
+      const auto r = run_task_experiment(fabric, {}, params);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", r.mean_latency_us);
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  std::printf("\n(%s) mean latency of the localized task (us)\n%s",
+              pattern_name(pattern).c_str(), table.to_text().c_str());
+}
+
+void report() {
+  bench::print_banner("Figure 18", "Average latency, localized traffic patterns");
+  run_pattern(Pattern::kScatter, 6);
+  run_pattern(Pattern::kGather, 6);
+  run_pattern(Pattern::kScatterGather, 5);
+  bench::print_note(
+      "paper: jellyfish is highest (it cannot exploit locality); the tree "
+      "improves (local traffic skips the core) but still rises with "
+      "cross-traffic; quartz in edge+core and quartz-in-jellyfish keep "
+      "the local task inside one ring and stay flat");
+}
+
+void BM_LocalizedExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    TaskExperimentParams params;
+    params.tasks = 3;
+    params.localized = true;
+    params.duration = milliseconds(2);
+    benchmark::DoNotOptimize(run_task_experiment(Fabric::kQuartzInJellyfish, {}, params));
+  }
+}
+BENCHMARK(BM_LocalizedExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

@@ -1,0 +1,75 @@
+// Tables 2 and 16, plus the §3.3 insertion-loss worked example: the
+// latency and optical component inventory the design space rests on.
+#include "report.hpp"
+
+#include "common/table.hpp"
+#include "optical/budget.hpp"
+#include "sim/latency_model.hpp"
+#include "topo/switch_models.hpp"
+
+namespace {
+
+using namespace quartz;
+
+void report() {
+  bench::print_banner("Table 2", "Network latencies of different components");
+  Table t2({"component", "standard", "state of the art"});
+  for (const auto& c : sim::table2_components()) {
+    const std::string standard =
+        c.standard_low == c.standard_high
+            ? format_time(c.standard_low)
+            : format_time(c.standard_low) + " - " + format_time(c.standard_high);
+    const std::string sota =
+        c.state_of_art_low == c.state_of_art_high
+            ? format_time(c.state_of_art_low)
+            : format_time(c.state_of_art_low) + " - " + format_time(c.state_of_art_high);
+    t2.add_row({c.component, standard, sota});
+  }
+  std::printf("%s", t2.to_text().c_str());
+
+  bench::print_banner("Table 16", "Switches used in the simulations");
+  Table t16({"switch", "latency", "forwarding", "ports"});
+  for (const auto& model : {topo::SwitchModel::ccs(), topo::SwitchModel::ull()}) {
+    t16.add_row({model.name, format_time(model.latency),
+                 model.cut_through ? "cut-through" : "store-and-forward",
+                 std::to_string(model.port_count)});
+  }
+  std::printf("%s", t16.to_text().c_str());
+
+  bench::print_banner("Section 3.3", "Insertion loss and amplifier placement (24-node ring)");
+  const auto transceiver = optical::TransceiverSpec::dwdm_10g();
+  const auto mux = optical::MuxDemuxSpec::dwdm_80ch();
+  std::printf("power budget      : %.0f dB  (launch %.0f dBm, sensitivity %.0f dBm)\n",
+              transceiver.power_budget().value, transceiver.max_output.value,
+              transceiver.sensitivity.value);
+  std::printf("muxes per budget  : %.2f  (paper: 3.17)\n",
+              optical::max_muxes_without_amplification(transceiver, mux));
+
+  optical::RingBudgetParams ring;
+  ring.ring_size = 24;
+  const auto plan = optical::plan_ring_amplifiers(ring);
+  std::printf("exact greedy plan : %zu amplifiers, %zu attenuated drops, feasible=%s\n",
+              plan.amplifier_count(), plan.attenuator_nodes.size(),
+              plan.feasible ? "yes" : "no");
+  std::printf("paper rule of thumb: %zu amplifiers (one per two switches)\n",
+              optical::paper_rule_amplifier_count(24));
+  std::printf("amplifier cost     : $%.0f (exact plan)\n", plan.amplifier_cost_usd);
+  bench::print_note(
+      "the exact power walk places amplifiers more densely than the "
+      "paper's rule of thumb because an express channel crosses two AWGs "
+      "per hop; both plans are reported and the cost model uses the "
+      "paper's rule for Table 8 fidelity");
+}
+
+void BM_AmplifierPlanning(benchmark::State& state) {
+  optical::RingBudgetParams ring;
+  ring.ring_size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optical::plan_ring_amplifiers(ring));
+  }
+}
+BENCHMARK(BM_AmplifierPlanning)->Arg(8)->Arg(24)->Arg(35);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

@@ -1,0 +1,55 @@
+// Table 8: approximate cost and latency comparison across datacenter
+// sizes and utilization levels — the §4.4 configurator.
+#include "report.hpp"
+
+#include "common/table.hpp"
+#include "core/configurator.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::core;
+
+void report() {
+  bench::print_banner("Table 8", "Approximate cost and latency comparison");
+
+  Table table({"datacenter", "utilization", "topology", "latency (us)", "cost/server",
+               "latency reduction", "cost premium"});
+  for (const auto& row : run_configurator()) {
+    char bl[16], ql[16], bc[16], qc[16], red[16], prem[16];
+    std::snprintf(bl, sizeof(bl), "%.2f", row.baseline_latency_us);
+    std::snprintf(ql, sizeof(ql), "%.2f", row.quartz_latency_us);
+    std::snprintf(bc, sizeof(bc), "$%.0f", row.baseline_cost_per_server);
+    std::snprintf(qc, sizeof(qc), "$%.0f", row.quartz_cost_per_server);
+    std::snprintf(red, sizeof(red), "%.0f%%", row.latency_reduction_percent);
+    std::snprintf(prem, sizeof(prem), "%+.0f%%", row.cost_increase_percent);
+    table.add_row({dc_size_name(row.size), utilization_name(row.utilization),
+                   design_choice_name(row.baseline), bl, bc, "-", "-"});
+    table.add_row({"", "", design_choice_name(row.quartz), ql, qc, red, prem});
+  }
+  std::printf("%s", table.to_text().c_str());
+  bench::print_note(
+      "paper reductions: small 33%/50%, medium 20%/40%, large 70%/74%; "
+      "paper premiums: +7%, +13%, 0%/+17%.  Costs here are priced against "
+      "this repo's catalog (the paper's quote links are dead); ratios and "
+      "conclusions are the reproduction target");
+}
+
+void BM_Configurator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_configurator());
+  }
+}
+BENCHMARK(BM_Configurator)->Unit(benchmark::kMillisecond);
+
+void BM_LatencyEstimate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_latency_us(DesignChoice::kQuartzInEdgeAndCore, Utilization::kHigh));
+  }
+}
+BENCHMARK(BM_LatencyEstimate);
+
+}  // namespace
+
+QUARTZ_BENCH_MAIN(report)

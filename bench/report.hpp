@@ -1,0 +1,35 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every binary under bench/ regenerates one of the paper's tables or
+// figures: it first prints the reproduction (the same rows/series the
+// paper reports) and then runs its google-benchmark micro-measurements
+// of the underlying solver/simulator.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace quartz::bench {
+
+inline void print_banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("  (Quartz, SIGCOMM 2014 reproduction)\n");
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+/// Standard main body: report first, micro-benchmarks second.
+#define QUARTZ_BENCH_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                    \
+    ::benchmark::Initialize(&argc, argv);                              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    report_fn();                                                       \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    return 0;                                                          \
+  }
+
+}  // namespace quartz::bench

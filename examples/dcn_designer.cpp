@@ -1,0 +1,98 @@
+// DCN designer: the §4.4 configurator as a command-line tool.  Give it
+// a server count and a utilization level and it prices the candidate
+// designs, estimates their latency, and prints the bill of materials of
+// the recommended Quartz option.
+//
+//   $ ./dcn_designer 10000 high
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/configurator.hpp"
+#include "core/cost.hpp"
+#include "core/design.hpp"
+
+namespace {
+
+using namespace quartz;
+using namespace quartz::core;
+
+void print_bom(const CostBreakdown& c) {
+  Table bom({"component", "count", "subtotal"});
+  const PriceCatalog catalog;
+  auto line = [&](const char* name, int count, double unit) {
+    if (count == 0) return;
+    char sub[24];
+    std::snprintf(sub, sizeof(sub), "$%.0f", count * unit);
+    bom.add_row({name, std::to_string(count), sub});
+  };
+  line("64-port cut-through switch", c.ull_switches, catalog.ull_switch_usd);
+  line("768-port core chassis", c.ccs_switches, catalog.ccs_switch_usd);
+  line("10G DWDM transceiver", c.dwdm_transceivers, catalog.dwdm_transceiver_usd);
+  line("10G short-reach transceiver", c.sr_transceivers, catalog.sr_transceiver_usd);
+  line("80-channel mux/demux", c.muxes, catalog.mux_usd);
+  line("EDFA amplifier", c.amplifiers, catalog.edfa_usd);
+  line("cable run", c.cables, catalog.cable_usd);
+  std::printf("%s", bom.to_text().c_str());
+  std::printf("total $%.0f  ->  $%.0f per server\n", c.total_usd, c.per_server_usd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 10'000;
+  const bool high = argc > 2 && std::strcmp(argv[2], "high") == 0;
+  const Utilization utilization = high ? Utilization::kHigh : Utilization::kLow;
+
+  if (servers < 1) {
+    std::printf("usage: %s <servers> [low|high]\n", argv[0]);
+    return 1;
+  }
+
+  std::printf("DCN designer: %d servers, %s utilization\n", servers,
+              utilization_name(utilization).c_str());
+  std::printf("=============================================\n\n");
+
+  // Candidate designs sized for this server count.
+  struct Candidate {
+    DesignChoice choice;
+    CostBreakdown cost;
+  };
+  std::vector<Candidate> candidates;
+  const PriceCatalog catalog;
+  if (servers <= core::max_single_tor_ports(64)) {
+    candidates.push_back({DesignChoice::kTwoTierTree, cost_two_tier(catalog, servers)});
+    candidates.push_back(
+        {DesignChoice::kSingleQuartzRing, cost_quartz_single_ring(catalog, servers)});
+  }
+  candidates.push_back({DesignChoice::kThreeTierTree, cost_three_tier(catalog, servers)});
+  candidates.push_back({DesignChoice::kQuartzInEdge, cost_quartz_in_edge(catalog, servers)});
+  candidates.push_back({DesignChoice::kQuartzInCore, cost_quartz_in_core(catalog, servers)});
+  candidates.push_back(
+      {DesignChoice::kQuartzInEdgeAndCore, cost_quartz_in_edge_and_core(catalog, servers)});
+
+  Table table({"design", "cost/server", "est. latency (us)", "rings"});
+  const Candidate* best = nullptr;
+  double best_latency = 1e18;
+  for (const auto& c : candidates) {
+    const double latency = estimate_latency_us(c.choice, utilization);
+    char cost[16], lat[16];
+    std::snprintf(cost, sizeof(cost), "$%.0f", c.cost.per_server_usd);
+    std::snprintf(lat, sizeof(lat), "%.2f", latency);
+    table.add_row({design_choice_name(c.choice), cost, lat,
+                   std::to_string(c.cost.quartz_rings)});
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = &c;
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("lowest-latency design: %s (%.2f us estimated)\n",
+              design_choice_name(best->choice).c_str(), best_latency);
+  std::printf("\nbill of materials:\n");
+  print_bom(best->cost);
+  return 0;
+}

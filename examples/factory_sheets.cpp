@@ -1,0 +1,70 @@
+// Factory sheets: §3.1 notes that wavelength planning is a one-time,
+// design-time event that "can be performed by the device manufacturer
+// at the factory".  This tool emits exactly those artifacts for a ring:
+// the full channel map and, per switch, the transceiver tuning sheet a
+// manufacturer would label the mux ports with.
+//
+//   $ ./factory_sheets [switches] [show_switch]
+//
+// Pass "ilp" as the third argument to also dump the paper's Eq. 1-6
+// ILP in CPLEX LP format (runnable with cbc/gurobi/HiGHS).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "optical/grid.hpp"
+#include "wavelength/assign.hpp"
+#include "wavelength/factory_plan.hpp"
+#include "wavelength/ilp_export.hpp"
+#include "wavelength/multiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quartz;
+  using namespace quartz::wavelength;
+
+  const int switches = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int show_switch = argc > 2 ? std::atoi(argv[2]) : 0;
+  if (switches < 2 || switches > kMaxRingSize || show_switch < 0 ||
+      show_switch >= switches) {
+    std::printf("usage: %s <switches in [2,64]> [switch to print]\n", argv[0]);
+    return 1;
+  }
+
+  const Assignment plan = greedy_assign(switches);
+  const int rings =
+      rings_required(plan.channels_used, static_cast<int>(optical::kMaxChannelsPerMux));
+  const auto grid = optical::WavelengthGrid::dwdm(optical::kMaxChannelsPerMux);
+  const auto sheets = factory_plan(plan, grid, rings);
+
+  std::printf("Factory wavelength plan: %d switches, %d channels, %d physical ring(s)\n\n",
+              switches, plan.channels_used, rings);
+
+  Table channel_map({"pair", "direction", "ring", "ITU slot", "wavelength"});
+  for (const auto& e : sheets) {
+    char nm[16];
+    std::snprintf(nm, sizeof(nm), "%.2f nm", e.wavelength_nm);
+    channel_map.add_row({std::to_string(e.src) + "-" + std::to_string(e.dst),
+                         e.dir == Direction::kClockwise ? "cw" : "ccw",
+                         std::to_string(e.physical_ring), std::to_string(e.grid_index), nm});
+  }
+  std::printf("channel map (%zu lightpaths):\n%s\n", sheets.size(),
+              channel_map.to_text().c_str());
+
+  Table sheet({"peer switch", "ring", "ITU slot", "tune transceiver to"});
+  for (const auto& e : tuning_sheet(sheets, show_switch)) {
+    char nm[16];
+    std::snprintf(nm, sizeof(nm), "%.2f nm", e.wavelength_nm);
+    sheet.add_row({std::to_string(e.src == show_switch ? e.dst : e.src),
+                   std::to_string(e.physical_ring), std::to_string(e.grid_index), nm});
+  }
+  std::printf("tuning sheet for switch %d (%d transceivers):\n%s", show_switch, switches - 1,
+              sheet.to_text().c_str());
+
+  if (argc > 3 && std::string(argv[3]) == "ilp") {
+    const auto dims = ilp_dimensions(switches);
+    std::printf("\n%% ILP model: %d variables, %d constraints\n%s",
+                dims.variables, dims.constraints, write_ilp_lp(switches).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The §6 prototype, in software: four 48-port 1 Gb/s managed switches
+// on a CWDM ring (Figs. 11-13), running the Thrift-style RPC under
+// Nuttcp-style cross-traffic and comparing against the same switches
+// rewired as a 2-tier tree (the Fig. 14 experiment).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "optical/budget.hpp"
+#include "optical/grid.hpp"
+#include "sim/experiments.hpp"
+#include "wavelength/assign.hpp"
+
+int main() {
+  using namespace quartz;
+
+  std::printf("Quartz prototype testbed (section 6)\n");
+  std::printf("================================\n\n");
+
+  // ---- Optical plan: 4 switches, CWDM like the real testbed ---------------
+  const auto plan = wavelength::greedy_assign(4);
+  std::printf("4-switch ring needs %d CWDM channels (testbed used 1470/1490/1510 nm)\n",
+              plan.channels_used);
+  const auto grid = optical::WavelengthGrid::cwdm(18);
+  for (const auto& path : plan.paths) {
+    // Map logical channels onto the prototype's CWDM bands (10..).
+    std::printf("  switch %d <-> switch %d on %.0f nm\n", path.src + 1, path.dst + 1,
+                grid.channel(static_cast<std::size_t>(10 + path.channel)).wavelength_nm);
+  }
+
+  optical::RingBudgetParams budget;
+  budget.ring_size = 4;
+  budget.transceiver = optical::TransceiverSpec::cwdm_1g();
+  budget.mux = optical::MuxDemuxSpec::cwdm_4ch();
+  const auto amps = optical::plan_ring_amplifiers(budget);
+  std::printf("\nlink budget: amplifiers needed = %zu, attenuated drops = %zu\n",
+              amps.amplifier_count(), amps.attenuator_nodes.size());
+  std::printf("  (the real testbed also needed no amplifiers but did need attenuators)\n\n");
+
+  // ---- Fig. 14: RPC latency vs cross-traffic -------------------------------
+  Table table({"cross-traffic (Mb/s)", "tree RTT (us)", "quartz RTT (us)",
+               "tree normalized", "quartz normalized"});
+  double tree_base = 0.0;
+  double quartz_base = 0.0;
+  for (double mbps : {0.0, 50.0, 100.0, 150.0, 200.0}) {
+    sim::CrossTrafficParams params;
+    params.cross_mbps = mbps;
+    params.rpc_calls = 1'000;
+    const auto tree = sim::run_cross_traffic(sim::PrototypeFabric::kTwoTierTree, params);
+    const auto quartz = sim::run_cross_traffic(sim::PrototypeFabric::kQuartz, params);
+    if (mbps == 0.0) {
+      tree_base = tree.mean_rtt_us;
+      quartz_base = quartz.mean_rtt_us;
+    }
+    char t[16], q[16], tn[16], qn[16];
+    std::snprintf(t, sizeof(t), "%.1f", tree.mean_rtt_us);
+    std::snprintf(q, sizeof(q), "%.1f", quartz.mean_rtt_us);
+    std::snprintf(tn, sizeof(tn), "%.2f", tree.mean_rtt_us / tree_base);
+    std::snprintf(qn, sizeof(qn), "%.2f", quartz.mean_rtt_us / quartz_base);
+    table.add_row({std::to_string(static_cast<int>(mbps)), t, q, tn, qn});
+  }
+  std::printf("RPC under cross-traffic (10,000-call runs in the paper; 1,000 here):\n%s",
+              table.to_text().c_str());
+  std::printf(
+      "\nconclusion: the tree's shared agg->S3 link queues behind the bursts;\n"
+      "the quartz ring keeps the RPC on its own lightpath and is unaffected.\n");
+  return 0;
+}

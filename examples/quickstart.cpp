@@ -1,0 +1,89 @@
+// Quickstart: plan a Quartz ring with the core library, inspect the
+// wavelength plan and optical bill of materials, then push a few RPCs
+// through the packet simulator.
+//
+//   $ ./quickstart [switches] [server_ports_per_switch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/design.hpp"
+#include "routing/oracle.hpp"
+#include "sim/workloads.hpp"
+#include "topo/builders.hpp"
+#include "wavelength/multiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quartz;
+
+  const int switches = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int server_ports = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  // ---- 1. Plan the design -------------------------------------------------
+  core::DesignParams params;
+  params.switches = switches;
+  params.server_ports_per_switch = server_ports;
+  const core::QuartzDesign design = core::plan_design(params);
+  if (!design.feasible) {
+    std::printf("infeasible: %s\n", design.infeasible_reason.c_str());
+    return 1;
+  }
+
+  std::printf("Quartz ring: %d switches x %d server ports = %d ports total\n",
+              params.switches, params.server_ports_per_switch, design.total_server_ports);
+  std::printf("  wavelength channels : %d (lower bound %d)\n",
+              design.channels.channels_used, wavelength::channel_lower_bound(switches));
+  std::printf("  physical fiber rings: %d (mux carries %d channels)\n", design.physical_rings,
+              params.channels_per_mux);
+  std::printf("  transceivers/switch : %d\n", design.transceivers_per_switch);
+  std::printf("  amplifiers          : %zu (exact power walk), %zu (paper rule)\n",
+              design.amplifiers.amplifier_count(),
+              optical::paper_rule_amplifier_count(static_cast<std::size_t>(switches)));
+  std::printf("  oversubscription n:k: %.2f\n", design.oversubscription());
+
+  // Optical sanity: worst-case receive power and OSNR.
+  optical::RingBudgetParams budget;
+  budget.ring_size = static_cast<std::size_t>(switches);
+  const auto worst_osnr = optical::worst_case_osnr_db(budget, design.amplifiers);
+  std::printf("  worst-case OSNR     : %.1f dB (10G OOK floor: %.0f dB)\n\n",
+              worst_osnr, optical::kRequiredOsnrDb10G);
+
+  // ---- 2. Show a slice of the channel plan --------------------------------
+  Table table({"pair", "direction", "channel", "physical ring", "segments crossed"});
+  int shown = 0;
+  for (const auto& path : design.channels.paths) {
+    if (shown++ == 10) break;
+    std::string segments;
+    for (int seg : wavelength::segments_for(switches, path.src, path.dst, path.dir)) {
+      segments += (segments.empty() ? "" : ",") + std::to_string(seg);
+    }
+    table.add_row({std::to_string(path.src) + "-" + std::to_string(path.dst),
+                   path.dir == wavelength::Direction::kClockwise ? "cw" : "ccw",
+                   std::to_string(path.channel),
+                   std::to_string(wavelength::ring_for_channel(path.channel,
+                                                               design.physical_rings)),
+                   segments});
+  }
+  std::printf("first %d lightpaths of the channel plan:\n%s\n", shown - 1,
+              table.to_text().c_str());
+
+  // ---- 3. Simulate a serial RPC on the built fabric -----------------------
+  topo::QuartzRingParams ring;
+  ring.switches = switches;
+  ring.hosts_per_switch = std::min(server_ports, 4);  // keep the demo small
+  const topo::BuiltTopology topo = topo::quartz_ring(ring);
+
+  routing::EcmpRouting routing(topo.graph);
+  routing::EcmpOracle oracle(routing);
+  sim::Network net(topo, oracle);
+  Rng rng(1);
+  sim::RpcParams rpc_params;
+  rpc_params.calls = 1000;
+  sim::RpcWorkload rpc(net, topo.hosts.front(), topo.hosts.back(), rpc_params, rng);
+  net.run_until(seconds(1));
+
+  std::printf("simulated %zu serial RPCs across the ring:\n", rpc.rtt_us().count());
+  std::printf("  mean RTT %.2f us, p99 %.2f us (two cut-through hops each way)\n",
+              rpc.rtt_us().mean(), rpc.rtt_us().percentile(99));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Precondition / invariant checking helpers.
+//
+// QUARTZ_REQUIRE validates caller-supplied arguments and throws
+// std::invalid_argument; QUARTZ_CHECK validates internal invariants and
+// throws std::logic_error.  Both stay enabled in release builds: the
+// library is used for research results, where a silent invariant
+// violation is far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace quartz::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace quartz::detail
+
+#define QUARTZ_REQUIRE(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::quartz::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define QUARTZ_CHECK(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::quartz::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

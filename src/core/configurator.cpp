@@ -1,0 +1,229 @@
+#include "core/configurator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace quartz::core {
+namespace {
+
+using topo::SwitchModel;
+
+constexpr double kMbLocalityTree = 0.30;    ///< intra-pod traffic a tree keeps local
+constexpr double kLocalityQuartzEdge = 0.55; ///< §4.1: rings group nearby racks, and
+                                             ///< apps can place for ring locality
+
+/// Queueing burstiness on shared tiers as a function of utilization,
+/// calibrated against the Fig. 14 / Fig. 17 packet simulations: at low
+/// utilization cross-traffic bursts rarely collide; by rho = 0.7 a
+/// shared link sees roughly doubled queueing.
+double burstiness_at(double rho) { return 1.0 + 5.0 * std::max(0.0, rho - 0.5); }
+
+/// Extra queueing at a store-and-forward core under high load.  A
+/// shared core chassis is the fabric's focal point; Table 2 attributes
+/// up to 50 us to congestion, and the ramp below reaches 15 us at
+/// rho = 0.7 (zero at rho <= 0.5).
+double core_congestion_us(double rho) { return 15.0 * std::max(0.0, (rho - 0.5) / 0.2); }
+
+Hop ull_hop(BitsPerSecond rate, bool shared, double weight = 1.0) {
+  return Hop{SwitchModel::ull(), rate, shared, weight};
+}
+
+Hop ccs_hop(BitsPerSecond rate, double weight = 1.0) {
+  return Hop{SwitchModel::ccs(), rate, true, weight};
+}
+
+void append_weighted(std::vector<Hop>& out, std::vector<Hop> hops, double weight) {
+  for (Hop& hop : hops) {
+    hop.weight *= weight;
+    out.push_back(hop);
+  }
+}
+
+}  // namespace
+
+int servers_for(DcSize size) {
+  switch (size) {
+    case DcSize::kSmall: return 500;
+    case DcSize::kMedium: return 10'000;
+    case DcSize::kLarge: return 100'000;
+  }
+  return 0;
+}
+
+double rho_for(Utilization utilization) {
+  return utilization == Utilization::kLow ? 0.5 : 0.7;
+}
+
+std::string dc_size_name(DcSize size) {
+  switch (size) {
+    case DcSize::kSmall: return "small (500 servers)";
+    case DcSize::kMedium: return "medium (10k servers)";
+    case DcSize::kLarge: return "large (100k servers)";
+  }
+  return "unknown";
+}
+
+std::string utilization_name(Utilization utilization) {
+  return utilization == Utilization::kLow ? "low" : "high";
+}
+
+std::string design_choice_name(DesignChoice choice) {
+  switch (choice) {
+    case DesignChoice::kTwoTierTree: return "two-tier tree";
+    case DesignChoice::kThreeTierTree: return "three-tier tree";
+    case DesignChoice::kSingleQuartzRing: return "single quartz ring";
+    case DesignChoice::kQuartzInEdge: return "quartz in edge";
+    case DesignChoice::kQuartzInCore: return "quartz in core";
+    case DesignChoice::kQuartzInEdgeAndCore: return "quartz in edge and core";
+  }
+  return "unknown";
+}
+
+double path_latency_us(const std::vector<Hop>& hops, double rho,
+                       const LatencyModelOptions& options) {
+  QUARTZ_REQUIRE(rho >= 0.0 && rho < 1.0, "utilization must be in [0,1)");
+  double total_us = 0.0;
+  for (const Hop& hop : hops) {
+    const double serialization_us =
+        to_microseconds(transmission_time(options.packet_size, hop.rate));
+    const double base_wait = rho / (1.0 - rho) * serialization_us;
+    double wait = hop.shared_tier ? burstiness_at(rho) * base_wait : base_wait;
+    if (hop.shared_tier && !hop.model.cut_through) wait += core_congestion_us(rho);
+    total_us += hop.weight *
+                (to_microseconds(hop.model.latency) + serialization_us + wait);
+  }
+  return total_us;
+}
+
+std::vector<Hop> path_profile(DesignChoice choice, const LatencyModelOptions& options) {
+  const BitsPerSecond edge = gigabits_per_second(10);
+  const BitsPerSecond fabric = gigabits_per_second(40);
+  std::vector<Hop> hops;
+
+  switch (choice) {
+    case DesignChoice::kTwoTierTree:
+      // Small DCs run the whole tree at the edge rate.
+      hops = {ull_hop(edge, true), ull_hop(edge, true), ull_hop(edge, false)};
+      break;
+
+    case DesignChoice::kSingleQuartzRing:
+      // Direct lightpath: two cut-through hops on dedicated channels.
+      hops = {ull_hop(edge, false), ull_hop(edge, false)};
+      break;
+
+    case DesignChoice::kThreeTierTree: {
+      const double local = options.locality > 0 ? options.locality : kMbLocalityTree;
+      append_weighted(hops, {ull_hop(fabric, true), ull_hop(fabric, true), ull_hop(edge, false)},
+                      local);
+      append_weighted(hops,
+                      {ull_hop(fabric, true), ull_hop(fabric, true), ccs_hop(fabric),
+                       ull_hop(fabric, true), ull_hop(edge, false)},
+                      1.0 - local);
+      break;
+    }
+
+    case DesignChoice::kQuartzInEdge: {
+      const double local = kLocalityQuartzEdge;
+      append_weighted(hops, {ull_hop(edge, false), ull_hop(edge, false)}, local);
+      append_weighted(hops,
+                      {ull_hop(fabric, true), ccs_hop(fabric), ull_hop(edge, false),
+                       // Half the global paths land one mesh hop away
+                       // from the destination's ring switch.
+                       ull_hop(edge, false, 0.5)},
+                      1.0 - local);
+      break;
+    }
+
+    case DesignChoice::kQuartzInCore: {
+      const double local = options.locality > 0 ? options.locality : kMbLocalityTree;
+      append_weighted(hops, {ull_hop(fabric, true), ull_hop(fabric, true), ull_hop(edge, false)},
+                      local);
+      append_weighted(hops,
+                      {ull_hop(fabric, true), ull_hop(fabric, true),
+                       // The core ring costs 1-2 cut-through hops on
+                       // dedicated channels (mean 1.5).
+                       ull_hop(fabric, false, 1.5), ull_hop(fabric, true),
+                       ull_hop(edge, false)},
+                      1.0 - local);
+      break;
+    }
+
+    case DesignChoice::kQuartzInEdgeAndCore: {
+      const double local = kLocalityQuartzEdge;
+      append_weighted(hops, {ull_hop(edge, false), ull_hop(edge, false)}, local);
+      append_weighted(hops,
+                      {ull_hop(fabric, true), ull_hop(fabric, false, 1.5),
+                       ull_hop(edge, false), ull_hop(edge, false, 0.5)},
+                      1.0 - local);
+      break;
+    }
+  }
+  return hops;
+}
+
+double estimate_latency_us(DesignChoice choice, Utilization utilization,
+                           const LatencyModelOptions& options) {
+  return path_latency_us(path_profile(choice, options), rho_for(utilization), options);
+}
+
+std::vector<ConfiguratorRow> run_configurator(const PriceCatalog& catalog) {
+  // The six Table 8 scenarios: (size, utilization) -> baseline vs the
+  // Quartz design the paper recommends there.
+  struct Scenario {
+    DcSize size;
+    Utilization utilization;
+    DesignChoice baseline;
+    DesignChoice quartz;
+  };
+  const std::vector<Scenario> scenarios = {
+      {DcSize::kSmall, Utilization::kLow, DesignChoice::kTwoTierTree,
+       DesignChoice::kSingleQuartzRing},
+      {DcSize::kSmall, Utilization::kHigh, DesignChoice::kTwoTierTree,
+       DesignChoice::kSingleQuartzRing},
+      {DcSize::kMedium, Utilization::kLow, DesignChoice::kThreeTierTree,
+       DesignChoice::kQuartzInEdge},
+      {DcSize::kMedium, Utilization::kHigh, DesignChoice::kThreeTierTree,
+       DesignChoice::kQuartzInEdge},
+      {DcSize::kLarge, Utilization::kLow, DesignChoice::kThreeTierTree,
+       DesignChoice::kQuartzInCore},
+      {DcSize::kLarge, Utilization::kHigh, DesignChoice::kThreeTierTree,
+       DesignChoice::kQuartzInEdgeAndCore},
+  };
+
+  auto cost_of = [&](DesignChoice choice, int servers) {
+    switch (choice) {
+      case DesignChoice::kTwoTierTree: return cost_two_tier(catalog, servers);
+      case DesignChoice::kThreeTierTree: return cost_three_tier(catalog, servers);
+      case DesignChoice::kSingleQuartzRing: return cost_quartz_single_ring(catalog, servers);
+      case DesignChoice::kQuartzInEdge: return cost_quartz_in_edge(catalog, servers);
+      case DesignChoice::kQuartzInCore: return cost_quartz_in_core(catalog, servers);
+      case DesignChoice::kQuartzInEdgeAndCore:
+        return cost_quartz_in_edge_and_core(catalog, servers);
+    }
+    QUARTZ_CHECK(false, "unknown design choice");
+  };
+
+  std::vector<ConfiguratorRow> rows;
+  for (const Scenario& s : scenarios) {
+    ConfiguratorRow row;
+    row.size = s.size;
+    row.utilization = s.utilization;
+    row.baseline = s.baseline;
+    row.quartz = s.quartz;
+    const int servers = servers_for(s.size);
+    row.baseline_cost_per_server = cost_of(s.baseline, servers).per_server_usd;
+    row.quartz_cost_per_server = cost_of(s.quartz, servers).per_server_usd;
+    row.baseline_latency_us = estimate_latency_us(s.baseline, s.utilization);
+    row.quartz_latency_us = estimate_latency_us(s.quartz, s.utilization);
+    row.latency_reduction_percent =
+        100.0 * (1.0 - row.quartz_latency_us / row.baseline_latency_us);
+    row.cost_increase_percent =
+        100.0 * (row.quartz_cost_per_server / row.baseline_cost_per_server - 1.0);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace quartz::core

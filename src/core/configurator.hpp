@@ -1,0 +1,87 @@
+// The §4.4 configurator (Table 8): for a datacenter size and network
+// utilization, price the baseline tree and the Quartz alternative and
+// estimate the end-to-end latency reduction.
+//
+// Latency is estimated with a transparent analytic model (documented in
+// DESIGN.md and validated against the packet simulator): a path is a
+// sequence of store-and-forward / cut-through hops; each hop costs its
+// switch latency plus serialization plus an M/M/1-style queueing term
+// rho/(1-rho) x serialization.  Hops in *shared* tiers (tree
+// aggregation/core links, which concentrate cross-traffic) additionally
+// pay a burstiness multiplier; Quartz mesh hops ride dedicated
+// per-pair channels and do not (§3.4, validated by Fig. 14/17).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "topo/switch_models.hpp"
+
+namespace quartz::core {
+
+enum class DcSize { kSmall, kMedium, kLarge };     // 500 / 10k / 100k servers
+enum class Utilization { kLow, kHigh };            // mean link rho 0.5 / 0.7
+
+int servers_for(DcSize size);
+double rho_for(Utilization utilization);
+std::string dc_size_name(DcSize size);
+std::string utilization_name(Utilization utilization);
+
+/// One hop of the analytic latency model.
+struct Hop {
+  topo::SwitchModel model;
+  BitsPerSecond rate = gigabits_per_second(10);
+  bool shared_tier = false;  ///< concentrates cross-traffic (tree upper tiers)
+  double weight = 1.0;       ///< expected traversals (fractional for averages)
+};
+
+struct LatencyModelOptions {
+  Bits packet_size = bytes(400);
+  /// Queueing inflation on shared tiers from bursty cross-traffic;
+  /// calibrated against the Fig. 14 / Fig. 17 simulations.
+  double burstiness = 3.0;
+  /// Fraction of traffic that stays local (nearby racks / one ring);
+  /// most DC traffic shows strong locality [30].
+  double locality = 0.3;
+};
+
+/// Mean end-to-end latency of a path profile at link utilization rho.
+double path_latency_us(const std::vector<Hop>& hops, double rho,
+                       const LatencyModelOptions& options = {});
+
+enum class DesignChoice {
+  kTwoTierTree,
+  kThreeTierTree,
+  kSingleQuartzRing,
+  kQuartzInEdge,
+  kQuartzInCore,
+  kQuartzInEdgeAndCore,
+};
+
+std::string design_choice_name(DesignChoice choice);
+
+/// Average path profile (locality-weighted) for a design choice.
+std::vector<Hop> path_profile(DesignChoice choice, const LatencyModelOptions& options = {});
+
+/// Estimated mean latency for a design at a utilization level.
+double estimate_latency_us(DesignChoice choice, Utilization utilization,
+                           const LatencyModelOptions& options = {});
+
+struct ConfiguratorRow {
+  DcSize size = DcSize::kSmall;
+  Utilization utilization = Utilization::kLow;
+  DesignChoice baseline = DesignChoice::kTwoTierTree;
+  DesignChoice quartz = DesignChoice::kSingleQuartzRing;
+  double baseline_cost_per_server = 0;
+  double quartz_cost_per_server = 0;
+  double baseline_latency_us = 0;
+  double quartz_latency_us = 0;
+  double latency_reduction_percent = 0;
+  double cost_increase_percent = 0;
+};
+
+/// The six Table 8 scenarios.
+std::vector<ConfiguratorRow> run_configurator(const PriceCatalog& catalog = {});
+
+}  // namespace quartz::core

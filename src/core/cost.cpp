@@ -1,0 +1,190 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+
+#include "core/design.hpp"
+#include "optical/grid.hpp"
+#include "wavelength/assign.hpp"
+#include "wavelength/multiring.hpp"
+
+namespace quartz::core {
+namespace {
+
+// Tree sizing constants for 64-port switches: 48 server-facing ports
+// and 16 uplinks per ToR; aggregation switches split 48 down / 16 up.
+constexpr int kTorServerPorts = 48;
+constexpr int kTorUplinks = 16;
+constexpr int kAggDownPorts = 48;
+constexpr int kAggUplinks = 16;
+constexpr int kCcsPorts = 768;
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+/// Optical bill of materials for one Quartz ring of M switches.
+struct RingBom {
+  int switches = 0;
+  int dwdm_transceivers = 0;
+  int muxes = 0;
+  int amplifiers = 0;
+  int fiber_cables = 0;
+};
+
+RingBom ring_bom(int m) {
+  RingBom bom;
+  bom.switches = m;
+  bom.dwdm_transceivers = m * (m - 1);
+  const int channels = wavelength::greedy_assign(m).channels_used;
+  const int rings = wavelength::rings_required(
+      channels, static_cast<int>(optical::kMaxChannelsPerMux));
+  bom.muxes = m * rings;  // one add/drop mux per switch per physical ring
+  // §3.3's placement rule of thumb: one amplifier per two switches.
+  bom.amplifiers = static_cast<int>(optical::paper_rule_amplifier_count(
+                       static_cast<std::size_t>(m))) *
+                   rings;
+  bom.fiber_cables = m * rings;
+  return bom;
+}
+
+void add_ring(CostBreakdown& cost, const RingBom& bom) {
+  cost.ull_switches += bom.switches;
+  cost.dwdm_transceivers += bom.dwdm_transceivers;
+  cost.muxes += bom.muxes;
+  cost.amplifiers += bom.amplifiers;
+  cost.cables += bom.fiber_cables;
+  ++cost.quartz_rings;
+}
+
+CostBreakdown finalize(CostBreakdown cost, const PriceCatalog& catalog) {
+  cost.total_usd = cost.ull_switches * catalog.ull_switch_usd +
+                   cost.ccs_switches * catalog.ccs_switch_usd +
+                   cost.dwdm_transceivers * catalog.dwdm_transceiver_usd +
+                   cost.sr_transceivers * catalog.sr_transceiver_usd +
+                   cost.muxes * catalog.mux_usd + cost.amplifiers * catalog.edfa_usd +
+                   cost.cables * catalog.cable_usd;
+  QUARTZ_CHECK(cost.servers > 0, "cost model needs servers");
+  cost.per_server_usd = cost.total_usd / cost.servers;
+  return cost;
+}
+
+/// ToR/aggregation sizing shared by the 3-tier variants.
+struct TreeEdge {
+  int tors = 0;
+  int aggs = 0;
+  int agg_uplinks = 0;
+};
+
+TreeEdge size_three_tier_edge(int servers) {
+  TreeEdge edge;
+  edge.tors = ceil_div(servers, kTorServerPorts);
+  edge.aggs = ceil_div(edge.tors * kTorUplinks, kAggDownPorts);
+  edge.agg_uplinks = edge.aggs * kAggUplinks;
+  return edge;
+}
+
+void add_three_tier_edge(CostBreakdown& cost, const TreeEdge& edge, int servers) {
+  cost.ull_switches += edge.tors + edge.aggs;
+  const int inter_links = edge.tors * kTorUplinks + edge.agg_uplinks;
+  cost.sr_transceivers += 2 * inter_links;
+  cost.cables += servers + inter_links;
+}
+
+}  // namespace
+
+CostBreakdown cost_two_tier(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  CostBreakdown cost;
+  cost.topology = "two-tier tree";
+  cost.servers = servers;
+  // Small trees run 4 uplinks per ToR (4:1 oversubscription), which is
+  // what lets a single 64-port aggregation switch cover ~16 racks.
+  constexpr int kTwoTierUplinks = 4;
+  const int tors = ceil_div(servers, kTorServerPorts);
+  const int aggs = std::max(1, ceil_div(tors * kTwoTierUplinks, 64));
+  cost.ull_switches = tors + aggs;
+  cost.sr_transceivers = 2 * tors * kTwoTierUplinks;
+  cost.cables = servers + tors * kTwoTierUplinks;
+  return finalize(cost, catalog);
+}
+
+CostBreakdown cost_three_tier(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  CostBreakdown cost;
+  cost.topology = "three-tier tree";
+  cost.servers = servers;
+  const TreeEdge edge = size_three_tier_edge(servers);
+  add_three_tier_edge(cost, edge, servers);
+  cost.ccs_switches = std::max(2, ceil_div(edge.agg_uplinks, kCcsPorts));
+  return finalize(cost, catalog);
+}
+
+CostBreakdown cost_quartz_single_ring(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  // Smallest ring whose aggregate server ports cover the demand.
+  int m = 2;
+  while (m <= 35 && m * (64 - (m - 1)) < servers) ++m;
+  QUARTZ_REQUIRE(m <= 35, "a single ring cannot serve this many servers");
+
+  CostBreakdown cost;
+  cost.topology = "single quartz ring (" + std::to_string(m) + " switches)";
+  cost.servers = servers;
+  add_ring(cost, ring_bom(m));
+  cost.cables += servers;
+  return finalize(cost, catalog);
+}
+
+CostBreakdown cost_quartz_in_edge(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  // Edge rings of 8 switches; per switch 7 mesh + 8 uplinks + 49 servers.
+  constexpr int kRingSize = 8;
+  constexpr int kUplinksPerSwitch = 8;
+  constexpr int kServersPerSwitch = 64 - (kRingSize - 1) - kUplinksPerSwitch;
+  const int servers_per_ring = kRingSize * kServersPerSwitch;
+  const int rings = ceil_div(servers, servers_per_ring);
+  const int uplinks = rings * kRingSize * kUplinksPerSwitch;
+
+  CostBreakdown cost;
+  cost.topology = "quartz in edge";
+  cost.servers = servers;
+  for (int r = 0; r < rings; ++r) add_ring(cost, ring_bom(kRingSize));
+  cost.ccs_switches = std::max(2, ceil_div(uplinks, kCcsPorts));
+  cost.sr_transceivers = 2 * uplinks;
+  cost.cables += servers + uplinks;
+  return finalize(cost, catalog);
+}
+
+CostBreakdown cost_quartz_in_core(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  CostBreakdown cost;
+  cost.topology = "quartz in core";
+  cost.servers = servers;
+  const TreeEdge edge = size_three_tier_edge(servers);
+  add_three_tier_edge(cost, edge, servers);
+  // Each core ring of 33 switches x 32 ports mimics a 1056-port switch.
+  const int ring_ports = max_single_tor_ports(64);
+  const int core_rings = std::max(1, ceil_div(edge.agg_uplinks, ring_ports));
+  for (int r = 0; r < core_rings; ++r) add_ring(cost, ring_bom(33));
+  return finalize(cost, catalog);
+}
+
+CostBreakdown cost_quartz_in_edge_and_core(const PriceCatalog& catalog, int servers) {
+  QUARTZ_REQUIRE(servers >= 1, "need servers");
+  constexpr int kRingSize = 8;
+  constexpr int kUplinksPerSwitch = 8;
+  constexpr int kServersPerSwitch = 64 - (kRingSize - 1) - kUplinksPerSwitch;
+  const int servers_per_ring = kRingSize * kServersPerSwitch;
+  const int rings = ceil_div(servers, servers_per_ring);
+  const int uplinks = rings * kRingSize * kUplinksPerSwitch;
+
+  CostBreakdown cost;
+  cost.topology = "quartz in edge and core";
+  cost.servers = servers;
+  for (int r = 0; r < rings; ++r) add_ring(cost, ring_bom(kRingSize));
+  const int ring_ports = max_single_tor_ports(64);
+  const int core_rings = std::max(1, ceil_div(uplinks, ring_ports));
+  for (int r = 0; r < core_rings; ++r) add_ring(cost, ring_bom(33));
+  cost.sr_transceivers = 2 * uplinks;
+  cost.cables += servers + uplinks;
+  return finalize(cost, catalog);
+}
+
+}  // namespace quartz::core

@@ -1,0 +1,65 @@
+// Bill-of-materials cost model (§4.4, Table 8).
+//
+// Sizes each candidate topology for a target server count from 64-port
+// cut-through switches (48 server ports + 16 uplinks per ToR in trees),
+// 768-port store-and-forward core chassis, and the §3.3 optical parts,
+// then prices it against a catalog.  Catalog defaults approximate 2014
+// street prices; Table 8 is reproduced *relative to the same catalog*
+// (absolute dollars differ from the paper's dead links, ratios hold).
+#pragma once
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace quartz::core {
+
+struct PriceCatalog {
+  double ull_switch_usd = 15'000;        ///< 64-port cut-through (ToR/agg)
+  double ccs_switch_usd = 1'100'000;     ///< 768-port store-and-forward chassis
+  double sr_transceiver_usd = 120;       ///< 10G short-reach optic
+  double dwdm_transceiver_usd = 300;     ///< 10G DWDM 40 km optic [7]
+  double mux_usd = 5'000;                ///< 80-channel AWG mux/demux [8]
+  double edfa_usd = 3'000;               ///< 80-channel amplifier [12]
+  double attenuator_usd = 15;            ///< fixed attenuator [10]
+  double cable_usd = 25;                 ///< per run (copper or fiber)
+
+  static PriceCatalog defaults() { return {}; }
+};
+
+struct CostBreakdown {
+  std::string topology;
+  int servers = 0;
+  int ull_switches = 0;
+  int ccs_switches = 0;
+  int quartz_rings = 0;
+  int dwdm_transceivers = 0;
+  int sr_transceivers = 0;
+  int muxes = 0;
+  int amplifiers = 0;
+  int cables = 0;
+  double total_usd = 0;
+  double per_server_usd = 0;
+};
+
+/// 2-tier tree: ToRs (48 servers + 16 uplinks) under one aggregation
+/// tier of 64-port switches.
+CostBreakdown cost_two_tier(const PriceCatalog& catalog, int servers);
+
+/// 3-tier tree: ToRs, aggregation 64-port switches, CCS core chassis.
+CostBreakdown cost_three_tier(const PriceCatalog& catalog, int servers);
+
+/// One Quartz ring as the whole network (smallest feasible ring).
+CostBreakdown cost_quartz_single_ring(const PriceCatalog& catalog, int servers);
+
+/// Fig. 15(c): edge Quartz rings uplinked to a CCS core.
+CostBreakdown cost_quartz_in_edge(const PriceCatalog& catalog, int servers);
+
+/// Fig. 15(b): 3-tier tree with the CCS cores replaced by Quartz rings
+/// (33 switches x 32 ports mimicking a 1056-port switch).
+CostBreakdown cost_quartz_in_core(const PriceCatalog& catalog, int servers);
+
+/// Fig. 15(d): edge rings + core rings.
+CostBreakdown cost_quartz_in_edge_and_core(const PriceCatalog& catalog, int servers);
+
+}  // namespace quartz::core

@@ -1,0 +1,78 @@
+// Fault-tolerance Monte Carlo (§3.5, Fig. 6).
+//
+// A Quartz deployment stripes its channel plan over one or more
+// parallel physical fiber rings.  A fiber cut on ring r severs exactly
+// the lightpaths of ring r whose arc crosses the cut segment.  The
+// analysis samples random sets of fiber cuts and reports
+//  * the mean fraction of direct (lightpath) bandwidth lost, and
+//  * the probability that the surviving direct-link graph is
+//    partitioned (some switch pair loses even multi-hop connectivity).
+#pragma once
+
+#include <cstdint>
+
+#include "wavelength/assign.hpp"
+
+namespace quartz::core {
+
+struct FaultParams {
+  int switches = 33;
+  int physical_rings = 1;
+  int failed_links = 1;  ///< simultaneous fiber-segment failures
+  int trials = 20000;
+  std::uint64_t seed = 17;
+};
+
+struct FaultResult {
+  double mean_bandwidth_loss = 0.0;    ///< fraction of lightpaths lost
+  double partition_probability = 0.0;  ///< surviving mesh disconnected
+  int trials = 0;
+};
+
+FaultResult analyze_faults(const FaultParams& params);
+
+/// Single-trial helper (exposed for tests): which lightpaths survive a
+/// given set of failed (ring, segment) fibers, and is the surviving
+/// mesh connected?
+struct FaultTrial {
+  int lost_lightpaths = 0;
+  int total_lightpaths = 0;
+  bool partitioned = false;
+};
+
+FaultTrial evaluate_failures(const wavelength::Assignment& plan, int physical_rings,
+                             const std::vector<std::pair<int, int>>& failed_ring_segments);
+
+// --- steady-state availability ----------------------------------------------
+//
+// Fig. 6 answers "what if k fibers are cut right now"; operators ask
+// "how much of the year is the mesh degraded".  With each fiber segment
+// failing independently at `cuts_per_km_per_year x span_km` and staying
+// down `mttr_hours`, each segment is down with probability
+// p = rate x MTTR / 8766h; the Monte Carlo samples segment states
+// Bernoulli(p) and aggregates bandwidth and partition downtime.
+
+struct AvailabilityParams {
+  int switches = 33;
+  int physical_rings = 2;
+  /// Intra-building fiber does better than buried long-haul plant; the
+  /// default is deliberately pessimistic to stress the design.
+  double cuts_per_km_per_year = 0.5;
+  double span_km = 0.1;
+  double mttr_hours = 8.0;
+  int trials = 200'000;
+  std::uint64_t seed = 19;
+};
+
+struct AvailabilityResult {
+  double segment_down_probability = 0.0;
+  /// Expected fraction of lightpath bandwidth available over the year.
+  double mean_bandwidth_availability = 0.0;
+  /// Expected minutes per year the mesh is partitioned.
+  double partition_minutes_per_year = 0.0;
+  int trials = 0;
+};
+
+AvailabilityResult analyze_availability(const AvailabilityParams& params);
+
+}  // namespace quartz::core

@@ -1,0 +1,89 @@
+#include "core/upgrade.hpp"
+
+#include <algorithm>
+
+#include "optical/budget.hpp"
+#include "wavelength/assign.hpp"
+#include "wavelength/multiring.hpp"
+
+namespace quartz::core {
+
+std::vector<UpgradeStep> plan_incremental_growth(const PriceCatalog& catalog,
+                                                 const UpgradePlanParams& params) {
+  QUARTZ_REQUIRE(params.target_ports >= 1, "need a target");
+  QUARTZ_REQUIRE(params.ports_per_switch >= 1, "switches must add ports");
+  QUARTZ_REQUIRE(params.chassis_upfront_fraction >= 0.0 &&
+                     params.chassis_upfront_fraction <= 1.0,
+                 "fraction out of range");
+
+  std::vector<UpgradeStep> plan;
+  double quartz_total = 0.0;
+  int previous_rings = 0;
+  int previous_channels = 0;
+
+  const double chassis_upfront = catalog.ccs_switch_usd * params.chassis_upfront_fraction;
+  const double per_card = catalog.ccs_switch_usd * (1.0 - params.chassis_upfront_fraction) /
+                          (static_cast<double>(params.chassis_ports) /
+                           params.ports_per_line_card);
+
+  for (int m = 2;; ++m) {
+    QUARTZ_REQUIRE(m <= wavelength::kMaxRingSize,
+                   "target exceeds a single ring's reach; compose rings instead");
+    const int channels = wavelength::greedy_assign(m).channels_used;
+    const int rings = wavelength::rings_required(channels, params.channels_per_mux);
+
+    UpgradeStep step;
+    step.ring_size = m;
+    step.ports_supported = m * params.ports_per_switch;
+    step.channels = channels;
+    step.physical_rings = rings;
+
+    // Quartz spend this step: the new switch; one more transceiver in
+    // every existing switch plus m-1 in the new one (2(m-1) total, each
+    // end of the new lightpaths); new muxes when a ring is added, plus
+    // the new switch's muxes; amplifiers by the paper rule delta.
+    double cost = catalog.ull_switch_usd;
+    cost += 2.0 * (m - 1) * catalog.dwdm_transceiver_usd;
+    const int new_muxes = rings * m - previous_rings * (m - 1);
+    cost += new_muxes * catalog.mux_usd;
+    const int amps_now = static_cast<int>(optical::paper_rule_amplifier_count(
+                             static_cast<std::size_t>(m))) *
+                         rings;
+    const int amps_before =
+        m == 2 ? 0
+               : static_cast<int>(optical::paper_rule_amplifier_count(
+                     static_cast<std::size_t>(m - 1))) *
+                     previous_rings;
+    cost += std::max(0, amps_now - amps_before) * catalog.edfa_usd;
+    cost += rings * catalog.cable_usd;  // close the ring with new spans
+
+    quartz_total += cost;
+    step.step_cost_usd = cost;
+    step.quartz_cumulative_usd = quartz_total;
+
+    // Chassis path at the same port count: chassis up front, line cards
+    // as needed (a second chassis when the first fills).
+    const int chassis_count = (step.ports_supported + params.chassis_ports - 1) /
+                              params.chassis_ports;
+    const int cards =
+        (step.ports_supported + params.ports_per_line_card - 1) / params.ports_per_line_card;
+    step.chassis_cumulative_usd = chassis_count * chassis_upfront + cards * per_card;
+
+    plan.push_back(step);
+    previous_rings = rings;
+    previous_channels = channels;
+    if (step.ports_supported >= params.target_ports) break;
+  }
+  (void)previous_channels;
+  return plan;
+}
+
+double max_step_fraction(const std::vector<UpgradeStep>& plan) {
+  QUARTZ_REQUIRE(!plan.empty(), "empty plan");
+  const double total = plan.back().quartz_cumulative_usd;
+  double biggest = 0.0;
+  for (const auto& step : plan) biggest = std::max(biggest, step.step_cost_usd);
+  return biggest / total;
+}
+
+}  // namespace quartz::core

@@ -1,0 +1,52 @@
+// Incremental deployment planner (§4.2, §8).
+//
+// A chassis core demands its biggest expense — the chassis — on day
+// one, so a wrong growth forecast is very costly.  A Quartz core grows
+// a switch at a time: each step adds one switch, one transceiver to
+// every existing switch (plus M-1 in the new one), and another
+// add/drop mux per switch whenever the channel plan spills onto an
+// additional physical ring.  This module prices both growth paths
+// against the same catalog so the "pay-as-you-grow" claim is
+// quantified rather than asserted.
+#pragma once
+
+#include <vector>
+
+#include "core/cost.hpp"
+
+namespace quartz::core {
+
+struct UpgradeStep {
+  int ring_size = 0;            ///< switches after this step
+  int ports_supported = 0;      ///< cumulative server ports
+  int channels = 0;             ///< channel-plan size at this ring size
+  int physical_rings = 0;
+  double step_cost_usd = 0;     ///< spent at this step (Quartz path)
+  double quartz_cumulative_usd = 0;
+  double chassis_cumulative_usd = 0;  ///< chassis-core path at same step
+};
+
+struct UpgradePlanParams {
+  /// Server ports the deployment must eventually reach.
+  int target_ports = 1056;
+  /// Server ports each added switch contributes (64-port ULL with a
+  /// full mesh budget: 32).
+  int ports_per_switch = 32;
+  int channels_per_mux = 80;
+  /// Fraction of the chassis-core price that is the up-front chassis
+  /// (the rest buys line cards as ports are needed).
+  double chassis_upfront_fraction = 0.6;
+  int chassis_ports = 768;
+  int ports_per_line_card = 64;
+};
+
+/// Growth schedule from a 2-switch ring to the target, with the
+/// chassis-core cumulative cost at the same port counts for comparison.
+std::vector<UpgradeStep> plan_incremental_growth(const PriceCatalog& catalog,
+                                                 const UpgradePlanParams& params = {});
+
+/// Largest fraction of the final Quartz spend that any single step
+/// requires — the "maximum regret" of growing a Quartz core.
+double max_step_fraction(const std::vector<UpgradeStep>& plan);
+
+}  // namespace quartz::core

@@ -1,0 +1,251 @@
+#include "flow/maxmin.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace quartz::flow {
+namespace {
+
+std::size_t directed_index(topo::LinkId link, int direction) {
+  return static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction);
+}
+
+}  // namespace
+
+MaxMinResult max_min_fair(const topo::Graph& graph, const std::vector<Flow>& flows,
+                          const std::vector<double>& initial_line_used) {
+  // Flatten subflows and build link incidence.
+  struct Subflow {
+    std::size_t flow = 0;
+    std::vector<std::size_t> lines;  ///< directed link indices
+    bool active = true;
+    double rate = 0.0;
+  };
+  std::vector<Subflow> subflows;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    QUARTZ_REQUIRE(!flows[f].routes.empty(), "flow without routes");
+    for (const Route& route : flows[f].routes) {
+      QUARTZ_REQUIRE(!route.links.empty(), "empty route");
+      QUARTZ_REQUIRE(route.links.size() == route.directions.size(),
+                     "route links/directions mismatch");
+      Subflow s;
+      s.flow = f;
+      for (std::size_t i = 0; i < route.links.size(); ++i) {
+        s.lines.push_back(directed_index(route.links[i], route.directions[i]));
+      }
+      subflows.push_back(std::move(s));
+    }
+  }
+
+  const std::size_t line_count = graph.link_count() * 2;
+  std::vector<double> capacity(line_count, 0.0);
+  for (const auto& link : graph.links()) {
+    capacity[directed_index(link.id, 0)] = link.rate;
+    capacity[directed_index(link.id, 1)] = link.rate;
+  }
+
+  std::vector<double> frozen_used(line_count, 0.0);
+  if (!initial_line_used.empty()) {
+    QUARTZ_REQUIRE(initial_line_used.size() == line_count,
+                   "initial_line_used size must match directed line count");
+    frozen_used = initial_line_used;
+    for (std::size_t line = 0; line < line_count; ++line) {
+      // Clamp tiny float overshoot so residual capacity is never negative.
+      frozen_used[line] = std::min(frozen_used[line], capacity[line]);
+    }
+  }
+  std::vector<std::size_t> active_count(line_count, 0);
+  std::vector<std::vector<std::size_t>> line_subflows(line_count);
+  for (std::size_t s = 0; s < subflows.size(); ++s) {
+    for (std::size_t line : subflows[s].lines) {
+      ++active_count[line];
+      line_subflows[line].push_back(s);
+    }
+  }
+
+  // Progressive filling: all active subflows share one rising water
+  // level; the next saturation determines each round's stop point.
+  std::size_t remaining = subflows.size();
+  double level = 0.0;
+  while (remaining > 0) {
+    double next_level = std::numeric_limits<double>::infinity();
+    for (std::size_t line = 0; line < line_count; ++line) {
+      if (active_count[line] == 0) continue;
+      const double saturate_at =
+          (capacity[line] - frozen_used[line]) / static_cast<double>(active_count[line]);
+      next_level = std::min(next_level, saturate_at);
+    }
+    QUARTZ_CHECK(std::isfinite(next_level), "active subflow crosses no capacitated line");
+    level = std::max(level, next_level);
+
+    // Freeze every active subflow crossing a line that saturates at
+    // this level (within floating tolerance).
+    bool froze_any = false;
+    for (std::size_t line = 0; line < line_count; ++line) {
+      if (active_count[line] == 0) continue;
+      const double saturate_at =
+          (capacity[line] - frozen_used[line]) / static_cast<double>(active_count[line]);
+      if (saturate_at > level * (1.0 + 1e-12) + 1e-9) continue;
+      for (std::size_t s : line_subflows[line]) {
+        Subflow& sub = subflows[s];
+        if (!sub.active) continue;
+        sub.active = false;
+        sub.rate = level;
+        froze_any = true;
+        --remaining;
+        for (std::size_t l : sub.lines) {
+          --active_count[l];
+          frozen_used[l] += level;
+        }
+      }
+    }
+    QUARTZ_CHECK(froze_any, "waterfilling made no progress");
+  }
+
+  MaxMinResult result;
+  result.flow_rate.assign(flows.size(), 0.0);
+  result.subflow_rate.reserve(subflows.size());
+  for (const Subflow& s : subflows) {
+    result.subflow_rate.push_back(s.rate);
+    result.flow_rate[s.flow] += s.rate;
+    result.aggregate += s.rate;
+  }
+  result.line_used = std::move(frozen_used);
+  return result;
+}
+
+MaxMinResult quartz_adaptive_allocate(const topo::Graph& graph, const std::vector<Flow>& flows) {
+  // Stage 1: ECMP — the direct lightpath only.
+  std::vector<Flow> direct_stage;
+  direct_stage.reserve(flows.size());
+  for (const Flow& flow : flows) {
+    QUARTZ_REQUIRE(!flow.routes.empty(), "flow without routes");
+    Flow d;
+    d.src = flow.src;
+    d.dst = flow.dst;
+    d.routes = {flow.routes.front()};
+    direct_stage.push_back(std::move(d));
+  }
+  MaxMinResult stage1 = max_min_fair(graph, direct_stage);
+
+  // Stage 2: VLB spillover — detour routes over the residual capacity.
+  std::vector<Flow> detour_stage;
+  std::vector<std::size_t> detour_owner;  // detour-stage flow -> original flow
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (flows[f].routes.size() <= 1) continue;
+    Flow d;
+    d.src = flows[f].src;
+    d.dst = flows[f].dst;
+    d.routes.assign(flows[f].routes.begin() + 1, flows[f].routes.end());
+    detour_stage.push_back(std::move(d));
+    detour_owner.push_back(f);
+  }
+
+  MaxMinResult combined = stage1;
+  if (!detour_stage.empty()) {
+    const MaxMinResult stage2 = max_min_fair(graph, detour_stage, stage1.line_used);
+    for (std::size_t i = 0; i < detour_stage.size(); ++i) {
+      combined.flow_rate[detour_owner[i]] += stage2.flow_rate[i];
+      combined.aggregate += stage2.flow_rate[i];
+    }
+    combined.line_used = stage2.line_used;
+    // subflow_rate keeps only stage-1 (direct) rates; detour shares are
+    // folded into flow_rate.
+  }
+  return combined;
+}
+
+Route shortest_route(const topo::Graph& graph, topo::NodeId src, topo::NodeId dst) {
+  QUARTZ_REQUIRE(src != dst, "route endpoints must differ");
+  std::vector<topo::LinkId> via_link(graph.node_count(), topo::kInvalidLink);
+  std::vector<topo::NodeId> via_node(graph.node_count(), topo::kInvalidNode);
+  std::vector<bool> seen(graph.node_count(), false);
+  std::deque<topo::NodeId> queue{src};
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    if (u != src && !graph.is_switch(u)) continue;  // hosts do not relay
+    for (const auto& adj : graph.neighbors(u)) {
+      if (seen[static_cast<std::size_t>(adj.peer)]) continue;
+      seen[static_cast<std::size_t>(adj.peer)] = true;
+      via_link[static_cast<std::size_t>(adj.peer)] = adj.link;
+      via_node[static_cast<std::size_t>(adj.peer)] = u;
+      queue.push_back(adj.peer);
+    }
+  }
+  QUARTZ_REQUIRE(seen[static_cast<std::size_t>(dst)], "destination unreachable");
+
+  Route route;
+  for (topo::NodeId n = dst; n != src; n = via_node[static_cast<std::size_t>(n)]) {
+    const topo::LinkId l = via_link[static_cast<std::size_t>(n)];
+    route.links.push_back(l);
+    route.directions.push_back(graph.link(l).a == via_node[static_cast<std::size_t>(n)] ? 0 : 1);
+  }
+  std::reverse(route.links.begin(), route.links.end());
+  std::reverse(route.directions.begin(), route.directions.end());
+  return route;
+}
+
+std::vector<Route> quartz_routes(const topo::Graph& graph,
+                                 const std::vector<topo::NodeId>& ring, topo::NodeId src,
+                                 topo::NodeId dst, bool two_hop) {
+  QUARTZ_REQUIRE(src != dst, "route endpoints must differ");
+  auto attachment = [&](topo::NodeId host) {
+    for (const auto& adj : graph.neighbors(host)) {
+      if (graph.is_switch(adj.peer)) return std::pair{adj.peer, adj.link};
+    }
+    QUARTZ_CHECK(false, "host has no switch attachment");
+  };
+  auto mesh_link = [&](topo::NodeId a, topo::NodeId b) {
+    for (const auto& adj : graph.neighbors(a)) {
+      if (adj.peer == b) return adj.link;
+    }
+    return topo::kInvalidLink;
+  };
+  auto direction = [&](topo::LinkId l, topo::NodeId from) {
+    return graph.link(l).a == from ? 0 : 1;
+  };
+
+  const auto [src_sw, src_link] = attachment(src);
+  const auto [dst_sw, dst_link] = attachment(dst);
+
+  std::vector<Route> routes;
+  if (src_sw == dst_sw) {
+    Route direct;
+    direct.links = {src_link, dst_link};
+    direct.directions = {direction(src_link, src), direction(dst_link, dst_sw)};
+    routes.push_back(std::move(direct));
+    return routes;
+  }
+
+  const topo::LinkId mesh = mesh_link(src_sw, dst_sw);
+  QUARTZ_REQUIRE(mesh != topo::kInvalidLink, "ring is not fully meshed");
+  Route direct;
+  direct.links = {src_link, mesh, dst_link};
+  direct.directions = {direction(src_link, src), direction(mesh, src_sw),
+                       direction(dst_link, dst_sw)};
+  routes.push_back(std::move(direct));
+
+  if (two_hop) {
+    for (topo::NodeId w : ring) {
+      if (w == src_sw || w == dst_sw) continue;
+      const topo::LinkId first = mesh_link(src_sw, w);
+      const topo::LinkId second = mesh_link(w, dst_sw);
+      if (first == topo::kInvalidLink || second == topo::kInvalidLink) continue;
+      Route detour;
+      detour.links = {src_link, first, second, dst_link};
+      detour.directions = {direction(src_link, src), direction(first, src_sw),
+                           direction(second, w), direction(dst_link, dst_sw)};
+      routes.push_back(std::move(detour));
+    }
+  }
+  return routes;
+}
+
+}  // namespace quartz::flow

@@ -1,0 +1,70 @@
+// Flow-level max-min fair (progressive-filling) throughput solver.
+//
+// The paper evaluates Quartz's bisection bandwidth (Fig. 10) by
+// comparing the aggregate throughput of traffic patterns on Quartz
+// (one- and two-hop routing) against ideal and capacity-reduced
+// fabrics.  This solver implements classic waterfilling: every subflow
+// rises at the same rate; when a directed link saturates, the subflows
+// crossing it freeze at the current water level.  A flow's throughput
+// is the sum of its subflows (one per path), which models VLB's static
+// traffic split; host NIC links appear in every route, so endpoint
+// capacity caps emerge naturally instead of via explicit demands.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace quartz::flow {
+
+/// One directed path as a sequence of (link, direction) steps;
+/// direction 0 traverses a->b.
+struct Route {
+  std::vector<topo::LinkId> links;
+  std::vector<int> directions;
+
+  std::size_t hops() const { return links.size(); }
+};
+
+/// One host-to-host flow with one or more parallel routes.
+struct Flow {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  std::vector<Route> routes;
+};
+
+struct MaxMinResult {
+  /// Total rate per flow (bits/s), summed over its routes.
+  std::vector<double> flow_rate;
+  /// Rate per (flow, route) subflow, flattened in flow-major order.
+  std::vector<double> subflow_rate;
+  double aggregate = 0.0;  ///< sum of all flow rates
+  /// Consumed capacity per directed line (link*2 + direction), bits/s;
+  /// feed back into a second allocation stage as pre-consumed capacity.
+  std::vector<double> line_used;
+};
+
+/// Waterfill `flows` over the capacity left after `initial_line_used`
+/// (empty = pristine network).
+MaxMinResult max_min_fair(const topo::Graph& graph, const std::vector<Flow>& flows,
+                          const std::vector<double>& initial_line_used = {});
+
+/// §3.4's adaptive VLB at the flow level: allocate over the direct
+/// lightpaths first (the ECMP stage), then spill each flow's residual
+/// demand over its two-hop detours on the leftover capacity.  Flows
+/// must carry the direct route first and detours after it (the layout
+/// quartz_routes() produces).
+MaxMinResult quartz_adaptive_allocate(const topo::Graph& graph, const std::vector<Flow>& flows);
+
+/// Shortest host-to-host route (BFS through switches); the
+/// deterministic single-path baseline.
+Route shortest_route(const topo::Graph& graph, topo::NodeId src, topo::NodeId dst);
+
+/// Routes through a Quartz mesh: the direct lightpath, plus (when
+/// `two_hop` is set) one detour through every other ring switch —
+/// §3.4's ECMP + VLB path set.
+std::vector<Route> quartz_routes(const topo::Graph& graph,
+                                 const std::vector<topo::NodeId>& ring, topo::NodeId src,
+                                 topo::NodeId dst, bool two_hop);
+
+}  // namespace quartz::flow

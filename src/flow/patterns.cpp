@@ -1,0 +1,84 @@
+#include "flow/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace quartz::flow {
+
+std::vector<HostPair> random_permutation(const std::vector<topo::NodeId>& hosts, Rng& rng) {
+  QUARTZ_REQUIRE(hosts.size() >= 2, "permutation needs at least two hosts");
+  std::vector<topo::NodeId> targets = hosts;
+  // Sattolo's algorithm yields a uniform cyclic permutation, which is
+  // automatically fixed-point free.
+  for (std::size_t i = targets.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(targets[i], targets[j]);
+  }
+  std::vector<HostPair> pairs;
+  pairs.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    pairs.push_back(HostPair{hosts[i], targets[i]});
+  }
+  return pairs;
+}
+
+std::vector<HostPair> incast(const std::vector<topo::NodeId>& hosts, int fan_in, Rng& rng) {
+  QUARTZ_REQUIRE(fan_in >= 1, "fan_in must be positive");
+  QUARTZ_REQUIRE(hosts.size() > static_cast<std::size_t>(fan_in),
+                 "need more hosts than fan_in");
+  std::vector<HostPair> pairs;
+  pairs.reserve(hosts.size() * static_cast<std::size_t>(fan_in));
+  std::vector<topo::NodeId> senders = hosts;
+  for (topo::NodeId receiver : hosts) {
+    rng.shuffle(senders);
+    int picked = 0;
+    for (std::size_t i = 0; i < senders.size() && picked < fan_in; ++i) {
+      if (senders[i] == receiver) continue;
+      pairs.push_back(HostPair{senders[i], receiver});
+      ++picked;
+    }
+  }
+  return pairs;
+}
+
+std::vector<HostPair> rack_shuffle(const std::vector<std::vector<topo::NodeId>>& racks,
+                                   int target_racks, Rng& rng) {
+  QUARTZ_REQUIRE(racks.size() >= 2, "shuffle needs at least two racks");
+  QUARTZ_REQUIRE(target_racks >= 1 &&
+                     static_cast<std::size_t>(target_racks) < racks.size(),
+                 "target_racks must be in [1, racks)");
+  // Receivers are handed out from a shuffled cycle per target rack so
+  // flows land on distinct servers where possible (the migration-style
+  // shuffle moves each source to its own destination; only rack-level
+  // capacity should bottleneck an ideal fabric).
+  std::vector<std::vector<topo::NodeId>> receiver_cycle(racks.size());
+  std::vector<std::size_t> next_receiver(racks.size(), 0);
+  for (std::size_t o = 0; o < racks.size(); ++o) {
+    QUARTZ_REQUIRE(!racks[o].empty(), "empty rack");
+    receiver_cycle[o] = racks[o];
+    rng.shuffle(receiver_cycle[o]);
+  }
+
+  std::vector<HostPair> pairs;
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    // Pick the destination racks for this source rack.
+    std::vector<std::size_t> others;
+    for (std::size_t o = 0; o < racks.size(); ++o) {
+      if (o != r) others.push_back(o);
+    }
+    rng.shuffle(others);
+    others.resize(static_cast<std::size_t>(target_racks));
+
+    const auto& sources = racks[r];
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const std::size_t target = others[i % others.size()];
+      auto& cycle = receiver_cycle[target];
+      const topo::NodeId dst = cycle[next_receiver[target]++ % cycle.size()];
+      pairs.push_back(HostPair{sources[i], dst});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace quartz::flow

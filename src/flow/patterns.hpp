@@ -1,0 +1,38 @@
+// Fig. 10's datacenter traffic patterns at the flow level.
+//
+//  * random permutation — every host sends to one random host and
+//    receives from one (a fixed-point-free permutation);
+//  * incast — every host receives from 10 random senders (the
+//    MapReduce shuffle stage); and
+//  * rack-level shuffle — every host in a rack sends into a small set
+//    of target racks (VM-migration style rebalancing).
+//
+// Pattern builders return (src, dst) pairs; the caller attaches routes
+// (single shortest path, or the Quartz one+two-hop set) before handing
+// them to the max-min solver.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::flow {
+
+struct HostPair {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+};
+
+/// Fixed-point-free random permutation over `hosts`.
+std::vector<HostPair> random_permutation(const std::vector<topo::NodeId>& hosts, Rng& rng);
+
+/// Every host receives from `fan_in` distinct random senders.
+std::vector<HostPair> incast(const std::vector<topo::NodeId>& hosts, int fan_in, Rng& rng);
+
+/// Every host sends one flow to a random host in one of `target_racks`
+/// racks chosen per source rack (targets spread round-robin).
+std::vector<HostPair> rack_shuffle(const std::vector<std::vector<topo::NodeId>>& racks,
+                                   int target_racks, Rng& rng);
+
+}  // namespace quartz::flow

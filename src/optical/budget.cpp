@@ -1,0 +1,202 @@
+#include "optical/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace quartz::optical {
+namespace {
+
+GainDb fiber_span_loss(const RingBudgetParams& params) {
+  return GainDb{params.hop_length_km * kFiberLossDbPerKm};
+}
+
+bool has_amp(const AmplifierPlan& plan, std::size_t hop) {
+  return std::find(plan.amplifier_hops.begin(), plan.amplifier_hops.end(), hop) !=
+         plan.amplifier_hops.end();
+}
+
+/// Walk a lightpath of `hops` hops starting on the span that leaves
+/// `src`, returning the power at the drop.  Device order per hop:
+/// (re)mux into the fiber, the fiber span (with optional in-line
+/// amplifier), then the demux at the arriving node.
+PowerDbm walk(const RingBudgetParams& params, const AmplifierPlan& plan, std::size_t src,
+              std::size_t hops) {
+  const GainDb mux_loss = params.mux.insertion_loss;
+  const GainDb span_loss = fiber_span_loss(params);
+  PowerDbm p = params.transceiver.max_output;
+  std::size_t node = src;
+  for (std::size_t h = 0; h < hops; ++h) {
+    p = p - mux_loss;   // add mux at the source / express mux at intermediates
+    p = p - span_loss;  // fiber between adjacent racks
+    if (has_amp(plan, node)) {
+      p = p + params.amplifier.gain;
+      p.value = std::min(p.value, params.amplifier.max_output.value);
+    }
+    node = (node + 1) % params.ring_size;
+    p = p - mux_loss;  // demux at the arriving node
+  }
+  return p;
+}
+
+AmplifierPlan uniform_plan(const RingBudgetParams& params, std::size_t spacing) {
+  AmplifierPlan plan;
+  for (std::size_t hop = 0; hop < params.ring_size; hop += spacing) {
+    plan.amplifier_hops.push_back(hop);
+  }
+  return plan;
+}
+
+}  // namespace
+
+double max_muxes_without_amplification(const TransceiverSpec& transceiver,
+                                       const MuxDemuxSpec& mux) {
+  QUARTZ_REQUIRE(mux.insertion_loss.value > 0.0, "mux insertion loss must be positive");
+  return transceiver.power_budget().value / mux.insertion_loss.value;
+}
+
+std::size_t worst_case_hops(std::size_t ring_size) {
+  return ring_size / 2;
+}
+
+std::size_t paper_rule_amplifier_count(std::size_t ring_size) {
+  return (ring_size + 1) / 2;
+}
+
+PowerDbm receive_power(const RingBudgetParams& params, const AmplifierPlan& plan,
+                       std::size_t src, std::size_t hops) {
+  QUARTZ_REQUIRE(params.ring_size >= 2, "ring needs at least two switches");
+  QUARTZ_REQUIRE(src < params.ring_size, "source out of range");
+  QUARTZ_REQUIRE(hops >= 1 && hops <= worst_case_hops(params.ring_size),
+                 "hops outside lightpath range");
+  return walk(params, plan, src, hops);
+}
+
+bool validate_plan(const RingBudgetParams& params, const AmplifierPlan& plan) {
+  if (params.ring_size < 2) return true;
+  const std::size_t max_hops = worst_case_hops(params.ring_size);
+  for (std::size_t src = 0; src < params.ring_size; ++src) {
+    for (std::size_t hops = 1; hops <= max_hops; ++hops) {
+      if (walk(params, plan, src, hops) < params.transceiver.sensitivity) return false;
+    }
+  }
+  return true;
+}
+
+double osnr_db(const RingBudgetParams& params, const AmplifierPlan& plan, std::size_t src,
+               std::size_t hops, const OsnrParams& osnr) {
+  QUARTZ_REQUIRE(params.ring_size >= 2, "ring needs at least two switches");
+  QUARTZ_REQUIRE(src < params.ring_size, "source out of range");
+  QUARTZ_REQUIRE(hops >= 1 && hops <= worst_case_hops(params.ring_size),
+                 "hops outside lightpath range");
+
+  // ASE power injected by one amplifier of linear gain g:
+  // P_ase = NF * h * nu * B * g  (per polarization pair, at the output).
+  constexpr double kPlanck = 6.626e-34;
+  const double hv_b_mw = kPlanck * osnr.carrier_thz * 1e12 *
+                         osnr.reference_bandwidth_ghz * 1e9 * 1e3;  // in mW
+
+  const GainDb mux_loss = params.mux.insertion_loss;
+  const GainDb span_loss = GainDb{params.hop_length_km * kFiberLossDbPerKm};
+
+  double signal_mw = dbm_to_milliwatts(params.transceiver.max_output);
+  double noise_mw = 0.0;
+  auto attenuate = [&](GainDb loss) {
+    const double factor = db_to_linear(GainDb{-loss.value});
+    signal_mw *= factor;
+    noise_mw *= factor;
+  };
+
+  std::size_t node = src;
+  for (std::size_t h = 0; h < hops; ++h) {
+    attenuate(mux_loss);
+    attenuate(span_loss);
+    const bool amp_here = std::find(plan.amplifier_hops.begin(), plan.amplifier_hops.end(),
+                                    node) != plan.amplifier_hops.end();
+    if (amp_here) {
+      // Effective gain is capped by the amplifier's output power, as in
+      // the power-budget walk.
+      const double in_dbm = milliwatts_to_dbm(signal_mw).value;
+      const double out_dbm =
+          std::min(in_dbm + params.amplifier.gain.value, params.amplifier.max_output.value);
+      const double g = std::pow(10.0, (out_dbm - in_dbm) / 10.0);
+      signal_mw *= g;
+      noise_mw = noise_mw * g + db_to_linear(osnr.noise_figure) * hv_b_mw * g;
+    }
+    node = (node + 1) % params.ring_size;
+    attenuate(mux_loss);
+  }
+  if (noise_mw <= 0.0) return 300.0;  // no amplifier crossed: noise-free
+  return 10.0 * std::log10(signal_mw / noise_mw);
+}
+
+double worst_case_osnr_db(const RingBudgetParams& params, const AmplifierPlan& plan,
+                          const OsnrParams& osnr) {
+  double worst = 300.0;
+  const std::size_t max_hops = worst_case_hops(params.ring_size);
+  for (std::size_t src = 0; src < params.ring_size; ++src) {
+    for (std::size_t hops = 1; hops <= max_hops; ++hops) {
+      worst = std::min(worst, osnr_db(params, plan, src, hops, osnr));
+    }
+  }
+  return worst;
+}
+
+AmplifierPlan plan_ring_amplifiers(const RingBudgetParams& params) {
+  QUARTZ_REQUIRE(params.ring_size >= 1, "ring must have at least one switch");
+  AmplifierPlan plan;
+  if (params.ring_size < 2) {
+    plan.feasible = true;
+    return plan;
+  }
+
+  // Short rings whose longest lightpath fits inside the unamplified
+  // power budget need no amplifiers at all (the §6 prototype case).
+  AmplifierPlan empty;
+  if (validate_plan(params, empty)) {
+    plan = std::move(empty);
+    plan.feasible = true;
+  } else {
+    // Try uniform spacings from the loosest the budget might allow down
+    // to an amplifier on every span.
+    const double per_hop_muxes = 2.0;
+    const double budget_muxes = max_muxes_without_amplification(params.transceiver, params.mux);
+    auto first_try = static_cast<std::size_t>(std::max(1.0, budget_muxes / per_hop_muxes));
+    first_try = std::min(first_try, params.ring_size);
+    for (std::size_t spacing = first_try; spacing >= 1; --spacing) {
+      AmplifierPlan candidate = uniform_plan(params, spacing);
+      if (validate_plan(params, candidate)) {
+        plan = std::move(candidate);
+        plan.feasible = true;
+        break;
+      }
+    }
+  }
+  if (!plan.feasible) return plan;
+
+  // Flag receivers that could see more power than their overload point
+  // (short paths right after an amplifier); those drops get fixed
+  // attenuators, which are passive and near-free.
+  const std::size_t max_hops = worst_case_hops(params.ring_size);
+  for (std::size_t src = 0; src < params.ring_size; ++src) {
+    for (std::size_t hops = 1; hops <= max_hops; ++hops) {
+      if (walk(params, plan, src, hops) > params.transceiver.overload) {
+        const std::size_t drop = (src + hops) % params.ring_size;
+        if (std::find(plan.attenuator_nodes.begin(), plan.attenuator_nodes.end(), drop) ==
+            plan.attenuator_nodes.end()) {
+          plan.attenuator_nodes.push_back(drop);
+        }
+      }
+    }
+  }
+  std::sort(plan.attenuator_nodes.begin(), plan.attenuator_nodes.end());
+
+  plan.amplifier_cost_usd =
+      static_cast<double>(plan.amplifier_count()) * params.amplifier.price_usd;
+  plan.attenuator_cost_usd = static_cast<double>(plan.attenuator_nodes.size()) *
+                             AttenuatorSpec::fixed(10).price_usd;
+  return plan;
+}
+
+}  // namespace quartz::optical

@@ -1,0 +1,108 @@
+// Optical link budget and amplifier placement for a Quartz ring (§3.3).
+//
+// An optical hop between adjacent switches does not add switching
+// latency, but each mux/demux traversal costs insertion loss; after
+// enough loss the signal drops below the receiver's sensitivity and a
+// pump-laser (EDFA) amplifier must be inserted.  The paper's worked
+// example: a 4 dBm launch, -15 dBm sensitivity and 6 dB per 80-channel
+// DWDM allow (4 - (-15)) / 6 = 3.17 mux traversals between amplifiers.
+//
+// Two placement policies are provided:
+//  * plan_ring_amplifiers() walks the physics exactly — it inserts an
+//    amplifier wherever the running power would otherwise fall below
+//    sensitivity at the next device, and inserts attenuators wherever a
+//    receiver would be overloaded; and
+//  * paper_rule_amplifier_count() applies the paper's stated rule of
+//    thumb ("one amplifier for every two switches"), which the §4.4
+//    cost model (Table 8) uses so that costs match the paper's
+//    accounting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "optical/components.hpp"
+
+namespace quartz::optical {
+
+/// Parameters describing one physical ring's optical plant.
+struct RingBudgetParams {
+  std::size_t ring_size = 0;            ///< switches on the ring (M)
+  TransceiverSpec transceiver = TransceiverSpec::dwdm_10g();
+  MuxDemuxSpec mux = MuxDemuxSpec::dwdm_80ch();
+  AmplifierSpec amplifier = AmplifierSpec::edfa_80ch();
+  double hop_length_km = 0.1;           ///< fiber span between adjacent racks
+  /// Devices an express (pass-through) channel traverses per hop.  In an
+  /// add/drop AWG node the express path crosses the demux and the mux.
+  double muxes_per_hop = 2.0;
+};
+
+/// Where amplifiers and attenuators land on one ring.
+struct AmplifierPlan {
+  bool feasible = false;
+  /// Hop indices (0..M-1, the fiber span leaving switch i) that carry an
+  /// in-line amplifier.
+  std::vector<std::size_t> amplifier_hops;
+  /// Switches whose local receivers need a fixed attenuator to stay
+  /// below the overload point.
+  std::vector<std::size_t> attenuator_nodes;
+  double amplifier_cost_usd = 0.0;
+  double attenuator_cost_usd = 0.0;
+
+  std::size_t amplifier_count() const { return amplifier_hops.size(); }
+};
+
+/// Mux traversals a lightpath can absorb between amplifiers
+/// (power budget / per-mux insertion loss); 3.17 for the paper's parts.
+double max_muxes_without_amplification(const TransceiverSpec& transceiver,
+                                       const MuxDemuxSpec& mux);
+
+/// Longest lightpath in a ring of M switches, in hops: floor(M/2).
+std::size_t worst_case_hops(std::size_t ring_size);
+
+/// Exact greedy placement; see file comment.
+AmplifierPlan plan_ring_amplifiers(const RingBudgetParams& params);
+
+/// The paper's §3.3 rule of thumb: ceil(M / 2) amplifiers per ring.
+std::size_t paper_rule_amplifier_count(std::size_t ring_size);
+
+/// Power trace of one lightpath: receive power at the drop after `hops`
+/// hops starting from the span leaving `src`, given a plan.  Used by
+/// validation and tests.
+PowerDbm receive_power(const RingBudgetParams& params, const AmplifierPlan& plan,
+                       std::size_t src, std::size_t hops);
+
+/// True when every lightpath of length 1..floor(M/2) from every source
+/// lands within [sensitivity, overload] at its drop (attenuators from
+/// the plan applied).
+bool validate_plan(const RingBudgetParams& params, const AmplifierPlan& plan);
+
+// --- amplified-spontaneous-emission noise (OSNR) ---------------------------
+//
+// Every EDFA the paper's §3.3 placement inserts adds ASE noise; after
+// enough cascaded amplifiers the optical signal-to-noise ratio, not the
+// power budget, limits the ring.  The model tracks signal and noise
+// power through the same loss/gain walk as the power budget: a loss
+// attenuates both, an amplifier multiplies both by its gain and adds
+// P_ase = NF * h*nu * B_ref * G at its output.
+
+struct OsnrParams {
+  GainDb noise_figure{5.0};          ///< EDFA noise figure
+  double reference_bandwidth_ghz = 12.5;  ///< 0.1 nm at 1550 nm
+  double carrier_thz = 193.4;        ///< C-band centre frequency
+};
+
+/// OSNR in dB at the drop of a lightpath of `hops` hops starting on the
+/// span leaving `src`.  Infinite (a large sentinel, >= 200 dB) when the
+/// path crosses no amplifier.
+double osnr_db(const RingBudgetParams& params, const AmplifierPlan& plan, std::size_t src,
+               std::size_t hops, const OsnrParams& osnr = {});
+
+/// Minimum OSNR over every lightpath in the ring.
+double worst_case_osnr_db(const RingBudgetParams& params, const AmplifierPlan& plan,
+                          const OsnrParams& osnr = {});
+
+/// Receiver OSNR floor for 10G on-off keying at ~1e-12 BER.
+inline constexpr double kRequiredOsnrDb10G = 20.0;
+
+}  // namespace quartz::optical

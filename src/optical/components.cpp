@@ -1,0 +1,62 @@
+#include "optical/components.hpp"
+
+namespace quartz::optical {
+
+TransceiverSpec TransceiverSpec::dwdm_10g() {
+  return TransceiverSpec{
+      .model = "10G DWDM SFP+ 40km",
+      .rate = gigabits_per_second(10),
+      .max_output = PowerDbm{4.0},
+      .sensitivity = PowerDbm{-15.0},
+      .overload = PowerDbm{-1.0},
+      .price_usd = 450.0,
+  };
+}
+
+TransceiverSpec TransceiverSpec::cwdm_1g() {
+  return TransceiverSpec{
+      .model = "1.25G CWDM SFP 40km",
+      .rate = gigabits_per_second(1.25),
+      .max_output = PowerDbm{0.0},
+      .sensitivity = PowerDbm{-22.0},
+      .overload = PowerDbm{-6.0},
+      .price_usd = 60.0,
+  };
+}
+
+MuxDemuxSpec MuxDemuxSpec::dwdm_80ch() {
+  return MuxDemuxSpec{
+      .model = "80ch athermal AWG DWDM mux/demux",
+      .channels = 80,
+      .insertion_loss = GainDb{6.0},
+      .price_usd = 6000.0,
+  };
+}
+
+MuxDemuxSpec MuxDemuxSpec::cwdm_4ch() {
+  return MuxDemuxSpec{
+      .model = "4ch CWDM mux/demux",
+      .channels = 4,
+      .insertion_loss = GainDb{1.5},
+      .price_usd = 300.0,
+  };
+}
+
+AmplifierSpec AmplifierSpec::edfa_80ch() {
+  return AmplifierSpec{
+      .model = "80ch EDFA line amplifier",
+      .gain = GainDb{17.0},
+      .max_output = PowerDbm{20.0},
+      .price_usd = 3000.0,
+  };
+}
+
+AttenuatorSpec AttenuatorSpec::fixed(double db) {
+  return AttenuatorSpec{
+      .model = "fixed attenuator " + std::to_string(static_cast<int>(db)) + "dB",
+      .attenuation = GainDb{db},
+      .price_usd = 15.0,
+  };
+}
+
+}  // namespace quartz::optical

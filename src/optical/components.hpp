@@ -1,0 +1,70 @@
+// Datasheet models of the commodity photonic components Quartz uses
+// (§3.3 and the Table 8 cost references): DWDM/CWDM transceivers,
+// add/drop multiplexers, EDFA amplifiers and fixed attenuators.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "optical/db.hpp"
+
+namespace quartz::optical {
+
+/// Optical transceiver (SFP+/QSFP) datasheet parameters.
+struct TransceiverSpec {
+  std::string model;
+  BitsPerSecond rate = 0;
+  PowerDbm max_output{0.0};      ///< launch power
+  PowerDbm sensitivity{0.0};     ///< minimum receivable power
+  PowerDbm overload{0.0};        ///< maximum receivable power before damage
+  double price_usd = 0.0;
+
+  /// Total loss the signal may accumulate end to end without
+  /// amplification: launch power minus receiver sensitivity.
+  GainDb power_budget() const { return max_output - sensitivity; }
+
+  /// The 10 Gb/s 40 km DWDM SFP+ the paper cites ([7]): +4 dBm launch,
+  /// -15 dBm sensitivity.
+  static TransceiverSpec dwdm_10g();
+  /// The 1.25 Gb/s CWDM SFP used in the §6 prototype.
+  static TransceiverSpec cwdm_1g();
+};
+
+/// Add/drop multiplexer (AWG) datasheet parameters.
+struct MuxDemuxSpec {
+  std::string model;
+  std::size_t channels = 0;
+  GainDb insertion_loss{0.0};  ///< per traversal, positive value
+  double price_usd = 0.0;
+
+  /// The 80-channel 2RU athermal AWG the paper cites ([8]): 6 dB
+  /// insertion loss.
+  static MuxDemuxSpec dwdm_80ch();
+  /// 4-channel CWDM mux/demux used in the §6 prototype.
+  static MuxDemuxSpec cwdm_4ch();
+};
+
+/// EDFA amplifier datasheet parameters ([12]).
+struct AmplifierSpec {
+  std::string model;
+  GainDb gain{0.0};
+  PowerDbm max_output{0.0};
+  double price_usd = 0.0;
+
+  static AmplifierSpec edfa_80ch();
+};
+
+/// Fixed attenuator ([10]); passive, effectively free relative to the
+/// rest of the bill of materials.
+struct AttenuatorSpec {
+  std::string model;
+  GainDb attenuation{0.0};  ///< positive value, subtracted from power
+  double price_usd = 0.0;
+
+  static AttenuatorSpec fixed(double db);
+};
+
+/// Standard single-mode fiber loss (G.652, C band).
+inline constexpr double kFiberLossDbPerKm = 0.25;
+
+}  // namespace quartz::optical

@@ -1,0 +1,42 @@
+// Decibel arithmetic for optical power budgets.
+//
+// Optical power levels are expressed in dBm (dB relative to 1 mW) and
+// gains/losses in dB.  Keeping the two as distinct vocabulary types
+// makes it impossible to add two absolute power levels by accident —
+// the classic link-budget bug.
+#pragma once
+
+#include <cmath>
+
+namespace quartz::optical {
+
+/// Absolute optical power in dBm.
+struct PowerDbm {
+  double value = 0.0;
+
+  friend constexpr bool operator==(PowerDbm, PowerDbm) = default;
+  constexpr auto operator<=>(const PowerDbm&) const = default;
+};
+
+/// Relative gain (positive) or loss (negative) in dB.
+struct GainDb {
+  double value = 0.0;
+
+  friend constexpr bool operator==(GainDb, GainDb) = default;
+  constexpr auto operator<=>(const GainDb&) const = default;
+};
+
+constexpr PowerDbm operator+(PowerDbm p, GainDb g) { return {p.value + g.value}; }
+constexpr PowerDbm operator-(PowerDbm p, GainDb g) { return {p.value - g.value}; }
+constexpr GainDb operator+(GainDb a, GainDb b) { return {a.value + b.value}; }
+constexpr GainDb operator-(GainDb a, GainDb b) { return {a.value - b.value}; }
+constexpr GainDb operator*(GainDb g, double k) { return {g.value * k}; }
+constexpr GainDb operator*(double k, GainDb g) { return {g.value * k}; }
+/// Difference between two absolute levels is a relative quantity.
+constexpr GainDb operator-(PowerDbm a, PowerDbm b) { return {a.value - b.value}; }
+
+inline double dbm_to_milliwatts(PowerDbm p) { return std::pow(10.0, p.value / 10.0); }
+inline PowerDbm milliwatts_to_dbm(double mw) { return {10.0 * std::log10(mw)}; }
+inline double db_to_linear(GainDb g) { return std::pow(10.0, g.value / 10.0); }
+
+}  // namespace quartz::optical

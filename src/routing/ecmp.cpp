@@ -1,0 +1,88 @@
+#include "routing/ecmp.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace quartz::routing {
+
+EcmpRouting::EcmpRouting(const topo::Graph& graph, bool allow_host_relay) : graph_(&graph) {
+  const auto n = graph.node_count();
+  dst_index_.assign(n, -1);
+
+  const auto hosts = graph.hosts();
+  tables_.resize(hosts.size());
+
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const topo::NodeId dst = hosts[h];
+    dst_index_[static_cast<std::size_t>(dst)] = static_cast<std::int32_t>(h);
+
+    DestinationTable& table = tables_[h];
+    table.distance.assign(n, -1);
+
+    // BFS from the destination.  A node may relay onward only if it is
+    // a switch, the destination itself, or (when allowed) a host.
+    std::deque<topo::NodeId> queue{dst};
+    table.distance[static_cast<std::size_t>(dst)] = 0;
+    while (!queue.empty()) {
+      const topo::NodeId u = queue.front();
+      queue.pop_front();
+      const bool u_relays = u == dst || graph.is_switch(u) || allow_host_relay;
+      if (!u_relays) continue;
+      for (const auto& adj : graph.neighbors(u)) {
+        auto& d = table.distance[static_cast<std::size_t>(adj.peer)];
+        if (d < 0) {
+          d = table.distance[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(adj.peer);
+        }
+      }
+    }
+
+    // Flatten equal-cost next hops: link (u, v) is a next hop of u when
+    // dist(v) == dist(u) - 1 and v can relay (or is the destination).
+    table.offset.assign(n + 1, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      table.offset[u] = static_cast<std::int32_t>(table.links.size());
+      const int du = table.distance[u];
+      if (du <= 0) continue;
+      for (const auto& adj : graph.neighbors(static_cast<topo::NodeId>(u))) {
+        const int dv = table.distance[static_cast<std::size_t>(adj.peer)];
+        const bool v_relays =
+            adj.peer == dst || graph.is_switch(adj.peer) || allow_host_relay;
+        if (dv == du - 1 && v_relays) table.links.push_back(adj.link);
+      }
+    }
+    table.offset[n] = static_cast<std::int32_t>(table.links.size());
+  }
+}
+
+std::span<const topo::LinkId> EcmpRouting::next_links(topo::NodeId node, topo::NodeId dst) const {
+  QUARTZ_REQUIRE(dst >= 0 && dst < static_cast<topo::NodeId>(dst_index_.size()),
+                 "destination out of range");
+  const std::int32_t h = dst_index_[static_cast<std::size_t>(dst)];
+  QUARTZ_REQUIRE(h >= 0, "destination is not a host");
+  const DestinationTable& table = tables_[static_cast<std::size_t>(h)];
+  const auto lo = static_cast<std::size_t>(table.offset[static_cast<std::size_t>(node)]);
+  const auto hi = static_cast<std::size_t>(table.offset[static_cast<std::size_t>(node) + 1]);
+  return {table.links.data() + lo, hi - lo};
+}
+
+int EcmpRouting::distance(topo::NodeId node, topo::NodeId dst) const {
+  const std::int32_t h = dst_index_[static_cast<std::size_t>(dst)];
+  QUARTZ_REQUIRE(h >= 0, "destination is not a host");
+  return tables_[static_cast<std::size_t>(h)].distance[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t mix_hash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t hash_select(std::uint64_t flow_hash, std::uint64_t salt, std::size_t n) {
+  QUARTZ_REQUIRE(n > 0, "cannot select from an empty set");
+  return static_cast<std::size_t>(mix_hash(flow_hash ^ mix_hash(salt)) % n);
+}
+
+}  // namespace quartz::routing

@@ -1,0 +1,68 @@
+// Shortest-path routing state (§3.4).
+//
+// EcmpRouting precomputes, for every destination host, the DAG of
+// equal-cost shortest-path next hops from every node.  In a full mesh
+// there is a single shortest path between any switch pair, so ECMP
+// always picks the direct one-hop lightpath — exactly the behaviour the
+// paper advocates for Quartz.  Hosts relay only when the topology is
+// server-centric (BCube); switch-centric fabrics never route through a
+// host.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace quartz::routing {
+
+/// Per-packet routing identity and mutable in-flight routing state.
+struct FlowKey {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  /// Stable per-flow value; switches hash it to pick among equal-cost
+  /// links so one flow follows one path.
+  std::uint64_t flow_hash = 0;
+  /// VLB detour intermediate currently being visited (§3.4).
+  topo::NodeId via = topo::kInvalidNode;
+  /// VLB applies at most one detour per packet.
+  bool vlb_done = false;
+};
+
+class EcmpRouting {
+ public:
+  /// Builds next-hop tables toward every host in `graph`.
+  explicit EcmpRouting(const topo::Graph& graph, bool allow_host_relay = false);
+
+  /// Equal-cost next links from `node` toward host `dst`; empty when
+  /// unreachable or node == dst.
+  std::span<const topo::LinkId> next_links(topo::NodeId node, topo::NodeId dst) const;
+
+  /// Hop distance from `node` to host `dst` (-1 when unreachable).
+  int distance(topo::NodeId node, topo::NodeId dst) const;
+
+  const topo::Graph& graph() const { return *graph_; }
+
+ private:
+  struct DestinationTable {
+    std::vector<int> distance;
+    /// Flattened adjacency: next-hop links of node n are
+    /// links[offset[n] .. offset[n+1]).
+    std::vector<std::int32_t> offset;
+    std::vector<topo::LinkId> links;
+  };
+
+  const topo::Graph* graph_;
+  std::vector<std::int32_t> dst_index_;  ///< node id -> dense host index (-1)
+  std::vector<DestinationTable> tables_;
+};
+
+/// Deterministic 64-bit mix used for flow-hash based path selection.
+std::uint64_t mix_hash(std::uint64_t x);
+
+/// Pick an index in [0, n) from a flow hash and a salt (e.g. node id),
+/// so the same flow picks consistently at each switch.
+std::size_t hash_select(std::uint64_t flow_hash, std::uint64_t salt, std::size_t n);
+
+}  // namespace quartz::routing

@@ -1,0 +1,102 @@
+#include "routing/kshortest.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace quartz::routing {
+namespace {
+
+using Path = std::vector<topo::NodeId>;
+
+/// BFS shortest path avoiding banned nodes and banned directed edges.
+/// Returns an empty path when unreachable.
+Path bfs_path(const topo::Graph& graph, topo::NodeId src, topo::NodeId dst,
+              const std::vector<bool>& banned_node,
+              const std::set<std::pair<topo::NodeId, topo::NodeId>>& banned_edge,
+              bool allow_host_relay) {
+  std::vector<topo::NodeId> parent(graph.node_count(), topo::kInvalidNode);
+  std::vector<bool> seen(graph.node_count(), false);
+  std::deque<topo::NodeId> queue{src};
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    const bool relays = u == src || graph.is_switch(u) || allow_host_relay;
+    if (!relays) continue;
+    for (const auto& adj : graph.neighbors(u)) {
+      const topo::NodeId v = adj.peer;
+      if (seen[static_cast<std::size_t>(v)] || banned_node[static_cast<std::size_t>(v)]) continue;
+      if (banned_edge.contains({u, v})) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push_back(v);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(dst)]) return {};
+  Path path;
+  for (topo::NodeId n = dst; n != topo::kInvalidNode; n = parent[static_cast<std::size_t>(n)]) {
+    path.push_back(n);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const topo::Graph& graph, topo::NodeId src, topo::NodeId dst,
+                                   int k, bool allow_host_relay) {
+  QUARTZ_REQUIRE(k >= 1, "k must be positive");
+  QUARTZ_REQUIRE(src != dst, "endpoints must differ");
+
+  std::vector<Path> accepted;
+  std::vector<bool> no_banned_nodes(graph.node_count(), false);
+  const Path first =
+      bfs_path(graph, src, dst, no_banned_nodes, {}, allow_host_relay);
+  if (first.empty()) return accepted;
+  accepted.push_back(first);
+
+  // Candidate pool ordered by (length, lexicographic) for determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(accepted.size()) < k) {
+    const Path& last = accepted.back();
+    // Branch at every spur node of the previous path.
+    for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+      const topo::NodeId spur = last[i];
+      const Path root(last.begin(), last.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+
+      std::set<std::pair<topo::NodeId, topo::NodeId>> banned_edge;
+      for (const Path& p : accepted) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(i) + 1)) {
+          banned_edge.insert({p[i], p[i + 1]});
+        }
+      }
+      std::vector<bool> banned_node(graph.node_count(), false);
+      for (std::size_t j = 0; j < i; ++j) banned_node[static_cast<std::size_t>(last[j])] = true;
+
+      const Path spur_path =
+          bfs_path(graph, spur, dst, banned_node, banned_edge, allow_host_relay);
+      if (spur_path.empty()) continue;
+
+      Path total(root.begin(), root.end() - 1);
+      total.insert(total.end(), spur_path.begin(), spur_path.end());
+      if (std::find(accepted.begin(), accepted.end(), total) == accepted.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    accepted.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return accepted;
+}
+
+}  // namespace quartz::routing

@@ -1,0 +1,21 @@
+// Yen's k-shortest loopless paths.
+//
+// Jellyfish-style random fabrics route over k-shortest paths rather
+// than pure ECMP (§2.1.5, §5); this module provides the path
+// enumeration used for their path-diversity analysis and for tests.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace quartz::routing {
+
+/// Up to `k` loopless shortest paths (as node sequences, src..dst
+/// inclusive) in increasing hop-count order.  Hosts other than the
+/// endpoints never relay unless `allow_host_relay`.
+std::vector<std::vector<topo::NodeId>> k_shortest_paths(const topo::Graph& graph,
+                                                        topo::NodeId src, topo::NodeId dst,
+                                                        int k, bool allow_host_relay = false);
+
+}  // namespace quartz::routing

@@ -1,0 +1,282 @@
+#include "routing/oracle.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace quartz::routing {
+namespace {
+
+std::uint64_t pair_key(topo::NodeId a, topo::NodeId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+/// Uniform [0,1) value derived from a flow hash (independent of the
+/// per-switch path-selection stream).
+double flow_uniform(std::uint64_t flow_hash) {
+  const std::uint64_t salted = mix_hash(flow_hash ^ 0x564C4221ull);  // "VLB!"
+  return static_cast<double>(salted >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  const auto links = routing_->next_links(node, key.dst);
+  QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
+  return links[hash_select(key.flow_hash, static_cast<std::uint64_t>(node), links.size())];
+}
+
+MeshAwareOracle::MeshAwareOracle(const EcmpRouting& routing,
+                                 const std::vector<std::vector<topo::NodeId>>& rings)
+    : routing_(&routing), rings_(rings) {
+  const topo::Graph& graph = routing.graph();
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    for (topo::NodeId sw : rings_[r]) ring_of_[sw] = static_cast<int>(r);
+  }
+  for (const auto& link : graph.links()) {
+    const auto a = ring_of_.find(link.a);
+    const auto b = ring_of_.find(link.b);
+    if (a != ring_of_.end() && b != ring_of_.end() && a->second == b->second) {
+      // First lightpath between the pair wins; parallel channels map to
+      // the same logical mesh edge for routing purposes.
+      mesh_links_.emplace(pair_key(link.a, link.b), link.id);
+    }
+  }
+}
+
+topo::LinkId MeshAwareOracle::mesh_link(topo::NodeId a, topo::NodeId b) const {
+  const auto it = mesh_links_.find(pair_key(a, b));
+  return it == mesh_links_.end() ? topo::kInvalidLink : it->second;
+}
+
+int MeshAwareOracle::ring_of(topo::NodeId node) const {
+  const auto it = ring_of_.find(node);
+  return it == ring_of_.end() ? -1 : it->second;
+}
+
+topo::LinkId MeshAwareOracle::ecmp_choice(topo::NodeId node, const FlowKey& key) const {
+  const auto links = routing_->next_links(node, key.dst);
+  QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
+  return links[hash_select(key.flow_hash, static_cast<std::uint64_t>(node), links.size())];
+}
+
+topo::LinkId MeshAwareOracle::follow_via(topo::NodeId node, FlowKey& key) const {
+  if (key.via == topo::kInvalidNode) return topo::kInvalidLink;
+  if (node == key.via) {
+    key.via = topo::kInvalidNode;
+    return topo::kInvalidLink;  // arrived; caller resumes its policy
+  }
+  const topo::LinkId direct = mesh_link(node, key.via);
+  QUARTZ_CHECK(direct != topo::kInvalidLink, "detour intermediate is not a ring peer");
+  return direct;
+}
+
+VlbOracle::VlbOracle(const EcmpRouting& routing,
+                     const std::vector<std::vector<topo::NodeId>>& rings, double fraction)
+    : MeshAwareOracle(routing, rings), fraction_(fraction) {
+  QUARTZ_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "VLB fraction must be in [0,1]");
+}
+
+topo::LinkId VlbOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  // Mid-detour: head for the chosen intermediate over the direct
+  // lightpath, then resume shortest paths from there.
+  if (const topo::LinkId via_link = follow_via(node, key); via_link != topo::kInvalidLink) {
+    return via_link;
+  }
+
+  const topo::LinkId chosen = ecmp_choice(node, key);
+  if (!key.vlb_done) {
+    const int r = ring_of(node);
+    if (r >= 0) {
+      const topo::NodeId next_hop = routing().graph().link(chosen).other(node);
+      const bool in_mesh_hop = ring_of(next_hop) == r;
+      if (in_mesh_hop) {
+        // The flow's one-time VLB decision happens at its mesh ingress.
+        key.vlb_done = true;
+        const auto& members = ring(r);
+        if (members.size() > 2 && flow_uniform(key.flow_hash) < fraction_) {
+          // Pick the intermediate among ring members other than the
+          // ingress and the direct exit.
+          std::vector<topo::NodeId> candidates;
+          candidates.reserve(members.size());
+          for (topo::NodeId w : members) {
+            if (w != node && w != next_hop) candidates.push_back(w);
+          }
+          const topo::NodeId via =
+              candidates[hash_select(key.flow_hash, 0x564C4232ull, candidates.size())];
+          const topo::LinkId detour = mesh_link(node, via);
+          QUARTZ_CHECK(detour != topo::kInvalidLink, "ring is not fully meshed");
+          key.via = via;
+          return detour;
+        }
+      }
+    }
+  }
+  return chosen;
+}
+
+PinnedDetourOracle::PinnedDetourOracle(const EcmpRouting& routing,
+                                       const std::vector<std::vector<topo::NodeId>>& rings)
+    : MeshAwareOracle(routing, rings) {}
+
+void PinnedDetourOracle::pin(topo::NodeId src_host, topo::NodeId dst_host,
+                             topo::NodeId via_switch) {
+  QUARTZ_REQUIRE(ring_of(via_switch) >= 0, "detour intermediate must be a ring switch");
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src_host) << 32) | static_cast<std::uint32_t>(dst_host);
+  pinned_[key] = via_switch;
+}
+
+topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  if (const topo::LinkId via_link = follow_via(node, key); via_link != topo::kInvalidLink) {
+    return via_link;
+  }
+  if (!key.vlb_done) {
+    const std::uint64_t pin_key =
+        (static_cast<std::uint64_t>(key.src) << 32) | static_cast<std::uint32_t>(key.dst);
+    const auto it = pinned_.find(pin_key);
+    if (it != pinned_.end()) {
+      const topo::NodeId via = it->second;
+      // Arm the detour once the packet reaches a switch in the same
+      // ring as the intermediate (its ToR).
+      if (node != via && ring_of(node) >= 0 && ring_of(node) == ring_of(via) &&
+          mesh_link(node, via) != topo::kInvalidLink) {
+        key.vlb_done = true;
+        key.via = via;
+        return mesh_link(node, via);
+      }
+      if (node == via) key.vlb_done = true;
+    }
+  }
+  return ecmp_choice(node, key);
+}
+
+AdaptiveVlbOracle::AdaptiveVlbOracle(const EcmpRouting& routing,
+                                     const std::vector<std::vector<topo::NodeId>>& rings,
+                                     TimePs detour_threshold)
+    : MeshAwareOracle(routing, rings), detour_threshold_(detour_threshold) {
+  QUARTZ_REQUIRE(detour_threshold >= 0, "threshold cannot be negative");
+}
+
+TimePs AdaptiveVlbOracle::queue_delay_of(topo::NodeId from, topo::LinkId link) const {
+  const topo::Link& l = routing().graph().link(link);
+  return probe_->queue_delay(link, from == l.a ? 0 : 1);
+}
+
+topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  if (const topo::LinkId via_link = follow_via(node, key); via_link != topo::kInvalidLink) {
+    return via_link;
+  }
+
+  const topo::LinkId chosen = ecmp_choice(node, key);
+  if (probe_ == nullptr) return chosen;
+
+  const int r = ring_of(node);
+  if (r < 0) return chosen;
+  const topo::NodeId next_hop = routing().graph().link(chosen).other(node);
+  if (ring_of(next_hop) != r) return chosen;
+
+  // Flowlet stickiness: within the timeout, repeat the previous choice.
+  const bool flowlets_on = flowlet_timeout_ > 0 && clock_ != nullptr;
+  FlowletState* state = nullptr;
+  if (flowlets_on) {
+    const std::uint64_t flowlet_key =
+        mix_hash(key.flow_hash ^ (static_cast<std::uint64_t>(node) << 40));
+    state = &flowlets_[flowlet_key];
+    const TimePs now = clock_->sim_now();
+    const bool fresh = state->last_seen != 0 && now - state->last_seen <= flowlet_timeout_;
+    state->last_seen = now;
+    if (fresh) {
+      // Stick with the previous choice while it stays healthy; a sticky
+      // path whose queue has blown past the threshold forces a
+      // re-decision (accepting the rare reorder) rather than pinning
+      // the flow to a saturating link.
+      if (state->via == topo::kInvalidNode) {
+        if (queue_delay_of(node, chosen) <= detour_threshold_) return chosen;
+      } else if (state->via != next_hop) {
+        const topo::LinkId sticky = mesh_link(node, state->via);
+        if (sticky != topo::kInvalidLink &&
+            queue_delay_of(node, sticky) <= detour_threshold_) {
+          key.via = state->via;
+          return sticky;
+        }
+      }
+    }
+  }
+
+  auto decide_direct = [&]() {
+    if (state != nullptr) state->via = topo::kInvalidNode;
+    return chosen;
+  };
+
+  // Direct lightpath healthy: take it.
+  if (queue_delay_of(node, chosen) <= detour_threshold_) return decide_direct();
+
+  // Congested: detour through the least-loaded intermediate whose
+  // first-hop queue beats the direct one.
+  topo::LinkId best_link = chosen;
+  TimePs best_delay = queue_delay_of(node, chosen);
+  topo::NodeId best_via = topo::kInvalidNode;
+  for (topo::NodeId w : ring(r)) {
+    if (w == node || w == next_hop) continue;
+    const topo::LinkId first = mesh_link(node, w);
+    if (first == topo::kInvalidLink) continue;
+    const TimePs delay = queue_delay_of(node, first);
+    if (delay < best_delay) {
+      best_delay = delay;
+      best_link = first;
+      best_via = w;
+    }
+  }
+  if (best_via != topo::kInvalidNode) {
+    if (state != nullptr) state->via = best_via;
+    key.via = best_via;
+    return best_link;
+  }
+  return decide_direct();
+}
+
+SpanningTreeOracle::SpanningTreeOracle(const topo::Graph& graph, topo::NodeId root)
+    : graph_(&graph),
+      parent_(graph.node_count(), topo::kInvalidNode),
+      parent_link_(graph.node_count(), topo::kInvalidLink),
+      depth_(graph.node_count(), -1) {
+  depth_[static_cast<std::size_t>(root)] = 0;
+  std::deque<topo::NodeId> queue{root};
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& adj : graph.neighbors(u)) {
+      if (depth_[static_cast<std::size_t>(adj.peer)] >= 0) continue;
+      depth_[static_cast<std::size_t>(adj.peer)] = depth_[static_cast<std::size_t>(u)] + 1;
+      parent_[static_cast<std::size_t>(adj.peer)] = u;
+      parent_link_[static_cast<std::size_t>(adj.peer)] = adj.link;
+      queue.push_back(adj.peer);
+    }
+  }
+  for (const auto& node : graph.nodes()) {
+    QUARTZ_CHECK(depth_[static_cast<std::size_t>(node.id)] >= 0,
+                 "spanning tree root does not reach every node");
+  }
+}
+
+topo::LinkId SpanningTreeOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  QUARTZ_REQUIRE(node != key.dst, "packet already at destination");
+  // Descend when `node` is an ancestor of dst on the tree; otherwise
+  // climb toward the root.
+  topo::NodeId a = key.dst;
+  while (depth_[static_cast<std::size_t>(a)] > depth_[static_cast<std::size_t>(node)] + 1) {
+    a = parent_[static_cast<std::size_t>(a)];
+  }
+  if (depth_[static_cast<std::size_t>(a)] == depth_[static_cast<std::size_t>(node)] + 1 &&
+      parent_[static_cast<std::size_t>(a)] == node) {
+    return parent_link_[static_cast<std::size_t>(a)];
+  }
+  QUARTZ_CHECK(parent_link_[static_cast<std::size_t>(node)] != topo::kInvalidLink,
+               "root has no parent but is not an ancestor of dst");
+  return parent_link_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace quartz::routing

@@ -1,0 +1,184 @@
+// Forwarding policies (§3.4).
+//
+// A RoutingOracle answers "which link does this packet take next?" at
+// every node.  Three policies cover the paper's evaluation:
+//  * EcmpOracle — hash the flow over the equal-cost shortest-path set
+//    (in a Quartz mesh this is always the single direct lightpath);
+//  * VlbOracle — Valiant load balancing over a Quartz mesh: with
+//    probability `fraction`, detour a flow through one random
+//    intermediate ring switch (a two-hop path) before resuming ECMP,
+//    spreading hotspot rack-to-rack traffic over n-2 extra paths; and
+//  * SpanningTreeOracle — classic L2 Ethernet forwarding along one
+//    spanning tree, the naive baseline §3.4 argues against.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/ecmp.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::routing {
+
+class RoutingOracle {
+ public:
+  virtual ~RoutingOracle() = default;
+
+  /// Next link for a packet currently at `node`.  `key` carries the
+  /// packet's flow identity and mutable VLB state.
+  virtual topo::LinkId next_link(topo::NodeId node, FlowKey& key) const = 0;
+};
+
+class EcmpOracle : public RoutingOracle {
+ public:
+  explicit EcmpOracle(const EcmpRouting& routing) : routing_(&routing) {}
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+ private:
+  const EcmpRouting* routing_;
+};
+
+/// Shared machinery for oracles that know the Quartz ring structure:
+/// ring membership and the direct lightpath between ring peers.
+class MeshAwareOracle : public RoutingOracle {
+ public:
+  MeshAwareOracle(const EcmpRouting& routing,
+                  const std::vector<std::vector<topo::NodeId>>& rings);
+
+ protected:
+  /// Mesh link between two members of the same ring; kInvalidLink if none.
+  topo::LinkId mesh_link(topo::NodeId a, topo::NodeId b) const;
+  /// Ring index containing the switch, or -1.
+  int ring_of(topo::NodeId node) const;
+  const std::vector<topo::NodeId>& ring(int index) const {
+    return rings_[static_cast<std::size_t>(index)];
+  }
+  const EcmpRouting& routing() const { return *routing_; }
+  /// ECMP link choice for this flow at this node.
+  topo::LinkId ecmp_choice(topo::NodeId node, const FlowKey& key) const;
+  /// Follow an in-progress detour; returns kInvalidLink when the packet
+  /// is not detouring (caller falls through to its own policy).
+  topo::LinkId follow_via(topo::NodeId node, FlowKey& key) const;
+
+ private:
+  const EcmpRouting* routing_;
+  std::vector<std::vector<topo::NodeId>> rings_;
+  std::unordered_map<topo::NodeId, int> ring_of_;
+  std::unordered_map<std::uint64_t, topo::LinkId> mesh_links_;
+};
+
+class VlbOracle : public MeshAwareOracle {
+ public:
+  /// `rings` lists the switch membership of each Quartz ring (from
+  /// BuiltTopology::quartz_rings); `fraction` is the paper's k — the
+  /// share of traffic sent over two-hop detours.
+  VlbOracle(const EcmpRouting& routing, const std::vector<std::vector<topo::NodeId>>& rings,
+            double fraction);
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+/// SPAIN-style explicit path selection (§6): pinned host pairs always
+/// take a two-hop detour through a chosen ring intermediate (the
+/// prototype exposes such paths as per-VLAN virtual interfaces);
+/// everything else follows plain ECMP.
+class PinnedDetourOracle : public MeshAwareOracle {
+ public:
+  PinnedDetourOracle(const EcmpRouting& routing,
+                     const std::vector<std::vector<topo::NodeId>>& rings);
+
+  /// All packets from src_host to dst_host detour via `via_switch`.
+  void pin(topo::NodeId src_host, topo::NodeId dst_host, topo::NodeId via_switch);
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+ private:
+  std::unordered_map<std::uint64_t, topo::NodeId> pinned_;
+};
+
+/// Probe of a link direction's instantaneous output-queue delay; the
+/// packet simulator implements this over its line state so adaptive
+/// policies can react to congestion.
+class LoadProbe {
+ public:
+  virtual ~LoadProbe() = default;
+  virtual TimePs queue_delay(topo::LinkId link, int direction) const = 0;
+};
+
+/// §3.4's "k can be adaptive depending on the traffic characteristics":
+/// a packet detours exactly when its direct lightpath's output queue
+/// exceeds a threshold, and then through the least-loaded intermediate.
+///
+/// By default decisions are per packet, which can reorder a flow under
+/// heavy detouring.  Enabling flowlet mode (a positive
+/// `flowlet_timeout`) pins a flow to its last choice while that choice
+/// stays healthy and the flow stays active; re-decisions happen only at
+/// flowlet boundaries (idle gaps longer than the timeout) or when the
+/// sticky path's queue itself blows past the threshold — the
+/// CONGA-style compromise that avoids pinning flows to a saturating
+/// link.  Flowlet state is keyed on (ingress switch, flow hash).
+class AdaptiveVlbOracle : public MeshAwareOracle {
+ public:
+  AdaptiveVlbOracle(const EcmpRouting& routing,
+                    const std::vector<std::vector<topo::NodeId>>& rings,
+                    TimePs detour_threshold = microseconds(1));
+
+  /// Must be called with the simulator before traffic starts; without a
+  /// probe the oracle degenerates to pure ECMP.
+  void attach_probe(const LoadProbe* probe) { probe_ = probe; }
+
+  /// Also needed for flowlet mode (the clock source).
+  void attach_clock(const class Clock* clock) { clock_ = clock; }
+
+  /// Positive timeout enables flowlet stickiness.
+  void set_flowlet_timeout(TimePs timeout) { flowlet_timeout_ = timeout; }
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+ private:
+  struct FlowletState {
+    topo::NodeId via = topo::kInvalidNode;  ///< chosen intermediate (invalid = direct)
+    TimePs last_seen = 0;
+  };
+
+  TimePs queue_delay_of(topo::NodeId from, topo::LinkId link) const;
+
+  const LoadProbe* probe_ = nullptr;
+  const Clock* clock_ = nullptr;
+  TimePs detour_threshold_;
+  TimePs flowlet_timeout_ = 0;
+  /// Per-(ingress, flow) flowlet memory; mutable because next_link is
+  /// logically const to callers (it does not change routing policy).
+  mutable std::unordered_map<std::uint64_t, FlowletState> flowlets_;
+};
+
+/// Wall-clock source for flowlet expiry (the simulator implements it).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePs sim_now() const = 0;
+};
+
+class SpanningTreeOracle : public RoutingOracle {
+ public:
+  /// Builds a BFS spanning tree rooted at `root` (typically an
+  /// aggregation or core switch).
+  SpanningTreeOracle(const topo::Graph& graph, topo::NodeId root);
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+ private:
+  const topo::Graph* graph_;
+  std::vector<topo::NodeId> parent_;
+  std::vector<topo::LinkId> parent_link_;
+  std::vector<int> depth_;
+};
+
+}  // namespace quartz::routing

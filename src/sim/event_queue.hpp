@@ -1,0 +1,68 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so two events at the
+// same picosecond run in the order they were scheduled and every
+// simulation is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace quartz::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(TimePs when, Action action) {
+    QUARTZ_REQUIRE(when >= now_, "cannot schedule into the past");
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  TimePs now() const { return now_; }
+  TimePs next_time() const {
+    QUARTZ_REQUIRE(!heap_.empty(), "queue is empty");
+    return heap_.top().time;
+  }
+
+  /// Pop and run the earliest event; advances now().
+  void run_one() {
+    QUARTZ_REQUIRE(!heap_.empty(), "queue is empty");
+    // Move the action out before popping so the callback may schedule.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    event.action();
+  }
+
+  /// Run every event with time <= end; now() lands on `end`.
+  void run_until(TimePs end) {
+    while (!heap_.empty() && heap_.top().time <= end) run_one();
+    if (end > now_) now_ = end;
+  }
+
+ private:
+  struct Event {
+    TimePs time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace quartz::sim

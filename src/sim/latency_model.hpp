@@ -1,0 +1,30 @@
+// Table 2's latency component inventory: where end-to-end latency comes
+// from and what standard vs state-of-the-art hardware pays for each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace quartz::sim {
+
+struct LatencyComponent {
+  std::string component;
+  TimePs standard_low = 0;
+  TimePs standard_high = 0;
+  TimePs state_of_art_low = 0;
+  TimePs state_of_art_high = 0;
+};
+
+/// The paper's Table 2 (OS stack, NIC, switch, congestion).
+inline std::vector<LatencyComponent> table2_components() {
+  return {
+      {"OS network stack", microseconds(15), microseconds(15), microseconds(1), microseconds(4)},
+      {"NIC", microseconds(2.5), microseconds(32), nanoseconds(500), nanoseconds(500)},
+      {"Switch", microseconds(6), microseconds(6), nanoseconds(500), nanoseconds(500)},
+      {"Congestion", microseconds(50), microseconds(50), microseconds(50), microseconds(50)},
+  };
+}
+
+}  // namespace quartz::sim

@@ -1,0 +1,135 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace quartz::sim {
+
+Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& oracle,
+                 SimConfig config)
+    : topo_(&topo),
+      oracle_(&oracle),
+      config_(config),
+      line_busy_(topo.graph.link_count() * 2, 0),
+      line_active_(topo.graph.link_count() * 2, 0),
+      line_bits_(topo.graph.link_count() * 2, 0) {}
+
+int Network::new_task(DeliveryHandler handler) {
+  handlers_.push_back(std::move(handler));
+  task_drops_.push_back(0);
+  return static_cast<int>(handlers_.size() - 1);
+}
+
+std::uint64_t Network::task_drops(int task) const {
+  QUARTZ_REQUIRE(task >= 0 && task < static_cast<int>(task_drops_.size()), "unknown task");
+  return task_drops_[static_cast<std::size_t>(task)];
+}
+
+Bits Network::bits_sent(topo::LinkId link, int direction) const {
+  QUARTZ_REQUIRE(direction == 0 || direction == 1, "direction is 0 or 1");
+  return line_bits_[static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction)];
+}
+
+double Network::utilization(topo::LinkId link, int direction) const {
+  QUARTZ_REQUIRE(direction == 0 || direction == 1, "direction is 0 or 1");
+  if (now() == 0) return 0.0;
+  const TimePs active =
+      line_active_[static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction)];
+  return static_cast<double>(std::min(active, now())) / static_cast<double>(now());
+}
+
+TimePs Network::queue_delay(topo::LinkId link, int direction) const {
+  QUARTZ_REQUIRE(direction == 0 || direction == 1, "direction is 0 or 1");
+  const TimePs busy =
+      line_busy_[static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction)];
+  return std::max<TimePs>(0, busy - now());
+}
+
+void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
+                   std::uint64_t flow_id) {
+  QUARTZ_REQUIRE(topo_->graph.is_host(src) && topo_->graph.is_host(dst),
+                 "packets travel host to host");
+  QUARTZ_REQUIRE(src != dst, "src and dst must differ");
+  QUARTZ_REQUIRE(size > 0, "empty packet");
+
+  Packet packet;
+  packet.id = next_packet_id_++;
+  packet.key.src = src;
+  packet.key.dst = dst;
+  packet.key.flow_hash = routing::mix_hash(flow_id);
+  packet.size = size;
+  packet.created = now();
+  packet.task = task;
+  ++packets_sent_;
+
+  const TimePs ready = now() + config_.host_send_overhead;
+  events_.schedule(ready, [this, packet, src, ready]() mutable {
+    transmit(packet, src, ready, /*min_finish=*/0);
+  });
+}
+
+void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit) {
+  const topo::Graph& graph = topo_->graph;
+  if (arrival_hook_) arrival_hook_(packet, node, first_bit);
+
+  if (node == packet.key.dst) {
+    const TimePs delivered = last_bit + config_.host_recv_overhead;
+    events_.schedule(delivered, [this, packet, delivered]() {
+      ++packets_delivered_;
+      const auto& handler = handlers_[static_cast<std::size_t>(packet.task)];
+      if (handler) handler(packet, delivered - packet.created);
+    });
+    return;
+  }
+
+  TimePs decision;
+  TimePs min_finish;
+  if (graph.is_switch(node)) {
+    const topo::SwitchModel& model = graph.model_of(node);
+    decision = (model.cut_through ? first_bit : last_bit) + model.latency;
+    // A cut-through switch cannot finish sending before it has finished
+    // receiving (matters when egress is faster than ingress).
+    min_finish = last_bit + model.latency;
+    ++packet.hops;
+  } else {
+    // Server relay (server-centric fabrics): full receive + OS stack.
+    decision = last_bit + config_.server_forward_latency;
+    min_finish = decision;
+  }
+  events_.schedule(decision, [this, packet, node, decision, min_finish]() mutable {
+    transmit(packet, node, decision, min_finish);
+  });
+}
+
+void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs min_finish) {
+  const topo::Graph& graph = topo_->graph;
+  const topo::LinkId link_id = oracle_->next_link(node, packet.key);
+  const topo::Link& link = graph.link(link_id);
+  QUARTZ_CHECK(link.a == node || link.b == node, "oracle returned a detached link");
+
+  const std::size_t line =
+      static_cast<std::size_t>(link_id) * 2 + (node == link.a ? 0 : 1);
+  TimePs& busy_until = line_busy_[line];
+
+  const TimePs start = std::max(ready, busy_until);
+  packet.queued += start - ready;
+  if (start - ready > config_.max_queue_delay) {
+    ++packets_dropped_;
+    ++task_drops_[static_cast<std::size_t>(packet.task)];
+    return;
+  }
+  const TimePs finish = std::max(start + transmission_time(packet.size, link.rate), min_finish);
+  busy_until = finish;
+  line_active_[line] += finish - start;
+  line_bits_[line] += packet.size;
+
+  const topo::NodeId peer = link.other(node);
+  const TimePs first_bit = start + link.propagation;
+  const TimePs last_bit = finish + link.propagation;
+  events_.schedule(first_bit, [this, packet, peer, first_bit, last_bit]() mutable {
+    arrive(std::move(packet), peer, first_bit, last_bit);
+  });
+}
+
+}  // namespace quartz::sim

@@ -1,0 +1,122 @@
+// Packet-level discrete-event network simulator (§7).
+//
+// The simulator models the timing effects the paper's evaluation turns
+// on:
+//  * cut-through switches make their forwarding decision a fixed
+//    latency after the packet HEADER arrives; store-and-forward
+//    switches only after the LAST BIT arrives (Table 16's 380 ns ULL
+//    vs 6 µs CCS difference);
+//  * every link direction is a serialising resource — packets queue in
+//    the output port and drain at line rate, which is where congestion
+//    and cross-traffic delay arise; and
+//  * hosts relay packets only in server-centric fabrics, paying an OS
+//    stack forwarding cost.
+//
+// A cut-through switch also cannot finish transmitting a frame before
+// it has fully received it, which matters when a slow ingress feeds a
+// fast egress.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/oracle.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::sim {
+
+struct SimConfig {
+  /// Fixed host-side overheads added on send and on final delivery
+  /// (OS stack + NIC, Table 2).  Zero by default: the paper's
+  /// simulations isolate fabric latency.
+  TimePs host_send_overhead = 0;
+  TimePs host_recv_overhead = 0;
+  /// OS-stack cost of relaying a packet through a server (BCube).
+  TimePs server_forward_latency = microseconds(15);
+  /// Output queues drop packets that would wait longer than this
+  /// (drop-tail expressed in time; generous by default so saturation
+  /// shows up as unbounded latency growth, as in Fig. 20).
+  TimePs max_queue_delay = milliseconds(10);
+};
+
+/// Called on final delivery with the packet and its end-to-end latency.
+using DeliveryHandler = std::function<void(const Packet&, TimePs latency)>;
+
+/// Called on every node arrival (hosts and switches) with the packet,
+/// the node reached, and the first-bit arrival time.  For tracing and
+/// route-conformance checks; adds a branch per hop, nothing more.
+using ArrivalHook = std::function<void(const Packet&, topo::NodeId node, TimePs first_bit)>;
+
+class Network : public routing::LoadProbe, public routing::Clock {
+ public:
+  Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& oracle,
+          SimConfig config = {});
+
+  TimePs now() const { return events_.now(); }
+  void at(TimePs when, EventQueue::Action action) { events_.schedule(when, std::move(action)); }
+  void after(TimePs delay, EventQueue::Action action) {
+    events_.schedule(now() + delay, std::move(action));
+  }
+
+  /// Register a traffic class; the handler (may be empty) fires on each
+  /// delivery of a packet sent with the returned task id.
+  int new_task(DeliveryHandler handler);
+
+  /// Install a tracing hook observing every node arrival.
+  void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
+
+  /// Inject a packet now.  `flow_id` identifies the flow for ECMP/VLB
+  /// hashing (packets of one flow share a path).
+  void send(topo::NodeId src, topo::NodeId dst, Bits size, int task, std::uint64_t flow_id);
+
+  void run_until(TimePs end) { events_.run_until(end); }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  /// Drops attributed to one task id.
+  std::uint64_t task_drops(int task) const;
+
+  /// Bits put on a link direction so far (direction 0 = a->b).
+  Bits bits_sent(topo::LinkId link, int direction) const;
+  /// Fraction of [0, now] the link direction spent transmitting.
+  double utilization(topo::LinkId link, int direction) const;
+  /// Instantaneous output-queue delay of a link direction (LoadProbe;
+  /// lets AdaptiveVlbOracle steer around congested lightpaths).
+  TimePs queue_delay(topo::LinkId link, int direction) const override;
+  /// routing::Clock: the simulation time (for flowlet expiry).
+  TimePs sim_now() const override { return now(); }
+
+  const topo::Graph& graph() const { return topo_->graph; }
+  const topo::BuiltTopology& topology() const { return *topo_; }
+
+ private:
+  /// Packet fully/partially arrived at `node`: deliver, or forward.
+  void arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit);
+
+  /// Make the forwarding decision at `node` and put the packet on its
+  /// next line.  `decision_ready` is when the output port may start.
+  void transmit(Packet packet, topo::NodeId node, TimePs decision_ready, TimePs last_bit_in);
+
+  const topo::BuiltTopology* topo_;
+  const routing::RoutingOracle* oracle_;
+  SimConfig config_;
+  EventQueue events_;
+  /// busy-until per (link, direction); direction 0 is a->b.
+  std::vector<TimePs> line_busy_;
+  /// accumulated transmitting time and bits per (link, direction).
+  std::vector<TimePs> line_active_;
+  std::vector<Bits> line_bits_;
+  std::vector<DeliveryHandler> handlers_;
+  ArrivalHook arrival_hook_;
+  std::vector<std::uint64_t> task_drops_;
+  std::uint64_t next_packet_id_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace quartz::sim

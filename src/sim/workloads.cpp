@@ -1,0 +1,210 @@
+#include "sim/workloads.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace quartz::sim {
+namespace {
+
+TimePs poisson_mean_gap(Bits packet_size, BitsPerSecond rate) {
+  QUARTZ_REQUIRE(rate > 0, "flow rate must be positive");
+  return static_cast<TimePs>(static_cast<double>(packet_size) * 1e12 / rate);
+}
+
+TimePs exponential_gap(Rng& rng, TimePs mean) {
+  return std::max<TimePs>(1, static_cast<TimePs>(rng.next_exponential(static_cast<double>(mean))));
+}
+
+}  // namespace
+
+PoissonFlow::PoissonFlow(Network& network, topo::NodeId src, topo::NodeId dst, int task,
+                         FlowParams params, Rng rng)
+    : network_(network),
+      src_(src),
+      dst_(dst),
+      task_(task),
+      params_(params),
+      rng_(rng),
+      flow_id_(rng_.next_u64()),
+      mean_gap_(poisson_mean_gap(params.packet_size, params.rate)) {
+  QUARTZ_REQUIRE(params_.stop > params_.start, "flow must have a positive duration");
+  // First arrival one exponential gap after start (stationary process).
+  const TimePs first = params_.start + exponential_gap(rng_, mean_gap_);
+  if (first < params_.stop) {
+    network_.at(first, [this] { schedule_next(); });
+  }
+}
+
+void PoissonFlow::schedule_next() {
+  network_.send(src_, dst_, params_.packet_size, task_, flow_id_);
+  ++sent_;
+  const TimePs next = network_.now() + exponential_gap(rng_, mean_gap_);
+  if (next < params_.stop) {
+    network_.at(next, [this] { schedule_next(); });
+  }
+}
+
+ScatterTask::ScatterTask(Network& network, topo::NodeId sender,
+                         std::vector<topo::NodeId> receivers, TaskPatternParams params, Rng rng) {
+  QUARTZ_REQUIRE(!receivers.empty(), "scatter needs receivers");
+  const int task = network.new_task([this](const Packet& packet, TimePs latency) {
+    samples_.add(to_microseconds(latency));
+    queueing_.add(to_microseconds(packet.queued));
+  });
+  FlowParams flow;
+  flow.packet_size = params.packet_size;
+  flow.rate = params.per_flow_rate;
+  flow.start = params.start;
+  flow.stop = params.stop;
+  for (topo::NodeId r : receivers) {
+    flows_.push_back(std::make_unique<PoissonFlow>(network, sender, r, task, flow, rng.fork()));
+  }
+}
+
+GatherTask::GatherTask(Network& network, std::vector<topo::NodeId> senders,
+                       topo::NodeId receiver, TaskPatternParams params, Rng rng) {
+  QUARTZ_REQUIRE(!senders.empty(), "gather needs senders");
+  const int task = network.new_task([this](const Packet& packet, TimePs latency) {
+    samples_.add(to_microseconds(latency));
+    queueing_.add(to_microseconds(packet.queued));
+  });
+  FlowParams flow;
+  flow.packet_size = params.packet_size;
+  flow.rate = params.per_flow_rate;
+  flow.start = params.start;
+  flow.stop = params.stop;
+  for (topo::NodeId s : senders) {
+    flows_.push_back(std::make_unique<PoissonFlow>(network, s, receiver, task, flow, rng.fork()));
+  }
+}
+
+ScatterGatherTask::ScatterGatherTask(Network& network, topo::NodeId initiator,
+                                     std::vector<topo::NodeId> participants,
+                                     ScatterGatherParams params, Rng rng)
+    : network_(network),
+      initiator_(initiator),
+      participants_(std::move(participants)),
+      params_(params),
+      rng_(rng),
+      request_flow_base_(rng_.next_u64()) {
+  QUARTZ_REQUIRE(!participants_.empty(), "scatter/gather needs participants");
+  QUARTZ_REQUIRE(params_.rounds_per_second > 0, "round rate must be positive");
+
+  reply_task_ = network_.new_task([this](const Packet& packet, TimePs latency) {
+    samples_.add(to_microseconds(latency));
+    queueing_.add(to_microseconds(packet.queued));
+  });
+  request_task_ = network_.new_task([this](const Packet& packet, TimePs latency) {
+    samples_.add(to_microseconds(latency));
+    queueing_.add(to_microseconds(packet.queued));
+    // Reply returns over the participant's own flow (stable path).
+    network_.send(packet.key.dst, initiator_, params_.packet_size, reply_task_,
+                  request_flow_base_ ^ static_cast<std::uint64_t>(packet.key.dst) ^ 0x5256ull);
+  });
+
+  mean_gap_ = static_cast<TimePs>(1e12 / params_.rounds_per_second);
+  const TimePs first = params_.start + exponential_gap(rng_, mean_gap_);
+  if (first < params_.stop) {
+    network_.at(first, [this] { schedule_round(); });
+  }
+}
+
+void ScatterGatherTask::schedule_round() {
+  for (topo::NodeId p : participants_) {
+    network_.send(initiator_, p, params_.packet_size, request_task_,
+                  request_flow_base_ ^ static_cast<std::uint64_t>(p));
+  }
+  const TimePs next = network_.now() + exponential_gap(rng_, mean_gap_);
+  if (next < params_.stop) {
+    network_.at(next, [this] { schedule_round(); });
+  }
+}
+
+RpcWorkload::RpcWorkload(Network& network, topo::NodeId client, topo::NodeId server,
+                         RpcParams params, Rng rng)
+    : network_(network),
+      client_(client),
+      server_(server),
+      params_(params),
+      flow_id_(rng.next_u64()) {
+  QUARTZ_REQUIRE(params_.calls > 0, "RPC workload needs at least one call");
+
+  reply_task_ = network_.new_task([this](const Packet&, TimePs) {
+    rtts_.add(to_microseconds(network_.now() - issued_at_));
+    ++completed_;
+    if (completed_ < params_.calls) issue();
+  });
+  request_task_ = network_.new_task([this](const Packet&, TimePs) {
+    if (params_.service_time > 0) {
+      network_.after(params_.service_time, [this] {
+        network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull);
+      });
+    } else {
+      network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull);
+    }
+  });
+  network_.at(network_.now(), [this] { issue(); });
+}
+
+void RpcWorkload::issue() {
+  issued_at_ = network_.now();
+  network_.send(client_, server_, params_.request_size, request_task_, flow_id_);
+}
+
+FlowTransfer::FlowTransfer(Network& network, topo::NodeId src, topo::NodeId dst,
+                           TransferParams params, std::uint64_t flow_id)
+    : params_(params) {
+  QUARTZ_REQUIRE(params_.total_bytes > 0, "transfer needs bytes");
+  QUARTZ_REQUIRE(params_.packet_size > 0, "packet size must be positive");
+  const Bits total_bits = bytes(params_.total_bytes);
+  packets_ = static_cast<int>((total_bits + params_.packet_size - 1) / params_.packet_size);
+
+  const int task = network.new_task([this, &network](const Packet&, TimePs) {
+    ++delivered_;
+    if (delivered_ == packets_) finished_at_ = network.now();
+  });
+  network.at(params_.start, [this, &network, src, dst, task, flow_id, total_bits] {
+    Bits remaining = total_bits;
+    while (remaining > 0) {
+      const Bits size = std::min(remaining, params_.packet_size);
+      network.send(src, dst, size, task, flow_id);
+      remaining -= size;
+    }
+  });
+}
+
+TimePs FlowTransfer::completion_time() const {
+  QUARTZ_CHECK(done(), "transfer not finished");
+  return finished_at_ - params_.start;
+}
+
+BurstSource::BurstSource(Network& network, topo::NodeId src, topo::NodeId dst, int task,
+                         BurstParams params, Rng rng)
+    : network_(network), src_(src), dst_(dst), task_(task), params_(params), rng_(rng),
+      flow_id_(rng_.next_u64()) {
+  QUARTZ_REQUIRE(params_.target_rate > 0, "burst rate must be positive");
+  QUARTZ_REQUIRE(params_.packets_per_burst > 0, "burst needs packets");
+  const double burst_bits =
+      static_cast<double>(params_.packet_size) * params_.packets_per_burst;
+  interval_ = static_cast<TimePs>(burst_bits * 1e12 / params_.target_rate);
+  QUARTZ_REQUIRE(interval_ > 0, "burst interval must be positive");
+  // Random phase so concurrent sources are unsynchronised (§6.1).
+  const TimePs first = params_.start + static_cast<TimePs>(rng_.next_below(
+                                           static_cast<std::uint64_t>(interval_)));
+  if (first < params_.stop) {
+    network_.at(first, [this] { fire(); });
+  }
+}
+
+void BurstSource::fire() {
+  for (int i = 0; i < params_.packets_per_burst; ++i) {
+    network_.send(src_, dst_, params_.packet_size, task_, flow_id_);
+  }
+  const TimePs next = network_.now() + interval_;
+  if (next < params_.stop) {
+    network_.at(next, [this] { fire(); });
+  }
+}
+
+}  // namespace quartz::sim

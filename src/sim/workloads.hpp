@@ -1,0 +1,229 @@
+// Traffic generators and the paper's workload patterns (§6.1, §7).
+//
+//  * PoissonFlow — fixed-size packets on a Poisson process (the §7
+//    baseline traffic model);
+//  * ScatterTask / GatherTask — one sender fanning out to many
+//    receivers / many senders converging on one receiver (Fig. 17-18);
+//  * ScatterGatherTask — request to every participant, reply on
+//    receipt (Fig. 17(c)/18(c));
+//  * RpcWorkload — serial request/response pairs measuring RTT (the §6
+//    prototype's Thrift "Hello World" RPC); and
+//  * BurstSource — Nuttcp-style bursts of packets separated by idle
+//    intervals chosen to hit a target bandwidth (§6.1 cross-traffic).
+//
+// Generators are pinned in memory once started (events capture `this`);
+// they are neither copyable nor movable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sim/network.hpp"
+
+namespace quartz::sim {
+
+struct FlowParams {
+  Bits packet_size = kDefaultPacketSize;
+  BitsPerSecond rate = gigabits_per_second(1);
+  TimePs start = 0;
+  TimePs stop = seconds(1);
+};
+
+class PoissonFlow {
+ public:
+  /// Sends with the given task id; register the task (and its
+  /// measurement handler) on the network first.
+  PoissonFlow(Network& network, topo::NodeId src, topo::NodeId dst, int task, FlowParams params,
+              Rng rng);
+  PoissonFlow(const PoissonFlow&) = delete;
+  PoissonFlow& operator=(const PoissonFlow&) = delete;
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void schedule_next();
+
+  Network& network_;
+  topo::NodeId src_, dst_;
+  int task_;
+  FlowParams params_;
+  Rng rng_;
+  std::uint64_t flow_id_;
+  TimePs mean_gap_;
+  std::uint64_t sent_ = 0;
+};
+
+struct TaskPatternParams {
+  BitsPerSecond per_flow_rate = megabits_per_second(500);
+  Bits packet_size = kDefaultPacketSize;
+  TimePs start = 0;
+  TimePs stop = seconds(1);
+};
+
+/// One sender, many receivers: concurrent Poisson flows to each.
+class ScatterTask {
+ public:
+  ScatterTask(Network& network, topo::NodeId sender, std::vector<topo::NodeId> receivers,
+              TaskPatternParams params, Rng rng);
+  ScatterTask(const ScatterTask&) = delete;
+  ScatterTask& operator=(const ScatterTask&) = delete;
+
+  /// Per-packet end-to-end latencies, in microseconds.
+  const SampleSet& latencies_us() const { return samples_; }
+  /// Output-queue waiting per packet (the congestion share).
+  const RunningStats& queueing_us() const { return queueing_; }
+
+ private:
+  SampleSet samples_;
+  RunningStats queueing_;
+  std::vector<std::unique_ptr<PoissonFlow>> flows_;
+};
+
+/// Many senders, one receiver (the incast direction).
+class GatherTask {
+ public:
+  GatherTask(Network& network, std::vector<topo::NodeId> senders, topo::NodeId receiver,
+             TaskPatternParams params, Rng rng);
+  GatherTask(const GatherTask&) = delete;
+  GatherTask& operator=(const GatherTask&) = delete;
+
+  const SampleSet& latencies_us() const { return samples_; }
+  const RunningStats& queueing_us() const { return queueing_; }
+
+ private:
+  SampleSet samples_;
+  RunningStats queueing_;
+  std::vector<std::unique_ptr<PoissonFlow>> flows_;
+};
+
+struct ScatterGatherParams {
+  double rounds_per_second = 1000.0;
+  Bits packet_size = kDefaultPacketSize;
+  TimePs start = 0;
+  TimePs stop = seconds(1);
+};
+
+/// Rounds arrive as a Poisson process; each round sends a request to
+/// every participant, and each participant replies upon receipt.  Both
+/// directions' packets are measured (the paper reports latency per
+/// packet for the combined operation).
+class ScatterGatherTask {
+ public:
+  ScatterGatherTask(Network& network, topo::NodeId initiator,
+                    std::vector<topo::NodeId> participants, ScatterGatherParams params, Rng rng);
+  ScatterGatherTask(const ScatterGatherTask&) = delete;
+  ScatterGatherTask& operator=(const ScatterGatherTask&) = delete;
+
+  const SampleSet& latencies_us() const { return samples_; }
+  const RunningStats& queueing_us() const { return queueing_; }
+
+ private:
+  void schedule_round();
+
+  Network& network_;
+  topo::NodeId initiator_;
+  std::vector<topo::NodeId> participants_;
+  ScatterGatherParams params_;
+  Rng rng_;
+  int request_task_ = -1;
+  int reply_task_ = -1;
+  std::uint64_t request_flow_base_;
+  TimePs mean_gap_;
+  SampleSet samples_;
+  RunningStats queueing_;
+};
+
+struct RpcParams {
+  Bits request_size = kDefaultPacketSize;
+  Bits reply_size = kDefaultPacketSize;
+  int calls = 1000;
+  /// Server-side service time before the reply is sent.
+  TimePs service_time = 0;
+};
+
+/// Serial RPC: the next call starts when the previous response lands.
+class RpcWorkload {
+ public:
+  RpcWorkload(Network& network, topo::NodeId client, topo::NodeId server, RpcParams params,
+              Rng rng);
+  RpcWorkload(const RpcWorkload&) = delete;
+  RpcWorkload& operator=(const RpcWorkload&) = delete;
+
+  const SampleSet& rtt_us() const { return rtts_; }
+  bool done() const { return completed_ >= params_.calls; }
+
+ private:
+  void issue();
+
+  Network& network_;
+  topo::NodeId client_, server_;
+  RpcParams params_;
+  int request_task_ = -1;
+  int reply_task_ = -1;
+  std::uint64_t flow_id_;
+  int completed_ = 0;
+  TimePs issued_at_ = 0;
+  SampleSet rtts_;
+};
+
+struct TransferParams {
+  std::int64_t total_bytes = 65'536;
+  Bits packet_size = bytes(1500);
+  TimePs start = 0;
+};
+
+/// A bulk transfer: the whole flow is handed to the NIC at `start` and
+/// drains at line rate (the paper's MapReduce-style background flows).
+/// Records the flow completion time — when the last packet lands.
+class FlowTransfer {
+ public:
+  FlowTransfer(Network& network, topo::NodeId src, topo::NodeId dst, TransferParams params,
+               std::uint64_t flow_id);
+  FlowTransfer(const FlowTransfer&) = delete;
+  FlowTransfer& operator=(const FlowTransfer&) = delete;
+
+  bool done() const { return delivered_ == packets_; }
+  int packets() const { return packets_; }
+  /// Time from `start` to the last delivery; only valid once done().
+  TimePs completion_time() const;
+
+ private:
+  TransferParams params_;
+  int packets_ = 0;
+  int delivered_ = 0;
+  TimePs finished_at_ = 0;
+};
+
+struct BurstParams {
+  int packets_per_burst = 20;
+  Bits packet_size = bytes(1500);
+  BitsPerSecond target_rate = megabits_per_second(100);
+  TimePs start = 0;
+  TimePs stop = seconds(1);
+};
+
+/// Bursts of back-to-back packets separated by idle gaps sized to meet
+/// the target average bandwidth; bursts from different sources are
+/// unsynchronised via a random phase.
+class BurstSource {
+ public:
+  BurstSource(Network& network, topo::NodeId src, topo::NodeId dst, int task, BurstParams params,
+              Rng rng);
+  BurstSource(const BurstSource&) = delete;
+  BurstSource& operator=(const BurstSource&) = delete;
+
+ private:
+  void fire();
+
+  Network& network_;
+  topo::NodeId src_, dst_;
+  int task_;
+  BurstParams params_;
+  Rng rng_;
+  std::uint64_t flow_id_;
+  TimePs interval_;
+};
+
+}  // namespace quartz::sim

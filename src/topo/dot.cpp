@@ -1,0 +1,40 @@
+#include "topo/dot.hpp"
+
+#include <sstream>
+
+namespace quartz::topo {
+
+std::string to_dot(const BuiltTopology& topo, const DotOptions& options) {
+  const Graph& g = topo.graph;
+  std::ostringstream os;
+  os << "graph \"" << topo.name << "\" {\n";
+  os << "  layout=neato;\n  overlap=false;\n";
+
+  for (const auto& node : g.nodes()) {
+    if (node.kind == NodeKind::kHost) {
+      if (!options.include_hosts) continue;
+      os << "  n" << node.id << " [label=\"" << node.label
+         << "\", shape=box, fontsize=8];\n";
+    } else {
+      os << "  n" << node.id << " [label=\"" << node.label
+         << "\", shape=circle, style=filled, fillcolor=lightblue];\n";
+    }
+  }
+
+  for (const auto& link : g.links()) {
+    const bool host_link = g.is_host(link.a) || g.is_host(link.b);
+    if (host_link && !options.include_hosts) continue;
+    os << "  n" << link.a << " -- n" << link.b;
+    if (!host_link && link.wdm_channel >= 0 && options.label_channels) {
+      os << " [label=\"ch " << link.wdm_channel << " @ ring " << link.wdm_ring
+         << "\", color=purple, fontsize=7]";
+    } else if (!host_link) {
+      os << " [color=gray40]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace quartz::topo

@@ -1,0 +1,22 @@
+// Graphviz export of built topologies — hosts as boxes, switches as
+// circles, Quartz lightpaths labelled with their wavelength channel.
+// Handy for documentation and for eyeballing the §4 composites.
+#pragma once
+
+#include <string>
+
+#include "topo/builders.hpp"
+
+namespace quartz::topo {
+
+struct DotOptions {
+  /// Omit hosts to keep big fabrics readable.
+  bool include_hosts = true;
+  /// Label mesh links "ch N @ ring R".
+  bool label_channels = true;
+};
+
+/// DOT (graphviz) rendering of the topology.
+std::string to_dot(const BuiltTopology& topo, const DotOptions& options = {});
+
+}  // namespace quartz::topo

@@ -1,0 +1,122 @@
+#include "topo/failures.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "wavelength/assign.hpp"
+#include "wavelength/multiring.hpp"
+
+namespace quartz::topo {
+namespace {
+
+/// Map each (src_index, dst_index) ring pair to whether any cut severs
+/// it, by re-deriving the deterministic channel plan the builder used.
+std::set<std::pair<int, int>> severed_pairs(int ring_size, int physical_rings,
+                                            const std::vector<FiberCut>& cuts) {
+  const wavelength::Assignment plan = wavelength::greedy_assign(ring_size);
+  std::vector<std::uint64_t> failed_mask(static_cast<std::size_t>(physical_rings), 0);
+  for (const FiberCut& cut : cuts) {
+    QUARTZ_REQUIRE(cut.ring >= 0 && cut.ring < physical_rings, "cut ring out of range");
+    QUARTZ_REQUIRE(cut.segment >= 0 && cut.segment < ring_size, "cut segment out of range");
+    failed_mask[static_cast<std::size_t>(cut.ring)] |= (1ull << cut.segment);
+  }
+
+  std::set<std::pair<int, int>> severed;
+  for (const auto& path : plan.paths) {
+    const int ring = wavelength::ring_for_channel(path.channel, physical_rings);
+    const std::uint64_t arc =
+        wavelength::segment_mask(ring_size, path.src, path.dst, path.dir);
+    if ((arc & failed_mask[static_cast<std::size_t>(ring)]) != 0) {
+      severed.insert({path.src, path.dst});
+    }
+  }
+  return severed;
+}
+
+int physical_ring_count(const BuiltTopology& topo) {
+  int rings = 0;
+  for (const auto& link : topo.graph.links()) {
+    rings = std::max(rings, link.wdm_ring + 1);
+  }
+  return std::max(rings, 1);
+}
+
+}  // namespace
+
+std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& topo,
+                                                          const std::vector<FiberCut>& cuts) {
+  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
+  const auto& ring = topo.quartz_rings[0];
+  const auto severed =
+      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
+
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const auto& [src, dst] : severed) {
+    out.emplace_back(ring[static_cast<std::size_t>(src)], ring[static_cast<std::size_t>(dst)]);
+  }
+  return out;
+}
+
+BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
+  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
+  const auto& ring = topo.quartz_rings[0];
+  const auto severed =
+      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
+
+  // Node index within the ring, or -1 for hosts.
+  std::vector<int> ring_index(topo.graph.node_count(), -1);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ring_index[static_cast<std::size_t>(ring[i])] = static_cast<int>(i);
+  }
+
+  BuiltTopology survivor;
+  survivor.name = topo.name + "-degraded";
+  Graph& graph = survivor.graph;
+
+  // Recreate the switch-model table, preserving model indices (node ids
+  // are preserved automatically because insertion order is).
+  std::vector<int> model_translate;
+  {
+    int max_model = -1;
+    for (const auto& node : topo.graph.nodes()) {
+      if (node.kind == NodeKind::kSwitch) max_model = std::max(max_model, node.model);
+    }
+    model_translate.assign(static_cast<std::size_t>(max_model) + 1, -1);
+    for (const auto& node : topo.graph.nodes()) {
+      if (node.kind != NodeKind::kSwitch) continue;
+      auto& slot = model_translate[static_cast<std::size_t>(node.model)];
+      if (slot < 0) slot = graph.add_model(topo.graph.model_of(node.id));
+    }
+  }
+  for (const auto& node : topo.graph.nodes()) {
+    if (node.kind == NodeKind::kSwitch) {
+      graph.add_switch(model_translate[static_cast<std::size_t>(node.model)], node.label,
+                       node.rack);
+    } else {
+      graph.add_host(node.label, node.rack);
+    }
+  }
+
+  for (const auto& link : topo.graph.links()) {
+    const int ia = ring_index[static_cast<std::size_t>(link.a)];
+    const int ib = ring_index[static_cast<std::size_t>(link.b)];
+    if (link.wdm_channel >= 0 && ia >= 0 && ib >= 0) {
+      const auto key = std::minmax(ia, ib);
+      if (severed.contains({key.first, key.second})) continue;  // cut
+    }
+    graph.add_link(link.a, link.b, link.rate, link.propagation, link.wdm_ring,
+                   link.wdm_channel);
+  }
+
+  survivor.hosts = topo.hosts;
+  survivor.tors = topo.tors;
+  survivor.aggs = topo.aggs;
+  survivor.cores = topo.cores;
+  survivor.quartz_rings = topo.quartz_rings;
+  survivor.host_groups = topo.host_groups;
+  survivor.graph.validate();  // throws if the cuts partitioned the mesh
+  return survivor;
+}
+
+}  // namespace quartz::topo

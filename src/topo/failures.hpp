@@ -1,0 +1,37 @@
+// Fiber-cut surgery on built Quartz topologies (§3.5).
+//
+// A cut on physical ring r's segment s severs every lightpath of ring r
+// whose arc crosses s.  This module rebuilds a BuiltTopology without
+// the severed mesh links, so the packet simulator can answer the
+// question Fig. 6 answers combinatorially: do the surviving direct
+// links still carry everyone (over multi-hop mesh routes), and at what
+// latency cost?
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topo/builders.hpp"
+
+namespace quartz::topo {
+
+struct FiberCut {
+  int ring = 0;     ///< physical ring index (Link::wdm_ring)
+  int segment = 0;  ///< fiber span index on that ring (0..M-1)
+};
+
+/// Rebuild `topo` with every mesh link severed by `cuts` removed.
+/// Works on single-ring Quartz topologies built by quartz_ring()
+/// (the channel plan is re-derived deterministically to map each
+/// lightpath to the segments it crosses).  Host links and non-WDM
+/// links are untouched.  Throws if the surviving graph is disconnected
+/// (the Fig. 6 partition case) — callers wanting to observe partitions
+/// should use core::evaluate_failures instead.
+BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts);
+
+/// The mesh links a set of cuts would sever (for reporting): pairs of
+/// (switch, switch) node ids.
+std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& topo,
+                                                          const std::vector<FiberCut>& cuts);
+
+}  // namespace quartz::topo

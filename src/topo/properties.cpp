@@ -1,0 +1,224 @@
+#include "topo/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace quartz::topo {
+namespace {
+
+constexpr int kInfCapacity = std::numeric_limits<int>::max() / 4;
+
+/// Dinic max-flow over an explicit arc list with residuals.
+class Dinic {
+ public:
+  explicit Dinic(int vertices) : head_(static_cast<std::size_t>(vertices), -1) {}
+
+  void add_arc(int from, int to, int capacity) {
+    arcs_.push_back(Arc{to, head_[static_cast<std::size_t>(from)], capacity});
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size() - 1);
+    arcs_.push_back(Arc{from, head_[static_cast<std::size_t>(to)], 0});
+    head_[static_cast<std::size_t>(to)] = static_cast<int>(arcs_.size() - 1);
+  }
+
+  int max_flow(int source, int sink) {
+    int flow = 0;
+    while (bfs(source, sink)) {
+      iter_ = head_;
+      while (true) {
+        const int pushed = dfs(source, sink, kInfCapacity);
+        if (pushed == 0) break;
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    int capacity;
+  };
+
+  bool bfs(int source, int sink) {
+    level_.assign(head_.size(), -1);
+    std::deque<int> queue{source};
+    level_[static_cast<std::size_t>(source)] = 0;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int a = head_[static_cast<std::size_t>(u)]; a != -1; a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.capacity > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+          level_[static_cast<std::size_t>(arc.to)] = level_[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(sink)] >= 0;
+  }
+
+  int dfs(int u, int sink, int limit) {
+    if (u == sink) return limit;
+    for (int& a = iter_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.capacity <= 0 ||
+          level_[static_cast<std::size_t>(arc.to)] != level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const int pushed = dfs(arc.to, sink, std::min(limit, arc.capacity));
+      if (pushed > 0) {
+        arc.capacity -= pushed;
+        arcs_[static_cast<std::size_t>(a ^ 1)].capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+/// Node weight charged when a shortest path relays through `id`.
+TimePs relay_cost(const Graph& graph, NodeId id, const AnalysisOptions& options) {
+  if (graph.is_switch(id)) return graph.model_of(id).latency;
+  return options.server_forward_latency;
+}
+
+struct PathCost {
+  TimePs latency = std::numeric_limits<TimePs>::max();
+  int switch_hops = 0;
+  int server_hops = 0;
+};
+
+/// Dijkstra from `src` over relay-weighted nodes (links are free: the
+/// zero-load metric counts forwarding latency only, like Table 9).
+std::vector<PathCost> relay_dijkstra(const Graph& graph, NodeId src,
+                                     const AnalysisOptions& options) {
+  std::vector<PathCost> best(graph.node_count());
+  using Entry = std::pair<TimePs, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  best[static_cast<std::size_t>(src)] = PathCost{0, 0, 0};
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > best[static_cast<std::size_t>(u)].latency) continue;
+    for (const auto& adj : graph.neighbors(u)) {
+      // Leaving through v costs v's relay latency unless v is the final
+      // destination host (destinations do not forward).  We charge the
+      // relay cost on arrival and subtract it for host endpoints later;
+      // simpler: charge switches always, hosts always, and fix up at
+      // query time knowing endpoints are hosts.
+      const NodeId v = adj.peer;
+      const TimePs next = dist + relay_cost(graph, v, options);
+      auto& slot = best[static_cast<std::size_t>(v)];
+      if (next < slot.latency) {
+        slot.latency = next;
+        slot.switch_hops = best[static_cast<std::size_t>(u)].switch_hops +
+                           (graph.is_switch(v) ? 1 : 0);
+        slot.server_hops = best[static_cast<std::size_t>(u)].server_hops +
+                           (graph.is_host(v) ? 1 : 0);
+        heap.emplace(next, v);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int cross_rack_links(const Graph& graph) {
+  int count = 0;
+  for (const auto& link : graph.links()) {
+    const int rack_a = graph.node(link.a).rack;
+    const int rack_b = graph.node(link.b).rack;
+    if (rack_a < 0 || rack_b < 0 || rack_a != rack_b) ++count;
+  }
+  return count;
+}
+
+int path_diversity_between(const Graph& graph, NodeId a, NodeId b) {
+  QUARTZ_REQUIRE(a != b, "diversity needs two distinct nodes");
+  // Vertex splitting: node v becomes v_in = 2v, v_out = 2v + 1.
+  const int n = static_cast<int>(graph.node_count());
+  Dinic dinic(2 * n);
+  for (const auto& node : graph.nodes()) {
+    int cap = kInfCapacity;
+    if (node.kind == NodeKind::kHost && node.id != a && node.id != b) {
+      cap = static_cast<int>(graph.degree(node.id));  // NIC count
+    }
+    dinic.add_arc(2 * node.id, 2 * node.id + 1, cap);
+  }
+  for (const auto& link : graph.links()) {
+    dinic.add_arc(2 * link.a + 1, 2 * link.b, 1);
+    dinic.add_arc(2 * link.b + 1, 2 * link.a, 1);
+  }
+  return dinic.max_flow(2 * a + 1, 2 * b);
+}
+
+TopologyProperties analyze(const BuiltTopology& topo, const AnalysisOptions& options) {
+  const Graph& graph = topo.graph;
+  TopologyProperties props;
+  props.name = topo.name;
+  props.switch_count = static_cast<int>(graph.switches().size());
+  props.host_count = static_cast<int>(topo.hosts.size());
+  props.wiring_complexity = cross_rack_links(graph);
+
+  // Worst host-to-host shortest path.  Run relay Dijkstra from every
+  // host; track the worst destination host (excluding the destination's
+  // own relay charge, since endpoints do not forward).
+  NodeId worst_src = kInvalidNode;
+  NodeId worst_dst = kInvalidNode;
+  for (NodeId src : topo.hosts) {
+    const auto best = relay_dijkstra(graph, src, options);
+    for (NodeId dst : topo.hosts) {
+      if (dst == src) continue;
+      const auto& cost = best[static_cast<std::size_t>(dst)];
+      QUARTZ_CHECK(cost.latency != std::numeric_limits<TimePs>::max(),
+                   "host pair unreachable");
+      // Remove the destination host's relay charge.
+      const TimePs latency = cost.latency - options.server_forward_latency;
+      const int servers = cost.server_hops - 1;
+      if (latency > props.zero_load_latency ||
+          (latency == props.zero_load_latency && worst_src == kInvalidNode)) {
+        props.zero_load_latency = latency;
+        props.switch_hops = cost.switch_hops;
+        props.server_hops = servers;
+        worst_src = src;
+        worst_dst = dst;
+      }
+    }
+  }
+
+  if (worst_src != kInvalidNode) {
+    // Diversity between the attachment switches of the worst pair (for
+    // server-centric fabrics, between the hosts themselves: their NICs
+    // are the diversity bottleneck the paper's metric captures).
+    auto attachment = [&](NodeId host) {
+      for (const auto& adj : graph.neighbors(host)) {
+        if (graph.is_switch(adj.peer)) return adj.peer;
+      }
+      return host;
+    };
+    const bool multi_homed = graph.degree(worst_src) > 1;
+    if (multi_homed) {
+      props.path_diversity = path_diversity_between(graph, worst_src, worst_dst);
+    } else {
+      props.path_diversity =
+          path_diversity_between(graph, attachment(worst_src), attachment(worst_dst));
+    }
+  }
+  return props;
+}
+
+}  // namespace quartz::topo

@@ -1,0 +1,32 @@
+#include "topo/switch_models.hpp"
+
+namespace quartz::topo {
+
+SwitchModel SwitchModel::ull() {
+  return SwitchModel{
+      .name = "Arista 7150S-64 (ULL)",
+      .latency = nanoseconds(380),
+      .cut_through = true,
+      .port_count = 64,
+  };
+}
+
+SwitchModel SwitchModel::ccs() {
+  return SwitchModel{
+      .name = "Cisco Nexus 7000 (CCS)",
+      .latency = microseconds(6),
+      .cut_through = false,
+      .port_count = 768,
+  };
+}
+
+SwitchModel SwitchModel::managed_1g() {
+  return SwitchModel{
+      .name = "48-port 1G managed",
+      .latency = microseconds(6),
+      .cut_through = false,
+      .port_count = 48,
+  };
+}
+
+}  // namespace quartz::topo

@@ -1,0 +1,35 @@
+// Switch datasheet models (paper Table 16 and §6 prototype hardware).
+//
+// Two forwarding disciplines matter to the paper's argument:
+//  * cut-through switches start transmitting a frame once the header is
+//    parsed (~hundreds of ns), but today top out at 64 ports; and
+//  * store-and-forward switches buffer the whole frame first (~µs) but
+//    scale past 1000 ports, which is why they sit in core tiers.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace quartz::topo {
+
+struct SwitchModel {
+  std::string name;
+  TimePs latency = 0;        ///< forwarding decision latency
+  bool cut_through = false;  ///< false = store-and-forward
+  int port_count = 0;
+
+  /// Arista 7150S-64 ultra-low-latency cut-through switch (Table 16):
+  /// 380 ns, 64 x 10 Gb/s ports (or 16 x 40 Gb/s).
+  static SwitchModel ull();
+
+  /// Cisco Nexus 7000-class core store-and-forward switch (Table 16):
+  /// 6 us, 768 x 10 Gb/s ports (or 192 x 40 Gb/s).
+  static SwitchModel ccs();
+
+  /// 48-port 1 Gb/s managed store-and-forward switch standing in for
+  /// the prototype's Nortel 5510-48T / Catalyst 4948 (§6).
+  static SwitchModel managed_1g();
+};
+
+}  // namespace quartz::topo

@@ -1,0 +1,44 @@
+#include "wavelength/factory_plan.hpp"
+
+#include <algorithm>
+
+#include "wavelength/multiring.hpp"
+
+namespace quartz::wavelength {
+
+std::vector<FactoryPlanEntry> factory_plan(const Assignment& assignment,
+                                           const optical::WavelengthGrid& grid,
+                                           int physical_rings) {
+  QUARTZ_REQUIRE(physical_rings >= 1, "need at least one ring");
+  std::vector<FactoryPlanEntry> plan;
+  plan.reserve(assignment.paths.size());
+  for (const auto& path : assignment.paths) {
+    QUARTZ_REQUIRE(path.channel >= 0, "assignment has unassigned channels");
+    FactoryPlanEntry entry;
+    entry.src = path.src;
+    entry.dst = path.dst;
+    entry.dir = path.dir;
+    entry.channel = path.channel;
+    entry.physical_ring = ring_for_channel(path.channel, physical_rings);
+    entry.grid_index = path.channel / physical_rings;
+    QUARTZ_REQUIRE(static_cast<std::size_t>(entry.grid_index) < grid.size(),
+                   "channel plan exceeds the grid; add rings or widen the grid");
+    entry.wavelength_nm = grid.channel(static_cast<std::size_t>(entry.grid_index)).wavelength_nm;
+    plan.push_back(entry);
+  }
+  std::sort(plan.begin(), plan.end(), [](const FactoryPlanEntry& a, const FactoryPlanEntry& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  return plan;
+}
+
+std::vector<FactoryPlanEntry> tuning_sheet(const std::vector<FactoryPlanEntry>& plan,
+                                           int switch_index) {
+  std::vector<FactoryPlanEntry> sheet;
+  for (const auto& entry : plan) {
+    if (entry.src == switch_index || entry.dst == switch_index) sheet.push_back(entry);
+  }
+  return sheet;
+}
+
+}  // namespace quartz::wavelength

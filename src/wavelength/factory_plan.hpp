@@ -1,0 +1,38 @@
+// Factory wavelength plan (§3.1): "wavelength planning is a one-time
+// event ... wavelength planning and switch to DWDM cabling can be
+// performed by the device manufacturer at the factory."
+//
+// This module turns an abstract channel assignment into the concrete
+// manufacturing sheet: for every switch pair, the ITU grid wavelength
+// its transceivers are tuned to and the physical ring its mux port
+// belongs to.
+#pragma once
+
+#include "optical/grid.hpp"
+#include "wavelength/lightpath.hpp"
+
+namespace quartz::wavelength {
+
+struct FactoryPlanEntry {
+  int src = 0;
+  int dst = 0;
+  Direction dir = Direction::kClockwise;
+  int channel = 0;       ///< logical channel index
+  int physical_ring = 0; ///< which fiber ring / mux carries it
+  int grid_index = 0;    ///< channel index within that ring's grid
+  double wavelength_nm = 0.0;
+};
+
+/// Map an assignment onto `physical_rings` copies of `grid`.  Channel c
+/// rides ring (c % rings) at grid slot (c / rings); every slot must fit
+/// the grid.  Entries are ordered by (src, dst).
+std::vector<FactoryPlanEntry> factory_plan(const Assignment& assignment,
+                                           const optical::WavelengthGrid& grid,
+                                           int physical_rings);
+
+/// Transceiver tuning list for one switch: every entry whose src or dst
+/// is `switch_index`.
+std::vector<FactoryPlanEntry> tuning_sheet(const std::vector<FactoryPlanEntry>& plan,
+                                           int switch_index);
+
+}  // namespace quartz::wavelength

@@ -1,0 +1,113 @@
+#include "wavelength/ilp_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wavelength/assign.hpp"
+#include "wavelength/lightpath.hpp"
+
+namespace quartz::wavelength {
+namespace {
+
+int pool_size(int ring_size, const IlpExportOptions& options) {
+  if (options.channels > 0) return options.channels;
+  return greedy_assign(ring_size).channels_used;
+}
+
+std::string c_var(int s, int t, int i) {
+  return "C_" + std::to_string(s) + "_" + std::to_string(t) + "_" + std::to_string(i);
+}
+
+}  // namespace
+
+IlpDimensions ilp_dimensions(int ring_size, const IlpExportOptions& options) {
+  QUARTZ_REQUIRE(ring_size >= 2 && ring_size <= kMaxRingSize, "ring size out of range");
+  IlpDimensions dims;
+  dims.channels = pool_size(ring_size, options);
+  const int ordered_pairs = ring_size * (ring_size - 1);
+  dims.variables = ordered_pairs * dims.channels + dims.channels;
+  dims.constraints = pair_count(ring_size)            // Eq. 2
+                     + ring_size * dims.channels      // Eq. 4
+                     + dims.channels;                 // Eq. 5
+  return dims;
+}
+
+std::string write_ilp_lp(int ring_size, const IlpExportOptions& options) {
+  QUARTZ_REQUIRE(ring_size >= 2 && ring_size <= kMaxRingSize, "ring size out of range");
+  const int channels = pool_size(ring_size, options);
+
+  std::ostringstream lp;
+  lp << "\\ Quartz wavelength assignment ILP (SIGCOMM'14 Eq. 1-6)\n";
+  lp << "\\ ring size " << ring_size << ", channel pool " << channels << "\n";
+
+  // Eq. 1 — objective.
+  lp << "Minimize\n obj:";
+  for (int i = 0; i < channels; ++i) lp << " + lambda_" << i;
+  lp << "\nSubject To\n";
+
+  // Eq. 2 — every unordered pair picks exactly one (direction, channel).
+  for (int s = 0; s < ring_size; ++s) {
+    for (int t = s + 1; t < ring_size; ++t) {
+      lp << " pair_" << s << "_" << t << ":";
+      for (int i = 0; i < channels; ++i) {
+        lp << " + " << c_var(s, t, i) << " + " << c_var(t, s, i);
+      }
+      lp << " = 1\n";
+    }
+  }
+
+  // Eq. 3/4 — per (segment, channel): at most one crossing path
+  // (L substituted as P * C).
+  for (int m = 0; m < ring_size; ++m) {
+    for (int i = 0; i < channels; ++i) {
+      lp << " link_" << m << "_ch_" << i << ":";
+      bool any = false;
+      for (int s = 0; s < ring_size; ++s) {
+        for (int t = 0; t < ring_size; ++t) {
+          if (s == t) continue;
+          // Ordered pair (s, t) means the clockwise path from s to t.
+          const int lo = std::min(s, t);
+          const int hi = std::max(s, t);
+          const Direction dir = s < t ? Direction::kClockwise : Direction::kCounterClockwise;
+          if ((segment_mask(ring_size, lo, hi, dir) & (1ull << m)) != 0) {
+            lp << " + " << c_var(s, t, i);
+            any = true;
+          }
+        }
+      }
+      if (!any) lp << " 0 " << c_var(0, 1, i);  // degenerate; keeps the row well-formed
+      lp << " <= 1\n";
+    }
+  }
+
+  // Eq. 5 — lambda_i counts channel usage: total crossings on channel i
+  // cannot exceed M * lambda_i.
+  for (int i = 0; i < channels; ++i) {
+    lp << " used_ch_" << i << ":";
+    for (int s = 0; s < ring_size; ++s) {
+      for (int t = 0; t < ring_size; ++t) {
+        if (s == t) continue;
+        const int lo = std::min(s, t);
+        const int hi = std::max(s, t);
+        const Direction dir = s < t ? Direction::kClockwise : Direction::kCounterClockwise;
+        const int len = arc_length(ring_size, lo, hi, dir);
+        lp << " + " << len << " " << c_var(s, t, i);
+      }
+    }
+    lp << " - " << ring_size << " lambda_" << i << " <= 0\n";
+  }
+
+  // Eq. 6 — binaries.
+  lp << "Binary\n";
+  for (int s = 0; s < ring_size; ++s) {
+    for (int t = 0; t < ring_size; ++t) {
+      if (s == t) continue;
+      for (int i = 0; i < channels; ++i) lp << " " << c_var(s, t, i) << "\n";
+    }
+  }
+  for (int i = 0; i < channels; ++i) lp << " lambda_" << i << "\n";
+  lp << "End\n";
+  return lp.str();
+}
+
+}  // namespace quartz::wavelength

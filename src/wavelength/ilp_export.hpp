@@ -1,0 +1,41 @@
+// Export the paper's §3.1 wavelength-assignment ILP (Eq. 1-6) in
+// CPLEX LP format.
+//
+// This repo's exact solver is a branch-and-bound stand-in; users with a
+// MIP solver (CPLEX, Gurobi, CBC, HiGHS) can run the *literal*
+// formulation the paper states with:
+//
+//   quartz::wavelength::write_ilp_lp(9)  ->  feed to `cbc model.lp`
+//
+// Variables: C_{s,t,i} = 1 when the clockwise path from s to t uses
+// channel i (the counter-clockwise s->t arc is C_{t,s,i}, as in the
+// paper), and lambda_i = 1 when channel i is used anywhere.  The
+// intermediate L_{s,t,i,m} of Eq. 3 is substituted away: since
+// P_{s,t,m} is a constant, Eq. 4 becomes, per (link m, channel i),
+// sum over the ordered pairs whose clockwise path crosses m of
+// C_{s,t,i} <= 1, and Eq. 5 follows the same substitution.
+#pragma once
+
+#include <string>
+
+namespace quartz::wavelength {
+
+struct IlpExportOptions {
+  /// Channel pool size (Lambda).  <= 0 picks the greedy solution's
+  /// channel count, which is always sufficient and keeps the model
+  /// small.
+  int channels = 0;
+};
+
+/// The full model as an LP-format string.
+std::string write_ilp_lp(int ring_size, const IlpExportOptions& options = {});
+
+/// Model dimensions, for tests and for sizing expectations.
+struct IlpDimensions {
+  int variables = 0;      ///< C variables + lambda variables
+  int constraints = 0;    ///< Eq. 2 + Eq. 4 + Eq. 5 rows
+  int channels = 0;       ///< Lambda actually used
+};
+IlpDimensions ilp_dimensions(int ring_size, const IlpExportOptions& options = {});
+
+}  // namespace quartz::wavelength

@@ -1,0 +1,135 @@
+#include "wavelength/lightpath.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace quartz::wavelength {
+namespace {
+
+void require_pair(int ring_size, int src, int dst) {
+  QUARTZ_REQUIRE(ring_size >= 2 && ring_size <= kMaxRingSize, "ring size out of range");
+  QUARTZ_REQUIRE(src >= 0 && src < ring_size, "src out of range");
+  QUARTZ_REQUIRE(dst >= 0 && dst < ring_size, "dst out of range");
+  QUARTZ_REQUIRE(src != dst, "lightpath endpoints must differ");
+}
+
+}  // namespace
+
+int arc_length(int ring_size, int src, int dst, Direction dir) {
+  require_pair(ring_size, src, dst);
+  const int cw = (dst - src + ring_size) % ring_size;
+  return dir == Direction::kClockwise ? cw : ring_size - cw;
+}
+
+int shortest_arc_length(int ring_size, int src, int dst) {
+  const int cw = arc_length(ring_size, src, dst, Direction::kClockwise);
+  return std::min(cw, ring_size - cw);
+}
+
+std::uint64_t segment_mask(int ring_size, int src, int dst, Direction dir) {
+  require_pair(ring_size, src, dst);
+  std::uint64_t mask = 0;
+  if (dir == Direction::kClockwise) {
+    for (int m = src; m != dst; m = (m + 1) % ring_size) mask |= (1ull << m);
+  } else {
+    for (int m = dst; m != src; m = (m + 1) % ring_size) mask |= (1ull << m);
+  }
+  return mask;
+}
+
+std::vector<int> segments_for(int ring_size, int src, int dst, Direction dir) {
+  require_pair(ring_size, src, dst);
+  std::vector<int> out;
+  if (dir == Direction::kClockwise) {
+    for (int m = src; m != dst; m = (m + 1) % ring_size) out.push_back(m);
+  } else {
+    // Counter-clockwise traversal from src crosses segment (src-1),
+    // then (src-2), ... down to segment dst.
+    for (int m = (src - 1 + ring_size) % ring_size; ; m = (m - 1 + ring_size) % ring_size) {
+      out.push_back(m);
+      if (m == dst) break;
+    }
+  }
+  return out;
+}
+
+const Lightpath& Assignment::path_between(int s, int t) const {
+  QUARTZ_REQUIRE(s != t, "no lightpath from a switch to itself");
+  const int lo = std::min(s, t);
+  const int hi = std::max(s, t);
+  for (const auto& p : paths) {
+    if (p.src == lo && p.dst == hi) return p;
+  }
+  QUARTZ_CHECK(false, "pair missing from assignment");
+}
+
+bool verify(const Assignment& assignment, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  const int m = assignment.ring_size;
+  if (m < 2 || m > kMaxRingSize) return fail("ring size out of range");
+  if (static_cast<int>(assignment.paths.size()) != pair_count(m)) {
+    return fail("assignment must cover every switch pair exactly once");
+  }
+
+  std::vector<bool> seen(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), false);
+  int max_channel = -1;
+  for (const auto& p : assignment.paths) {
+    if (p.src < 0 || p.dst >= m || p.src >= p.dst) return fail("non-canonical pair");
+    if (p.channel < 0) {
+      std::ostringstream os;
+      os << "pair (" << p.src << "," << p.dst << ") has no channel";
+      return fail(os.str());
+    }
+    const auto key = static_cast<std::size_t>(p.src) * m + p.dst;
+    if (seen[key]) return fail("duplicate pair in assignment");
+    seen[key] = true;
+    max_channel = std::max(max_channel, p.channel);
+  }
+
+  // Principle (2): a channel appears at most once on every segment.
+  std::vector<std::uint64_t> busy(static_cast<std::size_t>(max_channel) + 1, 0);
+  for (const auto& p : assignment.paths) {
+    const std::uint64_t mask = segment_mask(m, p.src, p.dst, p.dir);
+    auto& channel_busy = busy[static_cast<std::size_t>(p.channel)];
+    if ((channel_busy & mask) != 0) {
+      std::ostringstream os;
+      os << "channel " << p.channel << " reused on a segment of pair (" << p.src << ","
+         << p.dst << ")";
+      return fail(os.str());
+    }
+    channel_busy |= mask;
+  }
+
+  if (assignment.channels_used < max_channel + 1) {
+    return fail("channels_used under-counts the assignment");
+  }
+  return true;
+}
+
+int channel_lower_bound(int ring_size) {
+  QUARTZ_REQUIRE(ring_size >= 2 && ring_size <= kMaxRingSize, "ring size out of range");
+  std::int64_t total = 0;
+  for (int s = 0; s < ring_size; ++s) {
+    for (int t = s + 1; t < ring_size; ++t) {
+      total += shortest_arc_length(ring_size, s, t);
+    }
+  }
+  return static_cast<int>((total + ring_size - 1) / ring_size);
+}
+
+std::vector<int> segment_loads(const Assignment& assignment) {
+  std::vector<int> loads(static_cast<std::size_t>(assignment.ring_size), 0);
+  for (const auto& p : assignment.paths) {
+    for (int seg : segments_for(assignment.ring_size, p.src, p.dst, p.dir)) {
+      ++loads[static_cast<std::size_t>(seg)];
+    }
+  }
+  return loads;
+}
+
+}  // namespace quartz::wavelength

@@ -1,0 +1,80 @@
+// Lightpaths on a WDM ring and the channel-assignment model (§3.1).
+//
+// A Quartz ring has M switches; fiber segment m is the span between
+// switch m and switch (m+1) mod M.  Every unordered switch pair (s,t)
+// owns a dedicated wavelength channel and routes over either the
+// clockwise or the counter-clockwise arc.  Following the paper's ILP
+// (Eq. 2-6), a channel may be used at most once on each physical
+// segment, so a valid assignment is exactly a colouring of the chosen
+// circular arcs in which arcs sharing a segment get distinct colours.
+//
+// Segment sets are stored as 64-bit masks, which caps the ring size at
+// 64 switches — far above both the 35-switch wavelength-feasible limit
+// (Fig. 5) and the 33-switch port-limited mesh (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace quartz::wavelength {
+
+/// Hard cap imposed by the segment-mask representation.
+inline constexpr int kMaxRingSize = 64;
+
+enum class Direction { kClockwise, kCounterClockwise };
+
+/// One switch pair's lightpath: canonical src < dst, a travel
+/// direction, and an assigned channel (-1 while unassigned).
+struct Lightpath {
+  int src = 0;
+  int dst = 0;
+  Direction dir = Direction::kClockwise;
+  int channel = -1;
+
+  friend bool operator==(const Lightpath&, const Lightpath&) = default;
+};
+
+/// Hop count of the (src -> dst) arc in the given direction.
+int arc_length(int ring_size, int src, int dst, Direction dir);
+
+/// Hop count of the shorter arc between src and dst.
+int shortest_arc_length(int ring_size, int src, int dst);
+
+/// Bitmask of the fiber segments the arc crosses (bit m = segment m).
+std::uint64_t segment_mask(int ring_size, int src, int dst, Direction dir);
+
+/// Segment indices in traversal order (for reporting / fault analysis).
+std::vector<int> segments_for(int ring_size, int src, int dst, Direction dir);
+
+/// A complete channel assignment for a ring.
+struct Assignment {
+  int ring_size = 0;
+  std::vector<Lightpath> paths;  ///< all ring_size*(ring_size-1)/2 pairs
+  int channels_used = 0;
+
+  /// Lightpath for the pair (s,t); order-insensitive lookup.
+  const Lightpath& path_between(int s, int t) const;
+};
+
+/// Number of unordered switch pairs in a ring of the given size.
+inline int pair_count(int ring_size) { return ring_size * (ring_size - 1) / 2; }
+
+/// Check the two §3.1 feasibility principles: every pair has a path and
+/// no channel repeats on any segment.  On failure, fills *error (if
+/// non-null) with a diagnostic.
+bool verify(const Assignment& assignment, std::string* error = nullptr);
+
+/// Valid lower bound on the number of channels any assignment needs:
+/// every feasible assignment's channel count is at least its maximum
+/// segment load, and the total segment crossings are minimised by
+/// shortest-arc routing, so ceil(sum of shortest arc lengths / M) is a
+/// floor under every direction choice.
+int channel_lower_bound(int ring_size);
+
+/// Per-segment load (lightpaths crossing each segment) of an assignment.
+std::vector<int> segment_loads(const Assignment& assignment);
+
+}  // namespace quartz::wavelength

@@ -1,0 +1,101 @@
+#include "core/configurator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::core {
+namespace {
+
+TEST(LatencyModel, SingleRingBeatsTwoTier) {
+  // Table 8 small-DC rows: 33% reduction at low utilization, ~50% at
+  // high (one fewer hop plus no shared aggregation tier).
+  const double tree_low = estimate_latency_us(DesignChoice::kTwoTierTree, Utilization::kLow);
+  const double ring_low =
+      estimate_latency_us(DesignChoice::kSingleQuartzRing, Utilization::kLow);
+  EXPECT_NEAR(1.0 - ring_low / tree_low, 0.33, 0.03);
+
+  const double tree_high = estimate_latency_us(DesignChoice::kTwoTierTree, Utilization::kHigh);
+  const double ring_high =
+      estimate_latency_us(DesignChoice::kSingleQuartzRing, Utilization::kHigh);
+  EXPECT_NEAR(1.0 - ring_high / tree_high, 0.50, 0.05);
+}
+
+TEST(LatencyModel, HighUtilizationCostsMore) {
+  for (auto choice : {DesignChoice::kTwoTierTree, DesignChoice::kThreeTierTree,
+                      DesignChoice::kSingleQuartzRing, DesignChoice::kQuartzInEdge,
+                      DesignChoice::kQuartzInCore, DesignChoice::kQuartzInEdgeAndCore}) {
+    EXPECT_GT(estimate_latency_us(choice, Utilization::kHigh),
+              estimate_latency_us(choice, Utilization::kLow))
+        << design_choice_name(choice);
+  }
+}
+
+TEST(LatencyModel, TreeDominatedByCcsCore) {
+  const double tree = estimate_latency_us(DesignChoice::kThreeTierTree, Utilization::kLow);
+  // 70% of traffic crosses the 6us core: the mean must exceed 4us.
+  EXPECT_GT(tree, 4.0);
+}
+
+TEST(LatencyModel, EdgeAndCoreRemovesCcsEntirely) {
+  const double tree = estimate_latency_us(DesignChoice::kThreeTierTree, Utilization::kHigh);
+  const double both =
+      estimate_latency_us(DesignChoice::kQuartzInEdgeAndCore, Utilization::kHigh);
+  // §4.4: more than 74% reduction for the large/high scenario.
+  EXPECT_GT(1.0 - both / tree, 0.70);
+}
+
+TEST(LatencyModel, PathLatencyMonotoneInRho) {
+  const auto hops = path_profile(DesignChoice::kThreeTierTree);
+  double previous = 0.0;
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double latency = path_latency_us(hops, rho);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+  EXPECT_THROW(path_latency_us(hops, 1.0), std::invalid_argument);
+}
+
+TEST(Configurator, ProducesSixScenarios) {
+  const auto rows = run_configurator();
+  ASSERT_EQ(rows.size(), 6u);
+  // Scenario order: small/low, small/high, medium/low, medium/high,
+  // large/low, large/high.
+  EXPECT_EQ(rows[0].size, DcSize::kSmall);
+  EXPECT_EQ(rows[5].size, DcSize::kLarge);
+  EXPECT_EQ(rows[5].quartz, DesignChoice::kQuartzInEdgeAndCore);
+}
+
+TEST(Configurator, EveryRowReducesLatency) {
+  for (const auto& row : run_configurator()) {
+    EXPECT_GT(row.latency_reduction_percent, 15.0)
+        << dc_size_name(row.size) << "/" << utilization_name(row.utilization);
+    EXPECT_LT(row.latency_reduction_percent, 95.0);
+  }
+}
+
+TEST(Configurator, CostPremiumStaysModest) {
+  // Table 8: the worst-case premium in the paper is 17%.
+  for (const auto& row : run_configurator()) {
+    EXPECT_LT(row.cost_increase_percent, 35.0);
+    EXPECT_GT(row.cost_increase_percent, -25.0);
+  }
+}
+
+TEST(Configurator, HighUtilizationReducesAtLeastAsMuch) {
+  const auto rows = run_configurator();
+  // Within each size, the high-utilization row benefits at least as
+  // much as the low one (cross-traffic hits trees hardest).
+  EXPECT_GE(rows[1].latency_reduction_percent, rows[0].latency_reduction_percent - 1e-9);
+  EXPECT_GE(rows[3].latency_reduction_percent, rows[2].latency_reduction_percent - 1e-9);
+}
+
+TEST(Configurator, ScenarioHelperNames) {
+  EXPECT_EQ(servers_for(DcSize::kSmall), 500);
+  EXPECT_EQ(servers_for(DcSize::kMedium), 10'000);
+  EXPECT_EQ(servers_for(DcSize::kLarge), 100'000);
+  EXPECT_DOUBLE_EQ(rho_for(Utilization::kLow), 0.5);
+  EXPECT_DOUBLE_EQ(rho_for(Utilization::kHigh), 0.7);
+  EXPECT_EQ(design_choice_name(DesignChoice::kQuartzInCore), "quartz in core");
+}
+
+}  // namespace
+}  // namespace quartz::core

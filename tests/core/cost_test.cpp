@@ -1,0 +1,110 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::core {
+namespace {
+
+TEST(Cost, TwoTierSmallDc) {
+  const CostBreakdown c = cost_two_tier({}, 500);
+  EXPECT_EQ(c.servers, 500);
+  EXPECT_EQ(c.ull_switches, 12);  // 11 ToRs + 1 agg
+  EXPECT_EQ(c.ccs_switches, 0);
+  EXPECT_GT(c.per_server_usd, 100.0);
+  EXPECT_LT(c.per_server_usd, 2000.0);
+}
+
+TEST(Cost, ThreeTierUsesCcsCores) {
+  const CostBreakdown c = cost_three_tier({}, 10'000);
+  EXPECT_GE(c.ccs_switches, 2);
+  EXPECT_GT(c.ull_switches, 200);
+}
+
+TEST(Cost, SingleRingSizesToDemand) {
+  const CostBreakdown c = cost_quartz_single_ring({}, 500);
+  EXPECT_EQ(c.quartz_rings, 1);
+  EXPECT_GT(c.ull_switches, 2);
+  EXPECT_LE(c.ull_switches, 35);
+  EXPECT_GT(c.dwdm_transceivers, 0);
+  EXPECT_GT(c.muxes, 0);
+  // A single ring cannot serve 10k servers.
+  EXPECT_THROW(cost_quartz_single_ring({}, 10'000), std::invalid_argument);
+}
+
+TEST(Cost, QuartzPremiumIsModest) {
+  // Table 8: the Quartz premium over the same-size tree is small
+  // (paper: +7% small, +13% medium).
+  const double small_tree = cost_two_tier({}, 500).per_server_usd;
+  const double small_ring = cost_quartz_single_ring({}, 500).per_server_usd;
+  EXPECT_GT(small_ring, small_tree * 0.9);
+  EXPECT_LT(small_ring, small_tree * 1.4);
+
+  const double medium_tree = cost_three_tier({}, 10'000).per_server_usd;
+  const double medium_edge = cost_quartz_in_edge({}, 10'000).per_server_usd;
+  EXPECT_GT(medium_edge, medium_tree);
+  EXPECT_LT(medium_edge, medium_tree * 1.35);
+}
+
+TEST(Cost, QuartzInCoreCompetitiveAtScale) {
+  // Table 8's large-DC row: replacing CCS chassis with Quartz rings
+  // does not increase cost per server materially.
+  const double tree = cost_three_tier({}, 100'000).per_server_usd;
+  const double core = cost_quartz_in_core({}, 100'000).per_server_usd;
+  EXPECT_NEAR(core, tree, tree * 0.15);
+}
+
+TEST(Cost, PerServerDecreasesWithScaleForTrees) {
+  const double small = cost_three_tier({}, 5'000).per_server_usd;
+  const double large = cost_three_tier({}, 100'000).per_server_usd;
+  EXPECT_LT(large, small * 1.2);
+}
+
+TEST(Cost, CatalogPricesPropagate) {
+  PriceCatalog expensive;
+  expensive.ull_switch_usd *= 2;
+  const double base = cost_two_tier({}, 1'000).per_server_usd;
+  const double doubled = cost_two_tier(expensive, 1'000).per_server_usd;
+  EXPECT_GT(doubled, base * 1.5);
+}
+
+TEST(Cost, EdgeAndCoreAddsCoreRings) {
+  const CostBreakdown edge = cost_quartz_in_edge({}, 20'000);
+  const CostBreakdown both = cost_quartz_in_edge_and_core({}, 20'000);
+  EXPECT_GT(both.quartz_rings, edge.quartz_rings);
+  EXPECT_EQ(both.ccs_switches, 0);
+  EXPECT_GT(edge.ccs_switches, 0);
+}
+
+TEST(Cost, TotalsAreSumOfParts) {
+  const PriceCatalog catalog;
+  const CostBreakdown c = cost_quartz_single_ring(catalog, 300);
+  const double expected = c.ull_switches * catalog.ull_switch_usd +
+                          c.ccs_switches * catalog.ccs_switch_usd +
+                          c.dwdm_transceivers * catalog.dwdm_transceiver_usd +
+                          c.sr_transceivers * catalog.sr_transceiver_usd +
+                          c.muxes * catalog.mux_usd + c.amplifiers * catalog.edfa_usd +
+                          c.cables * catalog.cable_usd;
+  EXPECT_DOUBLE_EQ(c.total_usd, expected);
+  EXPECT_DOUBLE_EQ(c.per_server_usd, c.total_usd / 300);
+}
+
+TEST(Cost, RejectsZeroServers) {
+  EXPECT_THROW(cost_two_tier({}, 0), std::invalid_argument);
+  EXPECT_THROW(cost_three_tier({}, -5), std::invalid_argument);
+}
+
+class CostScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostScaleSweep, AllModelsProducePositiveCosts) {
+  const int servers = GetParam();
+  EXPECT_GT(cost_three_tier({}, servers).total_usd, 0.0);
+  EXPECT_GT(cost_quartz_in_edge({}, servers).total_usd, 0.0);
+  EXPECT_GT(cost_quartz_in_core({}, servers).total_usd, 0.0);
+  EXPECT_GT(cost_quartz_in_edge_and_core({}, servers).total_usd, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CostScaleSweep,
+                         ::testing::Values(500, 2'000, 10'000, 50'000, 100'000));
+
+}  // namespace
+}  // namespace quartz::core

@@ -1,0 +1,189 @@
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavelength/assign.hpp"
+
+namespace quartz::core {
+namespace {
+
+TEST(FaultTrial, NoFailuresNoLoss) {
+  const auto plan = wavelength::greedy_assign(8);
+  const FaultTrial trial = evaluate_failures(plan, 1, {});
+  EXPECT_EQ(trial.lost_lightpaths, 0);
+  EXPECT_FALSE(trial.partitioned);
+  EXPECT_EQ(trial.total_lightpaths, 28);
+}
+
+TEST(FaultTrial, SingleCutLosesCrossingPaths) {
+  const auto plan = wavelength::greedy_assign(8);
+  const FaultTrial trial = evaluate_failures(plan, 1, {{0, 0}});
+  // Load on segment 0 with balanced routing is about M^2/8 = 8.
+  EXPECT_GT(trial.lost_lightpaths, 0);
+  EXPECT_LT(trial.lost_lightpaths, trial.total_lightpaths);
+  EXPECT_FALSE(trial.partitioned);
+}
+
+TEST(FaultTrial, TwoCutsOnOneRingAlwaysPartition) {
+  // Two cuts split a single physical ring into two arcs; every
+  // lightpath between the arcs crosses a cut, so the mesh partitions.
+  const auto plan = wavelength::greedy_assign(12);
+  for (int second = 1; second < 12; ++second) {
+    const FaultTrial trial = evaluate_failures(plan, 1, {{0, 0}, {0, second}});
+    EXPECT_TRUE(trial.partitioned) << "second cut at " << second;
+  }
+}
+
+TEST(FaultTrial, TwoRingsSurviveTwoCutsOnDifferentRings) {
+  const auto plan = wavelength::greedy_assign(12);
+  const FaultTrial trial = evaluate_failures(plan, 2, {{0, 0}, {1, 6}});
+  EXPECT_FALSE(trial.partitioned);
+}
+
+TEST(FaultTrial, RejectsOutOfRangeFailures) {
+  const auto plan = wavelength::greedy_assign(6);
+  EXPECT_THROW(evaluate_failures(plan, 1, {{1, 0}}), std::invalid_argument);
+  EXPECT_THROW(evaluate_failures(plan, 1, {{0, 6}}), std::invalid_argument);
+}
+
+TEST(Fault, SingleRingLossMatchesLinkLoad) {
+  // Fig. 6 top: one failure on a single ring loses ~20-26% of the
+  // bandwidth (the fraction of lightpaths crossing one segment).
+  FaultParams params;
+  params.switches = 33;
+  params.physical_rings = 1;
+  params.failed_links = 1;
+  params.trials = 2000;
+  const FaultResult result = analyze_faults(params);
+  EXPECT_GT(result.mean_bandwidth_loss, 0.15);
+  EXPECT_LT(result.mean_bandwidth_loss, 0.30);
+  EXPECT_DOUBLE_EQ(result.partition_probability, 0.0);
+}
+
+TEST(Fault, LossScalesInverselyWithRings) {
+  FaultParams params;
+  params.switches = 33;
+  params.failed_links = 1;
+  params.trials = 2000;
+  params.physical_rings = 1;
+  const double one_ring = analyze_faults(params).mean_bandwidth_loss;
+  params.physical_rings = 4;
+  const double four_rings = analyze_faults(params).mean_bandwidth_loss;
+  // Fig. 6: ~20% with one ring vs ~6% with four.
+  EXPECT_NEAR(four_rings, one_ring / 4.0, one_ring * 0.15);
+}
+
+TEST(Fault, SingleRingPartitionsAtTwoFailures) {
+  FaultParams params;
+  params.switches = 33;
+  params.physical_rings = 1;
+  params.failed_links = 2;
+  params.trials = 500;
+  // Fig. 6 bottom: "more than 90%" — structurally it is certain.
+  EXPECT_GT(analyze_faults(params).partition_probability, 0.9);
+}
+
+TEST(Fault, TwoRingsAlmostNeverPartition) {
+  // Fig. 6's headline: with two rings, four simultaneous failures
+  // partition with probability ~0.24%.
+  FaultParams params;
+  params.switches = 33;
+  params.physical_rings = 2;
+  params.failed_links = 4;
+  params.trials = 20000;
+  const double p = analyze_faults(params).partition_probability;
+  EXPECT_LT(p, 0.01);
+  EXPECT_GT(p, 0.0);  // but it is possible
+}
+
+TEST(Fault, DeterministicForSeed) {
+  FaultParams params;
+  params.trials = 500;
+  params.failed_links = 2;
+  params.physical_rings = 2;
+  const FaultResult a = analyze_faults(params);
+  const FaultResult b = analyze_faults(params);
+  EXPECT_DOUBLE_EQ(a.mean_bandwidth_loss, b.mean_bandwidth_loss);
+  EXPECT_DOUBLE_EQ(a.partition_probability, b.partition_probability);
+}
+
+TEST(Fault, MoreFailuresMoreLoss) {
+  FaultParams params;
+  params.switches = 17;
+  params.physical_rings = 2;
+  params.trials = 1000;
+  double previous = 0.0;
+  for (int fails = 1; fails <= 4; ++fails) {
+    params.failed_links = fails;
+    const double loss = analyze_faults(params).mean_bandwidth_loss;
+    EXPECT_GT(loss, previous);
+    previous = loss;
+  }
+}
+
+TEST(Fault, RejectsBadParams) {
+  FaultParams params;
+  params.failed_links = 1000;
+  EXPECT_THROW(analyze_faults(params), std::invalid_argument);
+  params.failed_links = 1;
+  params.trials = 0;
+  EXPECT_THROW(analyze_faults(params), std::invalid_argument);
+}
+
+TEST(Availability, PerfectFiberMeansFullAvailability) {
+  AvailabilityParams params;
+  params.cuts_per_km_per_year = 0.0;
+  params.trials = 200;
+  const AvailabilityResult r = analyze_availability(params);
+  EXPECT_DOUBLE_EQ(r.segment_down_probability, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_bandwidth_availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.partition_minutes_per_year, 0.0);
+}
+
+TEST(Availability, MoreRingsCutPartitionTimeNotLoss) {
+  // Under a fixed per-segment failure *rate*, striping over more rings
+  // does not change expected bandwidth loss (every lightpath still
+  // crosses the same number of independently-failing segments) — what
+  // extra rings buy is partition resistance.  This distinguishes the
+  // steady-state view from Fig. 6's fixed-failure-count view.
+  AvailabilityParams params;
+  params.cuts_per_km_per_year = 200.0;  // absurdly bad plant to get signal
+  params.trials = 20'000;
+  params.physical_rings = 1;
+  const auto one = analyze_availability(params);
+  params.physical_rings = 4;
+  const auto four = analyze_availability(params);
+  EXPECT_NEAR(four.mean_bandwidth_availability, one.mean_bandwidth_availability, 0.01);
+  EXPECT_LT(four.partition_minutes_per_year, one.partition_minutes_per_year * 0.25);
+}
+
+TEST(Availability, RealisticPlantIsThreeNinesPlus) {
+  // Pessimistic plant (0.5 cuts/km/year) on 2 rings: each of the 66
+  // segments is down with p ~ 4.6e-5, so expected bandwidth
+  // availability is ~1 - p*66*0.13 ~ 0.9996 and partitions (needing
+  // two co-located cuts) are vanishingly rare.
+  AvailabilityParams params;
+  params.trials = 50'000;
+  const auto r = analyze_availability(params);
+  EXPECT_GT(r.mean_bandwidth_availability, 0.999);
+  EXPECT_LT(r.partition_minutes_per_year, 5.0);
+}
+
+TEST(Availability, DownProbabilityFormula) {
+  AvailabilityParams params;
+  params.cuts_per_km_per_year = 1.0;
+  params.span_km = 1.0;
+  params.mttr_hours = 8766.0;  // down a whole year per cut
+  params.trials = 10;
+  const auto r = analyze_availability(params);
+  EXPECT_DOUBLE_EQ(r.segment_down_probability, 1.0);
+}
+
+TEST(Availability, RejectsNegativeRates) {
+  AvailabilityParams params;
+  params.cuts_per_km_per_year = -1.0;
+  EXPECT_THROW(analyze_availability(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::core

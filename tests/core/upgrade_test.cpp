@@ -1,0 +1,79 @@
+#include "core/upgrade.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::core {
+namespace {
+
+TEST(Upgrade, ReachesTarget) {
+  const auto plan = plan_incremental_growth({});
+  ASSERT_FALSE(plan.empty());
+  EXPECT_GE(plan.back().ports_supported, 1056);
+  EXPECT_EQ(plan.front().ring_size, 2);
+  EXPECT_EQ(plan.back().ring_size, 33);
+}
+
+TEST(Upgrade, CumulativeCostsMonotone) {
+  const auto plan = plan_incremental_growth({});
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GT(plan[i].quartz_cumulative_usd, plan[i - 1].quartz_cumulative_usd);
+    EXPECT_GE(plan[i].chassis_cumulative_usd, plan[i - 1].chassis_cumulative_usd);
+    EXPECT_EQ(plan[i].ring_size, plan[i - 1].ring_size + 1);
+  }
+}
+
+TEST(Upgrade, StepCostsSumToCumulative) {
+  const auto plan = plan_incremental_growth({});
+  double sum = 0.0;
+  for (const auto& step : plan) sum += step.step_cost_usd;
+  EXPECT_NEAR(sum, plan.back().quartz_cumulative_usd, 1e-6);
+}
+
+TEST(Upgrade, QuartzCheaperEarlyOn) {
+  // §4.2: the chassis path pays the big box up front; the quartz path
+  // must undercut it for every early step.
+  const auto plan = plan_incremental_growth({});
+  for (const auto& step : plan) {
+    if (step.ports_supported <= 512) {
+      EXPECT_LT(step.quartz_cumulative_usd, step.chassis_cumulative_usd)
+          << "at " << step.ports_supported << " ports";
+    }
+  }
+}
+
+TEST(Upgrade, NoGiantStep) {
+  // Incremental means no single step dominates the spend.
+  const auto plan = plan_incremental_growth({});
+  EXPECT_LT(max_step_fraction(plan), 0.35);
+}
+
+TEST(Upgrade, SecondRingAppearsWhenMuxOverflows) {
+  const auto plan = plan_incremental_growth({});
+  int transition = -1;
+  for (const auto& step : plan) {
+    if (step.physical_rings == 2 && transition < 0) transition = step.ring_size;
+    EXPECT_LE(step.channels, step.physical_rings * 80);
+  }
+  EXPECT_GT(transition, 20);  // 80 channels last until M ~ 25
+  EXPECT_LT(transition, 30);
+}
+
+TEST(Upgrade, CustomTarget) {
+  UpgradePlanParams params;
+  params.target_ports = 256;
+  const auto plan = plan_incremental_growth({}, params);
+  EXPECT_GE(plan.back().ports_supported, 256);
+  EXPECT_LT(plan.back().ports_supported, 256 + params.ports_per_switch);
+}
+
+TEST(Upgrade, RejectsBadParams) {
+  UpgradePlanParams params;
+  params.target_ports = 0;
+  EXPECT_THROW(plan_incremental_growth({}, params), std::invalid_argument);
+  params.target_ports = 1'000'000;  // beyond a single ring
+  EXPECT_THROW(plan_incremental_growth({}, params), std::invalid_argument);
+  EXPECT_THROW(max_step_fraction({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::core

@@ -1,0 +1,126 @@
+// Fig. 10's qualitative claims as assertions.
+#include "flow/bisection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::flow {
+namespace {
+
+BisectionParams small_params() {
+  BisectionParams p;
+  p.racks = 8;
+  p.hosts_per_rack = 8;
+  return p;
+}
+
+TEST(Bisection, FullBisectionPermutationIsIdeal) {
+  const auto r =
+      run_bisection(FabricUnderTest::kFullBisection, ThroughputPattern::kPermutation,
+                    small_params());
+  EXPECT_NEAR(r.normalized_throughput, 1.0, 1e-9);
+}
+
+TEST(Bisection, HalfAndQuarterScaleAsNamed) {
+  const auto half = run_bisection(FabricUnderTest::kHalfBisection,
+                                  ThroughputPattern::kPermutation, small_params());
+  const auto quarter = run_bisection(FabricUnderTest::kQuarterBisection,
+                                     ThroughputPattern::kPermutation, small_params());
+  // Permutation traffic is mostly cross-rack; uplinks cap throughput
+  // near the bisection fraction.
+  // With 8 racks, 1/8 of permutation traffic stays in-rack and is not
+  // uplink-limited, lifting both numbers slightly above the fraction.
+  EXPECT_NEAR(half.normalized_throughput, 0.55, 0.12);
+  EXPECT_NEAR(quarter.normalized_throughput, 0.33, 0.12);
+  EXPECT_GT(half.normalized_throughput, quarter.normalized_throughput);
+}
+
+TEST(Bisection, QuartzBeatsHalfBisectionEverywhere) {
+  // The paper's conclusion from Fig. 10: Quartz sits between 1/2 and
+  // full bisection for all three patterns.
+  for (auto pattern : {ThroughputPattern::kPermutation, ThroughputPattern::kIncast,
+                       ThroughputPattern::kRackShuffle}) {
+    const auto quartz = run_bisection(FabricUnderTest::kQuartz, pattern, small_params());
+    const auto half = run_bisection(FabricUnderTest::kHalfBisection, pattern, small_params());
+    const auto full =
+        run_bisection(FabricUnderTest::kFullBisection, pattern, small_params());
+    EXPECT_GT(quartz.normalized_throughput, half.normalized_throughput)
+        << throughput_pattern_name(pattern);
+    EXPECT_LE(quartz.normalized_throughput, full.normalized_throughput + 1e-9)
+        << throughput_pattern_name(pattern);
+  }
+}
+
+TEST(Bisection, QuartzPermutationNearFull) {
+  // Fig. 10: ~0.9 of full bisection for random permutation.
+  const auto r = run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kPermutation,
+                               small_params());
+  EXPECT_GT(r.normalized_throughput, 0.75);
+}
+
+TEST(Bisection, QuartzIncastNearFull) {
+  const auto quartz =
+      run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kIncast, small_params());
+  const auto full =
+      run_bisection(FabricUnderTest::kFullBisection, ThroughputPattern::kIncast, small_params());
+  EXPECT_GT(quartz.normalized_throughput, 0.85 * full.normalized_throughput);
+}
+
+TEST(Bisection, TwoHopRoutingRescuesShuffle) {
+  // §3.4: concentrated rack-to-rack traffic needs VLB; direct-only
+  // routing collapses to the single lightpath's share.
+  const auto direct = run_bisection(FabricUnderTest::kQuartzDirectOnly,
+                                    ThroughputPattern::kRackShuffle, small_params());
+  const auto vlb =
+      run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kRackShuffle, small_params());
+  EXPECT_GT(vlb.normalized_throughput, direct.normalized_throughput * 1.2);
+}
+
+TEST(Bisection, FlowCountsMatchPattern) {
+  const auto perm = run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kPermutation,
+                                  small_params());
+  EXPECT_EQ(perm.flows, 64);
+  BisectionParams p = small_params();
+  p.incast_fan_in = 5;
+  const auto inc = run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kIncast, p);
+  EXPECT_EQ(inc.flows, 64 * 5);
+}
+
+TEST(Bisection, DeterministicForSeed) {
+  const auto a =
+      run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kRackShuffle, small_params());
+  const auto b =
+      run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kRackShuffle, small_params());
+  EXPECT_DOUBLE_EQ(a.normalized_throughput, b.normalized_throughput);
+}
+
+TEST(Bisection, RejectsTinyFabric) {
+  BisectionParams p;
+  p.racks = 1;
+  EXPECT_THROW(
+      run_bisection(FabricUnderTest::kQuartz, ThroughputPattern::kPermutation, p),
+      std::invalid_argument);
+}
+
+class BisectionPatternSweep
+    : public ::testing::TestWithParam<std::tuple<FabricUnderTest, ThroughputPattern>> {};
+
+TEST_P(BisectionPatternSweep, NormalizedThroughputInUnitRange) {
+  const auto [fabric, pattern] = GetParam();
+  const auto r = run_bisection(fabric, pattern, small_params());
+  EXPECT_GT(r.normalized_throughput, 0.0);
+  EXPECT_LE(r.normalized_throughput, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, BisectionPatternSweep,
+    ::testing::Combine(::testing::Values(FabricUnderTest::kFullBisection,
+                                         FabricUnderTest::kQuartz,
+                                         FabricUnderTest::kQuartzDirectOnly,
+                                         FabricUnderTest::kHalfBisection,
+                                         FabricUnderTest::kQuarterBisection),
+                       ::testing::Values(ThroughputPattern::kPermutation,
+                                         ThroughputPattern::kIncast,
+                                         ThroughputPattern::kRackShuffle)));
+
+}  // namespace
+}  // namespace quartz::flow

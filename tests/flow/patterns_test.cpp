@@ -1,0 +1,136 @@
+#include "flow/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace quartz::flow {
+namespace {
+
+using topo::NodeId;
+
+std::vector<NodeId> make_hosts(int n) {
+  std::vector<NodeId> hosts;
+  for (int i = 0; i < n; ++i) hosts.push_back(i);
+  return hosts;
+}
+
+std::vector<std::vector<NodeId>> make_racks(int racks, int per_rack) {
+  std::vector<std::vector<NodeId>> out;
+  NodeId next = 0;
+  for (int r = 0; r < racks; ++r) {
+    std::vector<NodeId> rack;
+    for (int i = 0; i < per_rack; ++i) rack.push_back(next++);
+    out.push_back(std::move(rack));
+  }
+  return out;
+}
+
+TEST(Permutation, EveryoneSendsAndReceivesOnce) {
+  Rng rng(1);
+  const auto hosts = make_hosts(50);
+  const auto pairs = random_permutation(hosts, rng);
+  ASSERT_EQ(pairs.size(), 50u);
+  std::set<NodeId> sources, sinks;
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.src, p.dst) << "fixed point";
+    sources.insert(p.src);
+    sinks.insert(p.dst);
+  }
+  EXPECT_EQ(sources.size(), 50u);
+  EXPECT_EQ(sinks.size(), 50u);
+}
+
+TEST(Permutation, NoFixedPointsAcrossSeeds) {
+  const auto hosts = make_hosts(17);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    for (const auto& p : random_permutation(hosts, rng)) {
+      EXPECT_NE(p.src, p.dst) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Permutation, RejectsTooFewHosts) {
+  Rng rng(1);
+  EXPECT_THROW(random_permutation(make_hosts(1), rng), std::invalid_argument);
+}
+
+TEST(Incast, EveryHostReceivesFanIn) {
+  Rng rng(2);
+  const auto hosts = make_hosts(30);
+  const auto pairs = incast(hosts, 10, rng);
+  EXPECT_EQ(pairs.size(), 300u);
+  std::map<NodeId, std::set<NodeId>> senders_of;
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.src, p.dst);
+    senders_of[p.dst].insert(p.src);
+  }
+  for (NodeId h : hosts) {
+    EXPECT_EQ(senders_of[h].size(), 10u) << "host " << h;
+  }
+}
+
+TEST(Incast, RejectsFanInTooLarge) {
+  Rng rng(3);
+  EXPECT_THROW(incast(make_hosts(5), 5, rng), std::invalid_argument);
+  EXPECT_THROW(incast(make_hosts(5), 0, rng), std::invalid_argument);
+}
+
+TEST(RackShuffle, EverySourceSendsOnce) {
+  Rng rng(4);
+  const auto racks = make_racks(8, 4);
+  const auto pairs = rack_shuffle(racks, 4, rng);
+  EXPECT_EQ(pairs.size(), 32u);
+  std::set<NodeId> sources;
+  for (const auto& p : pairs) sources.insert(p.src);
+  EXPECT_EQ(sources.size(), 32u);
+}
+
+TEST(RackShuffle, DestinationsOutsideSourceRack) {
+  Rng rng(5);
+  const auto racks = make_racks(6, 5);
+  for (const auto& p : rack_shuffle(racks, 3, rng)) {
+    const int src_rack = static_cast<int>(p.src) / 5;
+    const int dst_rack = static_cast<int>(p.dst) / 5;
+    EXPECT_NE(src_rack, dst_rack);
+  }
+}
+
+TEST(RackShuffle, UsesRequestedTargetCount) {
+  Rng rng(6);
+  const auto racks = make_racks(10, 8);
+  const auto pairs = rack_shuffle(racks, 2, rng);
+  // Each source rack's flows land in exactly 2 destination racks.
+  std::map<int, std::set<int>> targets_of;
+  for (const auto& p : pairs) {
+    targets_of[static_cast<int>(p.src) / 8].insert(static_cast<int>(p.dst) / 8);
+  }
+  for (const auto& [rack, targets] : targets_of) {
+    EXPECT_EQ(targets.size(), 2u) << "rack " << rack;
+  }
+}
+
+TEST(RackShuffle, ReceiversMostlyDistinct) {
+  Rng rng(7);
+  const auto racks = make_racks(8, 8);
+  const auto pairs = rack_shuffle(racks, 4, rng);
+  std::map<NodeId, int> incoming;
+  for (const auto& p : pairs) ++incoming[p.dst];
+  // Collision-free where possible: no receiver should see more than a
+  // few incoming flows (perfect balance would be exactly 1 on average).
+  for (const auto& [host, count] : incoming) {
+    EXPECT_LE(count, 4) << "host " << host;
+  }
+}
+
+TEST(RackShuffle, RejectsBadArguments) {
+  Rng rng(8);
+  EXPECT_THROW(rack_shuffle(make_racks(1, 4), 1, rng), std::invalid_argument);
+  EXPECT_THROW(rack_shuffle(make_racks(4, 4), 4, rng), std::invalid_argument);
+  EXPECT_THROW(rack_shuffle(make_racks(4, 4), 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::flow

@@ -1,0 +1,167 @@
+#include "optical/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::optical {
+namespace {
+
+RingBudgetParams paper_params(std::size_t ring_size) {
+  RingBudgetParams params;
+  params.ring_size = ring_size;
+  params.transceiver = TransceiverSpec::dwdm_10g();
+  params.mux = MuxDemuxSpec::dwdm_80ch();
+  params.amplifier = AmplifierSpec::edfa_80ch();
+  return params;
+}
+
+TEST(Budget, PaperMuxBudgetIs3point17) {
+  // §3.3: (4 dBm - (-15 dBm)) / 6 dB = 3.17 mux traversals.
+  const double muxes =
+      max_muxes_without_amplification(TransceiverSpec::dwdm_10g(), MuxDemuxSpec::dwdm_80ch());
+  EXPECT_NEAR(muxes, 19.0 / 6.0, 1e-12);
+}
+
+TEST(Budget, WorstCaseHops) {
+  EXPECT_EQ(worst_case_hops(4), 2u);
+  EXPECT_EQ(worst_case_hops(24), 12u);
+  EXPECT_EQ(worst_case_hops(33), 16u);
+}
+
+TEST(Budget, PaperRuleOneAmpPerTwoSwitches) {
+  EXPECT_EQ(paper_rule_amplifier_count(24), 12u);
+  EXPECT_EQ(paper_rule_amplifier_count(33), 17u);
+}
+
+TEST(Budget, TwentyFourNodeRingIsFeasible) {
+  const AmplifierPlan plan = plan_ring_amplifiers(paper_params(24));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.amplifier_count(), 0u);
+  EXPECT_TRUE(validate_plan(paper_params(24), plan));
+}
+
+TEST(Budget, EveryReceiverAboveSensitivity) {
+  const auto params = paper_params(24);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  for (std::size_t src = 0; src < params.ring_size; ++src) {
+    for (std::size_t hops = 1; hops <= worst_case_hops(params.ring_size); ++hops) {
+      EXPECT_GE(receive_power(params, plan, src, hops), params.transceiver.sensitivity)
+          << "src=" << src << " hops=" << hops;
+    }
+  }
+}
+
+TEST(Budget, SmallRingNeedsNoAmplifiers) {
+  // One hop costs 2 muxes = 12 dB < the 19 dB budget; the §6 4-switch
+  // prototype ran without amplifiers.
+  const AmplifierPlan plan = plan_ring_amplifiers(paper_params(3));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.amplifier_count(), 0u);
+}
+
+TEST(Budget, PrototypeCwdmRingNeedsNoAmplifiers) {
+  RingBudgetParams params;
+  params.ring_size = 4;
+  params.transceiver = TransceiverSpec::cwdm_1g();
+  params.mux = MuxDemuxSpec::cwdm_4ch();
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.amplifier_count(), 0u);
+}
+
+TEST(Budget, PrototypeNeedsAttenuators) {
+  // §6: "We actually need to use attenuators to protect the receivers
+  // from overloading" — a 1-hop CWDM path arrives hot.
+  RingBudgetParams params;
+  params.ring_size = 4;
+  params.transceiver = TransceiverSpec::cwdm_1g();
+  params.mux = MuxDemuxSpec::cwdm_4ch();
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.attenuator_nodes.empty());
+}
+
+TEST(Budget, SingleSwitchRingTrivial) {
+  const AmplifierPlan plan = plan_ring_amplifiers(paper_params(1));
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.amplifier_count(), 0u);
+}
+
+TEST(Budget, UnamplifiableLinkIsInfeasible) {
+  auto params = paper_params(8);
+  // A mux so lossy that even one hop with an amplifier cannot close the
+  // budget.
+  params.mux.insertion_loss = GainDb{40.0};
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Budget, AmplifierCostAccounted) {
+  const AmplifierPlan plan = plan_ring_amplifiers(paper_params(24));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.amplifier_cost_usd,
+                   static_cast<double>(plan.amplifier_count()) *
+                       AmplifierSpec::edfa_80ch().price_usd);
+}
+
+TEST(Osnr, NoAmplifierMeansNoiseFree) {
+  // A 3-ring's longest lightpath is one hop (12 dB < the 19 dB budget),
+  // so no amplifier and therefore no ASE noise.
+  const auto params = paper_params(3);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.amplifier_count(), 0u);
+  EXPECT_GE(osnr_db(params, plan, 0, 1), 200.0);
+}
+
+TEST(Osnr, DegradesWithCascadedAmplifiers) {
+  const auto params = paper_params(24);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  const double one_hop = osnr_db(params, plan, 0, 1);
+  const double six_hops = osnr_db(params, plan, 0, 6);
+  const double twelve_hops = osnr_db(params, plan, 0, 12);
+  EXPECT_GT(one_hop, six_hops);
+  EXPECT_GT(six_hops, twelve_hops);
+}
+
+TEST(Osnr, PaperRingMeetsTenGigThreshold) {
+  // The §3.3 design must be OSNR-feasible, not just power-feasible.
+  const auto params = paper_params(24);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(worst_case_osnr_db(params, plan), kRequiredOsnrDb10G);
+}
+
+TEST(Osnr, WorseNoiseFigureLowersOsnr) {
+  const auto params = paper_params(24);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  OsnrParams quiet;
+  quiet.noise_figure = GainDb{4.0};
+  OsnrParams noisy;
+  noisy.noise_figure = GainDb{8.0};
+  EXPECT_GT(worst_case_osnr_db(params, plan, quiet),
+            worst_case_osnr_db(params, plan, noisy));
+}
+
+TEST(Osnr, RejectsBadArguments) {
+  const auto params = paper_params(8);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  EXPECT_THROW(osnr_db(params, plan, 8, 1), std::invalid_argument);
+  EXPECT_THROW(osnr_db(params, plan, 0, 5), std::invalid_argument);
+}
+
+class BudgetRingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BudgetRingSweep, PlanIsValidAcrossRingSizes) {
+  const auto params = paper_params(GetParam());
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible) << "ring=" << GetParam();
+  EXPECT_TRUE(validate_plan(params, plan)) << "ring=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, BudgetRingSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16, 24, 33, 35));
+
+}  // namespace
+}  // namespace quartz::optical

@@ -1,0 +1,47 @@
+#include "optical/db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::optical {
+namespace {
+
+TEST(Db, PowerPlusGain) {
+  const PowerDbm p{4.0};
+  const GainDb loss{6.0};
+  EXPECT_DOUBLE_EQ((p - loss).value, -2.0);
+  EXPECT_DOUBLE_EQ((p + GainDb{17.0}).value, 21.0);
+}
+
+TEST(Db, GainArithmetic) {
+  EXPECT_DOUBLE_EQ((GainDb{6.0} + GainDb{6.0}).value, 12.0);
+  EXPECT_DOUBLE_EQ((GainDb{6.0} * 3.0).value, 18.0);
+  EXPECT_DOUBLE_EQ((2.0 * GainDb{5.0}).value, 10.0);
+  EXPECT_DOUBLE_EQ((GainDb{10.0} - GainDb{4.0}).value, 6.0);
+}
+
+TEST(Db, PowerDifferenceIsRelative) {
+  // The paper's §3.3 budget: 4 dBm launch, -15 dBm sensitivity = 19 dB.
+  const GainDb budget = PowerDbm{4.0} - PowerDbm{-15.0};
+  EXPECT_DOUBLE_EQ(budget.value, 19.0);
+}
+
+TEST(Db, DbmMilliwattConversions) {
+  EXPECT_NEAR(dbm_to_milliwatts(PowerDbm{0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_milliwatts(PowerDbm{10.0}), 10.0, 1e-9);
+  EXPECT_NEAR(dbm_to_milliwatts(PowerDbm{-30.0}), 1e-3, 1e-12);
+  EXPECT_NEAR(milliwatts_to_dbm(1.0).value, 0.0, 1e-12);
+  EXPECT_NEAR(milliwatts_to_dbm(100.0).value, 20.0, 1e-9);
+}
+
+TEST(Db, LinearGainConversion) {
+  EXPECT_NEAR(db_to_linear(GainDb{3.0103}), 2.0, 1e-3);
+  EXPECT_NEAR(db_to_linear(GainDb{0.0}), 1.0, 1e-12);
+}
+
+TEST(Db, Ordering) {
+  EXPECT_LT(PowerDbm{-15.0}, PowerDbm{4.0});
+  EXPECT_GT(PowerDbm{0.0}, PowerDbm{-1.0});
+}
+
+}  // namespace
+}  // namespace quartz::optical

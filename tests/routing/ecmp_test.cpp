@@ -1,0 +1,134 @@
+#include "routing/ecmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace quartz::routing {
+namespace {
+
+using topo::NodeId;
+
+TEST(EcmpRouting, DistancesInMesh) {
+  topo::QuartzRingParams p;
+  p.switches = 5;
+  p.hosts_per_switch = 2;
+  const auto t = topo::quartz_ring(p);
+  const EcmpRouting routing(t.graph);
+
+  const NodeId src = t.host_groups[0][0];
+  const NodeId dst = t.host_groups[3][1];
+  // host -> own ToR -> direct lightpath -> dst ToR -> host = 3 links.
+  EXPECT_EQ(routing.distance(src, dst), 3);
+  EXPECT_EQ(routing.distance(dst, dst), 0);
+  EXPECT_EQ(routing.distance(t.tors[3], dst), 1);
+}
+
+TEST(EcmpRouting, MeshHasSingleShortestPath) {
+  // §3.4: "there is a single shortest path between any pair of switches
+  // in a full mesh, [so] ECMP always selects the direct one-hop path."
+  topo::QuartzRingParams p;
+  p.switches = 6;
+  p.hosts_per_switch = 2;
+  const auto t = topo::quartz_ring(p);
+  const EcmpRouting routing(t.graph);
+
+  for (std::size_t a = 0; a < t.tors.size(); ++a) {
+    for (std::size_t b = 0; b < t.tors.size(); ++b) {
+      if (a == b) continue;
+      const NodeId dst_host = t.host_groups[b][0];
+      const auto links = routing.next_links(t.tors[a], dst_host);
+      ASSERT_EQ(links.size(), 1u);
+      EXPECT_EQ(t.graph.link(links[0]).other(t.tors[a]), t.tors[b]);
+    }
+  }
+}
+
+TEST(EcmpRouting, TreeHasEqualCostChoices) {
+  topo::ThreeTierParams p;  // each ToR sees 2 aggs, each agg 2 cores
+  const auto t = topo::three_tier_tree(p);
+  const EcmpRouting routing(t.graph);
+
+  // Cross-pod destination: the ToR has 2 equal-cost agg uplinks.
+  const NodeId src_tor = t.tors[0];
+  const NodeId dst_host = t.host_groups[1][0];
+  EXPECT_EQ(routing.next_links(src_tor, dst_host).size(), 2u);
+}
+
+TEST(EcmpRouting, HostsDoNotRelayBydefault) {
+  // In a quartz ring with 2 hosts per switch, a path between the two
+  // hosts of one switch must go through the switch, never a host.
+  topo::QuartzRingParams p;
+  p.switches = 3;
+  p.hosts_per_switch = 2;
+  const auto t = topo::quartz_ring(p);
+  const EcmpRouting routing(t.graph);
+  EXPECT_EQ(routing.distance(t.host_groups[0][0], t.host_groups[0][1]), 2);
+}
+
+TEST(EcmpRouting, HostRelayEnablesBCubePaths) {
+  topo::BCubeParams p;
+  p.n = 3;
+  const auto t = topo::bcube1(p);
+  const EcmpRouting relay(t.graph, /*allow_host_relay=*/true);
+  // Host (0,0) to host (1,1): h - L0(0) - h(0,1) - L1(1) - h(1,1) or
+  // the symmetric route: distance 4 with relay.
+  const NodeId a = t.host_groups[0][0];
+  const NodeId b = t.host_groups[1][1];
+  EXPECT_EQ(relay.distance(a, b), 4);
+
+  const EcmpRouting no_relay(t.graph, /*allow_host_relay=*/false);
+  EXPECT_EQ(no_relay.distance(a, b), -1);  // unreachable without relays
+}
+
+TEST(EcmpRouting, NextLinksAlwaysDecreaseDistance) {
+  topo::JellyfishParams p;
+  const auto t = topo::jellyfish(p);
+  const EcmpRouting routing(t.graph);
+  const NodeId dst = t.hosts[13];
+  for (NodeId sw : t.tors) {
+    const int d = routing.distance(sw, dst);
+    for (auto link : routing.next_links(sw, dst)) {
+      EXPECT_EQ(routing.distance(t.graph.link(link).other(sw), dst), d - 1);
+    }
+  }
+}
+
+TEST(EcmpRouting, RejectsNonHostDestination) {
+  topo::QuartzRingParams p;
+  p.switches = 3;
+  const auto t = topo::quartz_ring(p);
+  const EcmpRouting routing(t.graph);
+  EXPECT_THROW(routing.next_links(t.tors[0], t.tors[1]), std::invalid_argument);
+}
+
+TEST(HashSelect, DeterministicAndInRange) {
+  for (std::uint64_t flow = 0; flow < 50; ++flow) {
+    const std::size_t a = hash_select(flow, 7, 4);
+    EXPECT_EQ(a, hash_select(flow, 7, 4));
+    EXPECT_LT(a, 4u);
+  }
+  EXPECT_THROW(hash_select(1, 2, 0), std::invalid_argument);
+}
+
+TEST(HashSelect, SpreadsAcrossChoices) {
+  int counts[4] = {0, 0, 0, 0};
+  for (std::uint64_t flow = 0; flow < 4000; ++flow) {
+    ++counts[hash_select(flow, 99, 4)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(MixHash, AvalancheSmokeTest) {
+  // Single-bit input changes should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t diff = mix_hash(0x1234567890ABCDEFull) ^
+                               mix_hash(0x1234567890ABCDEFull ^ (1ull << bit));
+    total_flips += __builtin_popcountll(diff);
+  }
+  EXPECT_NEAR(total_flips / 64.0, 32.0, 6.0);
+}
+
+}  // namespace
+}  // namespace quartz::routing

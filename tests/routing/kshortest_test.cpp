@@ -1,0 +1,105 @@
+#include "routing/kshortest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.hpp"
+
+namespace quartz::routing {
+namespace {
+
+using topo::NodeId;
+
+TEST(KShortest, MeshEnumeratesDirectThenDetours) {
+  topo::QuartzRingParams p;
+  p.switches = 5;
+  p.hosts_per_switch = 1;
+  const auto t = topo::quartz_ring(p);
+  const auto paths =
+      k_shortest_paths(t.graph, t.host_groups[0][0], t.host_groups[2][0], 4);
+  ASSERT_EQ(paths.size(), 4u);
+  // Shortest: host - tor0 - tor2 - host (4 nodes).
+  EXPECT_EQ(paths[0].size(), 4u);
+  // The next three are two-hop detours (5 nodes).
+  for (std::size_t i = 1; i < paths.size(); ++i) EXPECT_EQ(paths[i].size(), 5u);
+}
+
+TEST(KShortest, PathsAreLooplessAndDistinct) {
+  topo::JellyfishParams p;
+  const auto t = topo::jellyfish(p);
+  const auto paths = k_shortest_paths(t.graph, t.hosts[0], t.hosts[40], 8);
+  EXPECT_GE(paths.size(), 2u);
+  std::set<std::vector<NodeId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+  for (const auto& path : paths) {
+    std::set<NodeId> nodes(path.begin(), path.end());
+    EXPECT_EQ(nodes.size(), path.size()) << "loop in path";
+    EXPECT_EQ(path.front(), t.hosts[0]);
+    EXPECT_EQ(path.back(), t.hosts[40]);
+  }
+}
+
+TEST(KShortest, LengthsAreNonDecreasing) {
+  topo::ThreeTierParams p;
+  const auto t = topo::three_tier_tree(p);
+  const auto paths =
+      k_shortest_paths(t.graph, t.host_groups[0][0], t.host_groups[1][5], 6);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].size(), paths[i - 1].size());
+  }
+}
+
+TEST(KShortest, TreeHasLimitedPaths) {
+  topo::TwoTierParams p;
+  p.tors = 3;
+  p.hosts_per_tor = 2;
+  p.aggs = 1;
+  const auto t = topo::two_tier_tree(p);
+  const auto paths =
+      k_shortest_paths(t.graph, t.host_groups[0][0], t.host_groups[2][0], 10);
+  // Single agg, single uplink each: exactly one path exists.
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(KShortest, HostsDoNotRelay) {
+  topo::QuartzRingParams p;
+  p.switches = 2;
+  p.hosts_per_switch = 2;
+  const auto t = topo::quartz_ring(p);
+  const auto paths =
+      k_shortest_paths(t.graph, t.host_groups[0][0], t.host_groups[1][0], 5);
+  for (const auto& path : paths) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(t.graph.is_switch(path[i]));
+    }
+  }
+}
+
+TEST(KShortest, RejectsBadArguments) {
+  topo::QuartzRingParams p;
+  p.switches = 3;
+  const auto t = topo::quartz_ring(p);
+  EXPECT_THROW(k_shortest_paths(t.graph, t.hosts[0], t.hosts[0], 3), std::invalid_argument);
+  EXPECT_THROW(k_shortest_paths(t.graph, t.hosts[0], t.hosts[1], 0), std::invalid_argument);
+}
+
+class KShortestMeshSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KShortestMeshSweep, MeshYieldsExactlyMMinusOneShortPaths) {
+  // 1 direct + (M-2) two-hop detours, then longer ones.
+  const int m = GetParam();
+  topo::QuartzRingParams p;
+  p.switches = m;
+  p.hosts_per_switch = 1;
+  const auto t = topo::quartz_ring(p);
+  const auto paths = k_shortest_paths(t.graph, t.hosts[0], t.hosts[1], m - 1);
+  ASSERT_EQ(static_cast<int>(paths.size()), m - 1);
+  EXPECT_EQ(paths[0].size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i) EXPECT_EQ(paths[i].size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KShortestMeshSweep, ::testing::Values(3, 4, 5, 6, 8));
+
+}  // namespace
+}  // namespace quartz::routing

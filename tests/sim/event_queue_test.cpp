@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace quartz::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule(q.now() + 10, chain);
+  };
+  q.schedule(0, chain);
+  q.run_until(1000);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  q.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15);
+  q.run_until(20);  // boundary inclusive
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CannotScheduleIntoThePast) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_THROW(q.schedule(50, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunOneAdvancesClock) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  q.run_one();
+  EXPECT_EQ(q.now(), 42);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.run_one(), std::invalid_argument);
+}
+
+TEST(EventQueue, SizeTracksPending) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.run_one();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace quartz::sim

@@ -1,0 +1,289 @@
+#include "sim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/oracle.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::sim {
+namespace {
+
+struct Fixture {
+  topo::BuiltTopology topo;
+  std::unique_ptr<routing::EcmpRouting> routing;
+  std::unique_ptr<routing::EcmpOracle> oracle;
+
+  Fixture() {
+    topo::QuartzRingParams p;
+    p.switches = 4;
+    p.hosts_per_switch = 4;
+    topo = topo::quartz_ring(p);
+    routing = std::make_unique<routing::EcmpRouting>(topo.graph);
+    oracle = std::make_unique<routing::EcmpOracle>(*routing);
+  }
+};
+
+TEST(PoissonFlow, RateIsRespected) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  const int task = net.new_task({});
+  FlowParams params;
+  params.rate = gigabits_per_second(1);
+  params.packet_size = bytes(400);
+  params.stop = milliseconds(100);
+  Rng rng(1);
+  PoissonFlow flow(net, f.topo.hosts[0], f.topo.hosts[5], task, params, rng);
+  net.run_until(params.stop + milliseconds(1));
+  // Expected packets = rate * time / size = 1e9 * 0.1 / 3200 = 31250.
+  EXPECT_NEAR(static_cast<double>(flow.packets_sent()), 31250.0, 31250.0 * 0.05);
+  EXPECT_EQ(net.packets_delivered(), flow.packets_sent());
+}
+
+TEST(PoissonFlow, StopsAtStopTime) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  const int task = net.new_task({});
+  FlowParams params;
+  params.rate = gigabits_per_second(1);
+  params.stop = milliseconds(1);
+  Rng rng(2);
+  PoissonFlow flow(net, f.topo.hosts[0], f.topo.hosts[5], task, params, rng);
+  net.run_until(milliseconds(50));
+  const auto sent_at_stop = flow.packets_sent();
+  net.run_until(milliseconds(100));
+  EXPECT_EQ(flow.packets_sent(), sent_at_stop);
+}
+
+TEST(ScatterTask, MeasuresAllReceivers) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  TaskPatternParams params;
+  params.per_flow_rate = megabits_per_second(100);
+  params.stop = milliseconds(10);
+  std::vector<topo::NodeId> receivers(f.topo.hosts.begin() + 1, f.topo.hosts.begin() + 6);
+  Rng rng(3);
+  ScatterTask task(net, f.topo.hosts[0], receivers, params, rng);
+  net.run_until(params.stop + milliseconds(1));
+  EXPECT_GT(task.latencies_us().count(), 100u);
+  // ULL mesh: a few microseconds at most under light load.
+  EXPECT_LT(task.latencies_us().mean(), 5.0);
+}
+
+TEST(GatherTask, ConvergesOnReceiver) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  TaskPatternParams params;
+  params.per_flow_rate = megabits_per_second(100);
+  params.stop = milliseconds(10);
+  std::vector<topo::NodeId> senders(f.topo.hosts.begin() + 1, f.topo.hosts.begin() + 8);
+  Rng rng(4);
+  GatherTask task(net, senders, f.topo.hosts[0], params, rng);
+  net.run_until(params.stop + milliseconds(1));
+  EXPECT_GT(task.latencies_us().count(), 100u);
+}
+
+TEST(ScatterGatherTask, RepliesReturnForEveryRequest) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  ScatterGatherParams params;
+  params.rounds_per_second = 1000;
+  params.stop = milliseconds(20);
+  std::vector<topo::NodeId> participants(f.topo.hosts.begin() + 1, f.topo.hosts.begin() + 5);
+  Rng rng(5);
+  ScatterGatherTask task(net, f.topo.hosts[0], participants, params, rng);
+  net.run_until(params.stop + milliseconds(2));
+  // Every round: 4 requests + 4 replies, all measured.
+  EXPECT_GT(task.latencies_us().count(), 0u);
+  EXPECT_EQ(task.latencies_us().count() % 2, 0u);
+  EXPECT_EQ(net.packets_delivered(), task.latencies_us().count());
+}
+
+TEST(RpcWorkload, CompletesRequestedCalls) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  RpcParams params;
+  params.calls = 100;
+  Rng rng(6);
+  RpcWorkload rpc(net, f.topo.hosts[0], f.topo.hosts[9], params, rng);
+  net.run_until(seconds(1));
+  EXPECT_TRUE(rpc.done());
+  EXPECT_EQ(rpc.rtt_us().count(), 100u);
+  // RTT must be at least two one-way fabric traversals.
+  EXPECT_GT(rpc.rtt_us().min(), 1.0);
+}
+
+TEST(RpcWorkload, ServiceTimeAddsToRtt) {
+  Fixture f;
+  Network netA(f.topo, *f.oracle);
+  Network netB(f.topo, *f.oracle);
+  RpcParams fast;
+  fast.calls = 50;
+  RpcParams slow = fast;
+  slow.service_time = microseconds(10);
+  Rng rngA(7), rngB(7);
+  RpcWorkload a(netA, f.topo.hosts[0], f.topo.hosts[9], fast, rngA);
+  RpcWorkload b(netB, f.topo.hosts[0], f.topo.hosts[9], slow, rngB);
+  netA.run_until(seconds(1));
+  netB.run_until(seconds(1));
+  EXPECT_NEAR(b.rtt_us().mean() - a.rtt_us().mean(), 10.0, 0.5);
+}
+
+TEST(RpcWorkload, SerialExecution) {
+  // With serial RPCs, at most one request is in flight: delivered
+  // packets = 2 * completed calls.
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  RpcParams params;
+  params.calls = 25;
+  Rng rng(8);
+  RpcWorkload rpc(net, f.topo.hosts[1], f.topo.hosts[13], params, rng);
+  net.run_until(seconds(1));
+  EXPECT_EQ(net.packets_delivered(), 50u);
+}
+
+TEST(BurstSource, HitsTargetBandwidth) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  const int task = net.new_task({});
+  BurstParams params;
+  params.target_rate = megabits_per_second(200);
+  params.packets_per_burst = 20;
+  params.packet_size = bytes(1500);
+  params.stop = milliseconds(100);
+  Rng rng(9);
+  BurstSource source(net, f.topo.hosts[0], f.topo.hosts[5], task, params, rng);
+  net.run_until(params.stop + milliseconds(5));
+  const double bits_sent = static_cast<double>(net.packets_sent()) * 12000.0;
+  const double achieved = bits_sent / 0.1;  // over the 100 ms window
+  EXPECT_NEAR(achieved, 2e8, 2e7);
+}
+
+TEST(BurstSource, SendsWholeBurstsBackToBack) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  const int task = net.new_task({});
+  BurstParams params;
+  params.target_rate = megabits_per_second(100);
+  params.packets_per_burst = 7;
+  params.stop = milliseconds(5);
+  Rng rng(10);
+  BurstSource source(net, f.topo.hosts[0], f.topo.hosts[5], task, params, rng);
+  net.run_until(milliseconds(10));
+  EXPECT_EQ(net.packets_sent() % 7, 0u);
+  EXPECT_GT(net.packets_sent(), 0u);
+}
+
+TEST(FlowTransfer, CompletionTimeMatchesLineRate) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  TransferParams params;
+  params.total_bytes = 15'000;  // 10 x 1500B at 10G = 12 us serialization
+  FlowTransfer transfer(net, f.topo.hosts[0], f.topo.hosts[5], params, 1);
+  net.run_until(milliseconds(1));
+  ASSERT_TRUE(transfer.done());
+  EXPECT_EQ(transfer.packets(), 10);
+  // Last packet leaves the NIC at 10 x 1.2 us; the fabric adds about a
+  // microsecond of cut-through pipeline on top.
+  EXPECT_GE(transfer.completion_time(), microseconds(12));
+  EXPECT_LE(transfer.completion_time(), microseconds(15));
+}
+
+TEST(FlowTransfer, PartialLastPacket) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  TransferParams params;
+  params.total_bytes = 1'600;  // 1500 + 100
+  FlowTransfer transfer(net, f.topo.hosts[0], f.topo.hosts[5], params, 2);
+  net.run_until(milliseconds(1));
+  ASSERT_TRUE(transfer.done());
+  EXPECT_EQ(transfer.packets(), 2);
+}
+
+TEST(FlowTransfer, LargerFlowsTakeLonger) {
+  Fixture f;
+  Network netA(f.topo, *f.oracle);
+  Network netB(f.topo, *f.oracle);
+  TransferParams small;
+  small.total_bytes = 16'000;
+  TransferParams large;
+  large.total_bytes = 160'000;
+  FlowTransfer a(netA, f.topo.hosts[0], f.topo.hosts[5], small, 3);
+  FlowTransfer b(netB, f.topo.hosts[0], f.topo.hosts[5], large, 3);
+  netA.run_until(milliseconds(5));
+  netB.run_until(milliseconds(5));
+  ASSERT_TRUE(a.done() && b.done());
+  EXPECT_GT(b.completion_time(), a.completion_time() * 5);
+}
+
+TEST(FlowTransfer, NotDoneBeforeItStarts) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  TransferParams params;
+  params.start = milliseconds(2);
+  FlowTransfer transfer(net, f.topo.hosts[0], f.topo.hosts[5], params, 4);
+  net.run_until(milliseconds(1));
+  EXPECT_FALSE(transfer.done());
+  EXPECT_THROW(transfer.completion_time(), std::logic_error);
+  net.run_until(milliseconds(5));
+  EXPECT_TRUE(transfer.done());
+}
+
+TEST(Network, UtilizationTracksLoad) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  const int task = net.new_task({});
+  FlowParams flow;
+  flow.rate = gigabits_per_second(5);  // 50% of the 10G host link
+  flow.stop = milliseconds(50);
+  Rng rng(21);
+  PoissonFlow source(net, f.topo.hosts[0], f.topo.hosts[5], task, flow, rng);
+  net.run_until(flow.stop);
+  // Find the sender's access link.
+  for (const auto& link : net.graph().links()) {
+    if (link.a == f.topo.hosts[0] || link.b == f.topo.hosts[0]) {
+      const int dir = link.a == f.topo.hosts[0] ? 0 : 1;
+      EXPECT_NEAR(net.utilization(link.id, dir), 0.5, 0.05);
+      EXPECT_GT(net.bits_sent(link.id, dir), 0);
+      // Reverse direction carried nothing.
+      EXPECT_EQ(net.bits_sent(link.id, 1 - dir), 0);
+    }
+  }
+}
+
+TEST(Network, TaskDropAccounting) {
+  Fixture f;
+  SimConfig config;
+  config.max_queue_delay = microseconds(2);
+  Network net(f.topo, *f.oracle, config);
+  const int quiet = net.new_task({});
+  const int noisy = net.new_task({});
+  // Overload one access link with the noisy task only.
+  for (int i = 0; i < 100; ++i) {
+    net.send(f.topo.hosts[0], f.topo.hosts[5], bytes(1500), noisy, 1);
+  }
+  net.send(f.topo.hosts[1], f.topo.hosts[6], bytes(400), quiet, 2);
+  net.run_until(milliseconds(1));
+  EXPECT_GT(net.task_drops(noisy), 0u);
+  EXPECT_EQ(net.task_drops(quiet), 0u);
+  EXPECT_EQ(net.task_drops(noisy), net.packets_dropped());
+  EXPECT_THROW(net.task_drops(99), std::invalid_argument);
+}
+
+TEST(Workloads, RejectBadParameters) {
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  Rng rng(11);
+  FlowParams bad_flow;
+  bad_flow.rate = 0;
+  EXPECT_THROW(PoissonFlow(net, f.topo.hosts[0], f.topo.hosts[1], net.new_task({}), bad_flow,
+                           rng),
+               std::invalid_argument);
+  EXPECT_THROW(ScatterTask(net, f.topo.hosts[0], {}, {}, rng), std::invalid_argument);
+  RpcParams bad_rpc;
+  bad_rpc.calls = 0;
+  EXPECT_THROW(RpcWorkload(net, f.topo.hosts[0], f.topo.hosts[1], bad_rpc, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::sim

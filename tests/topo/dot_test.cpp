@@ -1,0 +1,55 @@
+#include "topo/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quartz::topo {
+namespace {
+
+TEST(Dot, RendersNodesAndLinks) {
+  QuartzRingParams p;
+  p.switches = 3;
+  p.hosts_per_switch = 1;
+  const BuiltTopology t = quartz_ring(p);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph \"quartz-ring\""), std::string::npos);
+  // 6 node declarations (3 switches + 3 hosts) and 3 labelled mesh
+  // edges carry attribute blocks; plain host links do not.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '['), 9);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  // Mesh edges labelled with channels.
+  EXPECT_NE(dot.find("ch 0 @ ring 0"), std::string::npos);
+}
+
+TEST(Dot, HostsCanBeOmitted) {
+  QuartzRingParams p;
+  p.switches = 4;
+  p.hosts_per_switch = 8;
+  const BuiltTopology t = quartz_ring(p);
+  DotOptions options;
+  options.include_hosts = false;
+  const std::string dot = to_dot(t, options);
+  EXPECT_EQ(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+}
+
+TEST(Dot, ChannelLabelsCanBeOmitted) {
+  QuartzRingParams p;
+  p.switches = 3;
+  const BuiltTopology t = quartz_ring(p);
+  DotOptions options;
+  options.label_channels = false;
+  const std::string dot = to_dot(t, options);
+  EXPECT_EQ(dot.find("ch "), std::string::npos);
+}
+
+TEST(Dot, WellFormedBraces) {
+  const BuiltTopology t = three_tier_tree({});
+  const std::string dot = to_dot(t);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace quartz::topo

@@ -1,0 +1,90 @@
+#include "wavelength/factory_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "wavelength/assign.hpp"
+#include "wavelength/multiring.hpp"
+
+namespace quartz::wavelength {
+namespace {
+
+TEST(FactoryPlan, CoversEveryPairOnce) {
+  const Assignment a = greedy_assign(8);
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  const auto plan = factory_plan(a, grid, 1);
+  EXPECT_EQ(plan.size(), a.paths.size());
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& e : plan) {
+    EXPECT_TRUE(pairs.insert({e.src, e.dst}).second);
+    EXPECT_GT(e.wavelength_nm, 1500.0);
+    EXPECT_LT(e.wavelength_nm, 1600.0);
+  }
+}
+
+TEST(FactoryPlan, NoWavelengthClashWithinARing) {
+  // Two lightpaths on the same physical ring that share a fiber
+  // segment must be on different ITU wavelengths.
+  const Assignment a = greedy_assign(12);
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  const int rings = rings_required(a.channels_used, 80);
+  const auto plan = factory_plan(a, grid, rings);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.size(); ++j) {
+      const auto& x = plan[i];
+      const auto& y = plan[j];
+      if (x.physical_ring != y.physical_ring || x.grid_index != y.grid_index) continue;
+      const auto mask_x = segment_mask(a.ring_size, x.src, x.dst, x.dir);
+      const auto mask_y = segment_mask(a.ring_size, y.src, y.dst, y.dir);
+      EXPECT_EQ(mask_x & mask_y, 0ull)
+          << "wavelength clash between (" << x.src << "," << x.dst << ") and (" << y.src << ","
+          << y.dst << ")";
+    }
+  }
+}
+
+TEST(FactoryPlan, The33SwitchPlanFitsTwo80ChannelRings) {
+  const Assignment a = greedy_assign(33);
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  const int rings = rings_required(a.channels_used, 80);
+  ASSERT_EQ(rings, 2);
+  const auto plan = factory_plan(a, grid, rings);
+  for (const auto& e : plan) {
+    EXPECT_LT(e.grid_index, 80);
+    EXPECT_LT(e.physical_ring, 2);
+  }
+}
+
+TEST(FactoryPlan, OverflowingGridRejected) {
+  const Assignment a = greedy_assign(33);  // ~140 channels
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  EXPECT_THROW(factory_plan(a, grid, 1), std::invalid_argument);
+}
+
+TEST(FactoryPlan, TuningSheetHasOneEntryPerPeer) {
+  const Assignment a = greedy_assign(10);
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  const auto plan = factory_plan(a, grid, 1);
+  for (int sw = 0; sw < 10; ++sw) {
+    const auto sheet = tuning_sheet(plan, sw);
+    EXPECT_EQ(sheet.size(), 9u) << "switch " << sw;
+    std::set<int> peers;
+    for (const auto& e : sheet) peers.insert(e.src == sw ? e.dst : e.src);
+    EXPECT_EQ(peers.size(), 9u);
+  }
+}
+
+TEST(FactoryPlan, GridSlotsStripedAcrossRings) {
+  const Assignment a = greedy_assign(6);
+  const auto grid = optical::WavelengthGrid::dwdm(80);
+  const auto plan = factory_plan(a, grid, 2);
+  for (const auto& e : plan) {
+    EXPECT_EQ(e.physical_ring, e.channel % 2);
+    EXPECT_EQ(e.grid_index, e.channel / 2);
+  }
+}
+
+}  // namespace
+}  // namespace quartz::wavelength

@@ -1,0 +1,81 @@
+#include "wavelength/ilp_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavelength/assign.hpp"
+
+namespace quartz::wavelength {
+namespace {
+
+TEST(IlpExport, DimensionsMatchFormulas) {
+  // M = 5, greedy needs 3 channels: C vars = 20*3, lambdas = 3;
+  // rows = 10 pair + 15 link-channel + 3 usage.
+  const IlpDimensions dims = ilp_dimensions(5);
+  EXPECT_EQ(dims.channels, greedy_assign(5).channels_used);
+  EXPECT_EQ(dims.variables, 5 * 4 * dims.channels + dims.channels);
+  EXPECT_EQ(dims.constraints, 10 + 5 * dims.channels + dims.channels);
+}
+
+TEST(IlpExport, LpFormatSectionsPresent) {
+  const std::string lp = write_ilp_lp(4);
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.rfind("End\n"), std::string::npos);
+  EXPECT_NE(lp.find("lambda_0"), std::string::npos);
+  EXPECT_NE(lp.find("pair_0_1:"), std::string::npos);
+  EXPECT_NE(lp.find("link_0_ch_0:"), std::string::npos);
+  EXPECT_NE(lp.find("used_ch_0:"), std::string::npos);
+}
+
+TEST(IlpExport, EveryPairConstraintEmitted) {
+  const std::string lp = write_ilp_lp(6);
+  for (int s = 0; s < 6; ++s) {
+    for (int t = s + 1; t < 6; ++t) {
+      const std::string row = "pair_" + std::to_string(s) + "_" + std::to_string(t) + ":";
+      EXPECT_NE(lp.find(row), std::string::npos) << row;
+    }
+  }
+}
+
+TEST(IlpExport, ChannelPoolOverride) {
+  IlpExportOptions options;
+  options.channels = 7;
+  const IlpDimensions dims = ilp_dimensions(4, options);
+  EXPECT_EQ(dims.channels, 7);
+  const std::string lp = write_ilp_lp(4, options);
+  EXPECT_NE(lp.find("lambda_6"), std::string::npos);
+  EXPECT_EQ(lp.find("lambda_7"), std::string::npos);
+}
+
+TEST(IlpExport, GreedyPoolAlwaysAdmitsAFeasiblePoint) {
+  // The greedy assignment itself satisfies the emitted model (its
+  // channel count sizes the pool), so the pool can never be too small.
+  for (int m : {3, 5, 8, 12}) {
+    const Assignment greedy = greedy_assign(m);
+    const IlpDimensions dims = ilp_dimensions(m);
+    EXPECT_GE(dims.channels, greedy.channels_used) << "M=" << m;
+  }
+}
+
+TEST(IlpExport, RejectsBadRing) {
+  EXPECT_THROW(write_ilp_lp(1), std::invalid_argument);
+  EXPECT_THROW(write_ilp_lp(65), std::invalid_argument);
+}
+
+TEST(IlpExport, RowCountMatchesDimensions) {
+  const std::string lp = write_ilp_lp(5);
+  const IlpDimensions dims = ilp_dimensions(5);
+  int rows = 0;
+  for (const char* tag : {"pair_", "link_", "used_ch_"}) {
+    std::size_t at = 0;
+    while ((at = lp.find(tag, at)) != std::string::npos) {
+      ++rows;
+      ++at;
+    }
+  }
+  EXPECT_EQ(rows, dims.constraints);
+}
+
+}  // namespace
+}  // namespace quartz::wavelength
