@@ -1,25 +1,48 @@
 // Fault drill: what happens to a Quartz deployment when fibers break?
 // Sweeps redundancy (1-4 physical rings) against simultaneous fiber
 // cuts and reports bandwidth loss and partition risk (§3.5 / Fig. 6),
-// plus a worked single-scenario narrative.
+// plus a worked single-scenario narrative — first statically (rebuild
+// the degraded fabric), then live (inject the cut into a running
+// simulation and watch detection, reroute and repair).
 //
 //   $ ./fault_drill [switches] [trials]
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "routing/oracle.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/network.hpp"
 #include "topo/failures.hpp"
 #include "core/fault.hpp"
 #include "wavelength/assign.hpp"
 #include "wavelength/multiring.hpp"
 
+namespace {
+
+bool parse_int_at_least(const char* text, int minimum, int* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < minimum || value > 1'000'000'000) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace quartz;
-  const int switches = argc > 1 ? std::atoi(argv[1]) : 33;
-  const int trials = argc > 2 ? std::atoi(argv[2]) : 20'000;
+  int switches = 33;
+  int trials = 20'000;
+  // The redundancy sweep cuts up to 4 fibers of a single ring, so the
+  // ring needs at least 4 segments.
+  if ((argc > 1 && !parse_int_at_least(argv[1], 4, &switches)) ||
+      (argc > 2 && !parse_int_at_least(argv[2], 1, &trials)) || argc > 3) {
+    std::fprintf(stderr, "usage: %s [switches >= 4] [trials >= 1]\n", argv[0]);
+    return 1;
+  }
 
   std::printf("Fault drill: %d-switch Quartz mesh, %d Monte Carlo trials/cell\n\n", switches,
               trials);
@@ -61,34 +84,77 @@ int main(int argc, char** argv) {
     ring_params.switches = switches;
     ring_params.hosts_per_switch = 2;
     const topo::BuiltTopology healthy = topo::quartz_ring(ring_params);
-    const topo::BuiltTopology degraded = topo::survive_fiber_cuts(healthy, {{0, 0}});
-
-    auto measure = [](const topo::BuiltTopology& fabric) {
-      routing::EcmpRouting routing(fabric.graph);
-      routing::EcmpOracle oracle(routing);
-      sim::Network net(fabric, oracle);
-      SampleSet samples;
-      const int task = net.new_task(
-          [&samples](const sim::Packet&, TimePs l) { samples.add(to_microseconds(l)); });
-      Rng rng(7);
-      for (int i = 0; i < 2'000; ++i) {
-        net.at(microseconds(2) * i, [&net, &fabric, &rng, task] {
-          const auto src = fabric.hosts[rng.next_below(fabric.hosts.size())];
-          auto dst = fabric.hosts[rng.next_below(fabric.hosts.size())];
-          while (dst == src) dst = fabric.hosts[rng.next_below(fabric.hosts.size())];
-          net.send(src, dst, bytes(400), task, rng.next_u64());
-        });
-      }
-      net.run_until(milliseconds(20));
-      return std::pair{samples.mean(), samples.max()};
-    };
-    const auto [healthy_mean, healthy_max] = measure(healthy);
-    const auto [degraded_mean, degraded_max] = measure(degraded);
+    topo::SurvivalOutcome outcome = topo::try_survive_fiber_cuts(healthy, {{0, 0}});
     std::printf("packet-level cost of the cut (random traffic, ECMP reroute):\n");
-    std::printf("  healthy : mean %.2f us, worst %.2f us\n", healthy_mean, healthy_max);
-    std::printf("  degraded: mean %.2f us, worst %.2f us\n", degraded_mean, degraded_max);
-    std::printf("  every packet still delivered; affected pairs pay one extra\n"
-                "  cut-through hop (~0.4-0.7 us), nobody else pays anything.\n");
+    std::printf("  the cut severs %zu lightpaths; mesh %s (%d component%s)\n", outcome.severed,
+                outcome.partitioned ? "PARTITIONED" : "still connected", outcome.components,
+                outcome.components == 1 ? "" : "s");
+    if (outcome.partitioned) {
+      std::printf("  cannot measure reroutes on a partitioned mesh; add a ring.\n");
+    } else {
+      auto measure = [](const topo::BuiltTopology& fabric) {
+        routing::EcmpRouting routing(fabric.graph);
+        routing::EcmpOracle oracle(routing);
+        sim::Network net(fabric, oracle);
+        SampleSet samples;
+        const int task = net.new_task(
+            [&samples](const sim::Packet&, TimePs l) { samples.add(to_microseconds(l)); });
+        Rng rng(7);
+        for (int i = 0; i < 2'000; ++i) {
+          net.at(microseconds(2) * i, [&net, &fabric, &rng, task] {
+            const auto src = fabric.hosts[rng.next_below(fabric.hosts.size())];
+            auto dst = fabric.hosts[rng.next_below(fabric.hosts.size())];
+            while (dst == src) dst = fabric.hosts[rng.next_below(fabric.hosts.size())];
+            net.send(src, dst, bytes(400), task, rng.next_u64());
+          });
+        }
+        net.run_until(milliseconds(20));
+        return std::pair{samples.mean(), samples.max()};
+      };
+      const auto [healthy_mean, healthy_max] = measure(healthy);
+      const auto [degraded_mean, degraded_max] = measure(outcome.degraded);
+      std::printf("  healthy : mean %.2f us, worst %.2f us\n", healthy_mean, healthy_max);
+      std::printf("  degraded: mean %.2f us, worst %.2f us\n", degraded_mean, degraded_max);
+      std::printf("  every packet still delivered; affected pairs pay one extra\n"
+                  "  cut-through hop (~0.4-0.7 us), nobody else pays anything.\n\n");
+    }
+
+    // Live drill: the same cut injected into the RUNNING fabric — cut
+    // at 1 s, detected 50 ms later, repaired at 3 s.  During the
+    // detection window packets forwarded onto the severed lightpaths
+    // are lost; afterwards flows ride two-hop detours until repair.
+    routing::EcmpRouting live_routing(healthy.graph);
+    routing::EcmpOracle live_oracle(live_routing);
+    sim::SimConfig config;
+    config.failure_detection_delay = milliseconds(50);
+    sim::Network net(healthy, live_oracle, config);
+    live_oracle.attach_failure_view(&net.failure_view());
+    const int task = net.new_task({});
+    Rng rng(11);
+    for (int i = 0; i < 40'000; ++i) {
+      net.at(microseconds(100) * i, [&net, &healthy, &rng, task] {
+        const auto src = healthy.hosts[rng.next_below(healthy.hosts.size())];
+        auto dst = healthy.hosts[rng.next_below(healthy.hosts.size())];
+        while (dst == src) dst = healthy.hosts[rng.next_below(healthy.hosts.size())];
+        net.send(src, dst, bytes(400), task, rng.next_u64());
+      });
+    }
+    sim::FaultScheduler faults(net);
+    faults.schedule_fiber_cut(seconds(1), {0, 0}, seconds(3));
+    net.run_until(seconds(4));
+    std::printf("live drill (cut at 1 s, 50 ms detection, repair at 3 s):\n");
+    std::printf("  %llu link failures injected, %llu repairs\n",
+                static_cast<unsigned long long>(net.link_failures()),
+                static_cast<unsigned long long>(net.link_repairs()));
+    std::printf("  sent %llu, delivered %llu, lost to the dead links %llu, overflow %llu\n",
+                static_cast<unsigned long long>(net.packets_sent()),
+                static_cast<unsigned long long>(net.packets_delivered()),
+                static_cast<unsigned long long>(
+                    net.packets_dropped(sim::DropReason::kLinkDown)),
+                static_cast<unsigned long long>(
+                    net.packets_dropped(sim::DropReason::kQueueOverflow)));
+    std::printf("  loss is confined to the two 50 ms detection windows; the\n"
+                "  self-healed detours carry everything else.\n");
   }
   return 0;
 }

@@ -1,0 +1,51 @@
+// The routing plane's (delayed) knowledge of link liveness.
+//
+// A FailureView is the piece of shared state between the packet
+// simulator and the forwarding oracles that makes self-healing routing
+// possible: the simulator owns the *physical* up/down state of every
+// link and, a configurable detection delay after each transition
+// (modeling BFD / loss-of-signal detection and protocol convergence),
+// reflects it here.  Oracles consult the view — never the physical
+// state — so during the detection window packets are still forwarded
+// onto a dead lightpath and lost, exactly the transient §3.5's static
+// analysis cannot show.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace quartz::routing {
+
+class FailureView {
+ public:
+  FailureView() = default;
+  explicit FailureView(std::size_t links) { resize(links); }
+
+  /// (Re)size to the topology's link count; all links start alive.
+  void resize(std::size_t links) { dead_.assign(links, 0); }
+
+  void set_dead(topo::LinkId link, bool dead) {
+    dead_.at(static_cast<std::size_t>(link)) = dead ? 1 : 0;
+  }
+
+  /// True once a failure has been detected (and not yet repaired, as
+  /// far as the routing plane knows).  Unknown links read as alive so
+  /// an unattached or stale view degrades to failure-oblivious routing.
+  bool is_dead(topo::LinkId link) const {
+    return link >= 0 && static_cast<std::size_t>(link) < dead_.size() &&
+           dead_[static_cast<std::size_t>(link)] != 0;
+  }
+
+  std::size_t dead_count() const {
+    std::size_t n = 0;
+    for (const char d : dead_) n += static_cast<std::size_t>(d);
+    return n;
+  }
+
+ private:
+  std::vector<char> dead_;
+};
+
+}  // namespace quartz::routing

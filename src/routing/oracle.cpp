@@ -20,12 +20,74 @@ double flow_uniform(std::uint64_t flow_hash) {
   return static_cast<double>(salted >> 11) * 0x1.0p-53;
 }
 
+/// Hash-pick among the equal-cost links not known dead; falls back to
+/// the full set when every candidate is dead (`any_alive` reports
+/// which case happened).
+topo::LinkId select_alive(std::span<const topo::LinkId> links, const FailureView* view,
+                          std::uint64_t flow_hash, std::uint64_t salt, bool* any_alive) {
+  if (view != nullptr) {
+    std::vector<topo::LinkId> alive;
+    alive.reserve(links.size());
+    for (const topo::LinkId l : links) {
+      if (!view->is_dead(l)) alive.push_back(l);
+    }
+    if (!alive.empty()) {
+      if (any_alive != nullptr) *any_alive = true;
+      return alive[hash_select(flow_hash, salt, alive.size())];
+    }
+    if (any_alive != nullptr) *any_alive = false;
+  } else if (any_alive != nullptr) {
+    *any_alive = true;
+  }
+  return links[hash_select(flow_hash, salt, links.size())];
+}
+
 }  // namespace
 
 topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  // A deflection set by an earlier hop completes on arrival.
+  if (key.via == node) key.via = topo::kInvalidNode;
+
   const auto links = routing_->next_links(node, key.dst);
   QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
-  return links[hash_select(key.flow_hash, static_cast<std::uint64_t>(node), links.size())];
+  bool any_alive = true;
+  const topo::LinkId chosen =
+      select_alive(links, view_, key.flow_hash, static_cast<std::uint64_t>(node), &any_alive);
+  if (any_alive) return chosen;
+
+  // Every equal-cost next hop is known dead: deflect one hop to the
+  // closest neighbouring switch that still has a live shortest-path
+  // link toward the destination (in a Quartz mesh this is exactly the
+  // two-hop detour over the surviving lightpaths).
+  const topo::Graph& graph = routing_->graph();
+  const int here = routing_->distance(node, key.dst);
+  std::vector<std::pair<topo::NodeId, topo::LinkId>> candidates;
+  int best = -1;
+  for (const auto& adj : graph.neighbors(node)) {
+    if (view_->is_dead(adj.link) || !graph.is_switch(adj.peer)) continue;
+    const int d = routing_->distance(adj.peer, key.dst);
+    if (d < 0 || (here >= 0 && d > here)) continue;  // never deflect backward
+    bool peer_has_live_exit = false;
+    for (const topo::LinkId l : routing_->next_links(adj.peer, key.dst)) {
+      if (!view_->is_dead(l)) {
+        peer_has_live_exit = true;
+        break;
+      }
+    }
+    if (!peer_has_live_exit) continue;
+    if (best < 0 || d < best) {
+      best = d;
+      candidates.clear();
+    }
+    if (d == best) candidates.emplace_back(adj.peer, adj.link);
+  }
+  // No live escape: forward onto the dead link and let the simulator
+  // drop and count it (the blackhole inside the detection window).
+  if (candidates.empty()) return chosen;
+  const auto& pick =
+      candidates[hash_select(key.flow_hash, 0x4445544Full, candidates.size())];  // "DETO"
+  key.via = pick.first;
+  return pick.second;
 }
 
 MeshAwareOracle::MeshAwareOracle(const EcmpRouting& routing,
@@ -59,7 +121,7 @@ int MeshAwareOracle::ring_of(topo::NodeId node) const {
 topo::LinkId MeshAwareOracle::ecmp_choice(topo::NodeId node, const FlowKey& key) const {
   const auto links = routing_->next_links(node, key.dst);
   QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
-  return links[hash_select(key.flow_hash, static_cast<std::uint64_t>(node), links.size())];
+  return select_alive(links, view_, key.flow_hash, static_cast<std::uint64_t>(node), nullptr);
 }
 
 topo::LinkId MeshAwareOracle::follow_via(topo::NodeId node, FlowKey& key) const {
@@ -70,7 +132,39 @@ topo::LinkId MeshAwareOracle::follow_via(topo::NodeId node, FlowKey& key) const 
   }
   const topo::LinkId direct = mesh_link(node, key.via);
   QUARTZ_CHECK(direct != topo::kInvalidLink, "detour intermediate is not a ring peer");
+  if (link_dead(direct)) {
+    // The detour leg itself died since the decision: abandon the detour
+    // and let the caller's policy (with healing) re-decide.
+    key.via = topo::kInvalidNode;
+    return topo::kInvalidLink;
+  }
   return direct;
+}
+
+topo::LinkId MeshAwareOracle::heal_choice(topo::NodeId node, FlowKey& key,
+                                          topo::LinkId chosen) const {
+  if (!link_dead(chosen)) return chosen;
+  const int r = ring_of(node);
+  if (r < 0) return chosen;
+  const topo::NodeId exit = routing().graph().link(chosen).other(node);
+  if (ring_of(exit) != r) return chosen;
+  // node -> w -> exit over surviving lightpaths only.
+  std::vector<std::pair<topo::NodeId, topo::LinkId>> alive;
+  for (topo::NodeId w : ring(r)) {
+    if (w == node || w == exit) continue;
+    const topo::LinkId leg1 = mesh_link(node, w);
+    const topo::LinkId leg2 = mesh_link(w, exit);
+    if (leg1 == topo::kInvalidLink || leg2 == topo::kInvalidLink) continue;
+    if (link_dead(leg1) || link_dead(leg2)) continue;
+    alive.emplace_back(w, leg1);
+  }
+  // Nothing survives: forward onto the dead lightpath and let the
+  // simulator drop and count it.
+  if (alive.empty()) return chosen;
+  const auto& pick = alive[hash_select(key.flow_hash, 0x4845414Cull, alive.size())];  // "HEAL"
+  key.via = pick.first;
+  key.vlb_done = true;  // the healing detour consumes the detour budget
+  return pick.second;
 }
 
 VlbOracle::VlbOracle(const EcmpRouting& routing,
@@ -98,23 +192,29 @@ topo::LinkId VlbOracle::next_link(topo::NodeId node, FlowKey& key) const {
         const auto& members = ring(r);
         if (members.size() > 2 && flow_uniform(key.flow_hash) < fraction_) {
           // Pick the intermediate among ring members other than the
-          // ingress and the direct exit.
+          // ingress and the direct exit, skipping any whose detour legs
+          // are known dead.
           std::vector<topo::NodeId> candidates;
           candidates.reserve(members.size());
           for (topo::NodeId w : members) {
-            if (w != node && w != next_hop) candidates.push_back(w);
+            if (w == node || w == next_hop) continue;
+            const topo::LinkId leg1 = mesh_link(node, w);
+            QUARTZ_CHECK(leg1 != topo::kInvalidLink, "ring is not fully meshed");
+            const topo::LinkId leg2 = mesh_link(w, next_hop);
+            if (link_dead(leg1) || (leg2 != topo::kInvalidLink && link_dead(leg2))) continue;
+            candidates.push_back(w);
           }
-          const topo::NodeId via =
-              candidates[hash_select(key.flow_hash, 0x564C4232ull, candidates.size())];
-          const topo::LinkId detour = mesh_link(node, via);
-          QUARTZ_CHECK(detour != topo::kInvalidLink, "ring is not fully meshed");
-          key.via = via;
-          return detour;
+          if (!candidates.empty()) {
+            const topo::NodeId via =
+                candidates[hash_select(key.flow_hash, 0x564C4232ull, candidates.size())];
+            key.via = via;
+            return mesh_link(node, via);
+          }
         }
       }
     }
   }
-  return chosen;
+  return heal_choice(node, key, chosen);
 }
 
 PinnedDetourOracle::PinnedDetourOracle(const EcmpRouting& routing,
@@ -140,9 +240,10 @@ topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) cons
     if (it != pinned_.end()) {
       const topo::NodeId via = it->second;
       // Arm the detour once the packet reaches a switch in the same
-      // ring as the intermediate (its ToR).
+      // ring as the intermediate (its ToR).  A pin whose first leg is
+      // known dead is skipped (healing takes over below).
       if (node != via && ring_of(node) >= 0 && ring_of(node) == ring_of(via) &&
-          mesh_link(node, via) != topo::kInvalidLink) {
+          mesh_link(node, via) != topo::kInvalidLink && !link_dead(mesh_link(node, via))) {
         key.vlb_done = true;
         key.via = via;
         return mesh_link(node, via);
@@ -150,7 +251,7 @@ topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) cons
       if (node == via) key.vlb_done = true;
     }
   }
-  return ecmp_choice(node, key);
+  return heal_choice(node, key, ecmp_choice(node, key));
 }
 
 AdaptiveVlbOracle::AdaptiveVlbOracle(const EcmpRouting& routing,
@@ -171,6 +272,7 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
   }
 
   const topo::LinkId chosen = ecmp_choice(node, key);
+  if (link_dead(chosen)) return heal_choice(node, key, chosen);
   if (probe_ == nullptr) return chosen;
 
   const int r = ring_of(node);
@@ -197,7 +299,7 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
         if (queue_delay_of(node, chosen) <= detour_threshold_) return chosen;
       } else if (state->via != next_hop) {
         const topo::LinkId sticky = mesh_link(node, state->via);
-        if (sticky != topo::kInvalidLink &&
+        if (sticky != topo::kInvalidLink && !link_dead(sticky) &&
             queue_delay_of(node, sticky) <= detour_threshold_) {
           key.via = state->via;
           return sticky;
@@ -222,7 +324,9 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
   for (topo::NodeId w : ring(r)) {
     if (w == node || w == next_hop) continue;
     const topo::LinkId first = mesh_link(node, w);
-    if (first == topo::kInvalidLink) continue;
+    if (first == topo::kInvalidLink || link_dead(first)) continue;
+    const topo::LinkId second = mesh_link(w, next_hop);
+    if (second != topo::kInvalidLink && link_dead(second)) continue;
     const TimePs delay = queue_delay_of(node, first);
     if (delay < best_delay) {
       best_delay = delay;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "routing/ecmp.hpp"
+#include "routing/failure_view.hpp"
 #include "topo/builders.hpp"
 
 namespace quartz::routing {
@@ -34,10 +35,18 @@ class EcmpOracle : public RoutingOracle {
  public:
   explicit EcmpOracle(const EcmpRouting& routing) : routing_(&routing) {}
 
+  /// Once attached, detected-dead links are excluded from the
+  /// equal-cost set; when every equal-cost next hop is dead the packet
+  /// deflects one hop to a neighbouring switch that still has a live
+  /// shortest-path link toward the destination (the two-hop detour over
+  /// the surviving mesh, §3.5).
+  void attach_failure_view(const FailureView* view) { view_ = view; }
+
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
 
  private:
   const EcmpRouting* routing_;
+  const FailureView* view_ = nullptr;
 };
 
 /// Shared machinery for oracles that know the Quartz ring structure:
@@ -46,6 +55,11 @@ class MeshAwareOracle : public RoutingOracle {
  public:
   MeshAwareOracle(const EcmpRouting& routing,
                   const std::vector<std::vector<topo::NodeId>>& rings);
+
+  /// Share the routing plane's failure knowledge; detected-dead
+  /// lightpaths are excluded and flows fall back to two-hop detours
+  /// over the surviving mesh (§3.5 self-healing).
+  void attach_failure_view(const FailureView* view) { view_ = view; }
 
  protected:
   /// Mesh link between two members of the same ring; kInvalidLink if none.
@@ -56,14 +70,23 @@ class MeshAwareOracle : public RoutingOracle {
     return rings_[static_cast<std::size_t>(index)];
   }
   const EcmpRouting& routing() const { return *routing_; }
-  /// ECMP link choice for this flow at this node.
+  /// Known-dead according to the attached view (false when detached).
+  bool link_dead(topo::LinkId link) const { return view_ != nullptr && view_->is_dead(link); }
+  /// ECMP link choice for this flow at this node, preferring links not
+  /// known to be dead.
   topo::LinkId ecmp_choice(topo::NodeId node, const FlowKey& key) const;
   /// Follow an in-progress detour; returns kInvalidLink when the packet
-  /// is not detouring (caller falls through to its own policy).
+  /// is not detouring (caller falls through to its own policy).  A
+  /// detour whose own leg has since died is abandoned.
   topo::LinkId follow_via(topo::NodeId node, FlowKey& key) const;
+  /// If `chosen` is a known-dead mesh hop, reroute over a two-hop
+  /// detour (node -> w -> exit) whose legs are both alive; otherwise
+  /// return `chosen` unchanged.  Consumes the flow's detour budget.
+  topo::LinkId heal_choice(topo::NodeId node, FlowKey& key, topo::LinkId chosen) const;
 
  private:
   const EcmpRouting* routing_;
+  const FailureView* view_ = nullptr;
   std::vector<std::vector<topo::NodeId>> rings_;
   std::unordered_map<topo::NodeId, int> ring_of_;
   std::unordered_map<std::uint64_t, topo::LinkId> mesh_links_;

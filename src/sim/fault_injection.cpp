@@ -1,0 +1,89 @@
+#include "sim/fault_injection.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace quartz::sim {
+namespace {
+
+constexpr double kHoursPerYear = 8766.0;
+constexpr double kPsPerHour = 3600.0 * 1e12;
+
+TimePs exponential_delay(Rng& rng, double mean_ps) {
+  return std::max<TimePs>(1, static_cast<TimePs>(rng.next_exponential(mean_ps)));
+}
+
+}  // namespace
+
+PoissonFaultParams PoissonFaultParams::from_availability(const core::AvailabilityParams& params,
+                                                         TimePs start, TimePs stop) {
+  PoissonFaultParams out;
+  out.failures_per_link_per_hour =
+      params.cuts_per_km_per_year * params.span_km / kHoursPerYear;
+  out.mean_repair_hours = params.mttr_hours;
+  out.start = start;
+  out.stop = stop;
+  return out;
+}
+
+void FaultScheduler::schedule_cut(TimePs fail_at, std::vector<topo::LinkId> links,
+                                  TimePs repair_at) {
+  QUARTZ_REQUIRE(!links.empty(), "a cut needs at least one link");
+  QUARTZ_REQUIRE(repair_at < 0 || repair_at > fail_at, "repair must follow the cut");
+  network_.at(fail_at, [this, links] {
+    for (const topo::LinkId link : links) {
+      network_.fail_link(link);
+      ++cuts_;
+    }
+  });
+  if (repair_at >= 0) {
+    network_.at(repair_at, [this, links = std::move(links)] {
+      for (const topo::LinkId link : links) {
+        network_.repair_link(link);
+        ++repairs_;
+      }
+    });
+  }
+}
+
+void FaultScheduler::schedule_fiber_cut(TimePs fail_at, const topo::FiberCut& cut,
+                                        TimePs repair_at) {
+  schedule_cut(fail_at, topo::severed_links(network_.topology(), {cut}), repair_at);
+}
+
+void FaultScheduler::run_poisson(const PoissonFaultParams& params,
+                                 std::vector<topo::LinkId> links, Rng rng) {
+  QUARTZ_REQUIRE(params.failures_per_link_per_hour > 0, "failure rate must be positive");
+  QUARTZ_REQUIRE(params.mean_repair_hours > 0, "repair time must be positive");
+  QUARTZ_REQUIRE(params.stop > params.start, "timeline must have a positive duration");
+  poisson_ = params;
+  rng_ = rng;
+  if (links.empty()) {
+    for (const auto& link : network_.graph().links()) {
+      if (link.wdm_channel >= 0) links.push_back(link.id);
+    }
+  }
+  QUARTZ_REQUIRE(!links.empty(), "no links to fail");
+  for (const topo::LinkId link : links) schedule_poisson_failure(link, params.start);
+}
+
+void FaultScheduler::schedule_poisson_failure(topo::LinkId link, TimePs from) {
+  const double mean_ttf_ps = kPsPerHour / poisson_.failures_per_link_per_hour;
+  const TimePs fail_at = from + exponential_delay(rng_, mean_ttf_ps);
+  if (fail_at >= poisson_.stop) return;
+  network_.at(fail_at, [this, link] {
+    network_.fail_link(link);
+    ++cuts_;
+    const double mean_repair_ps = poisson_.mean_repair_hours * kPsPerHour;
+    const TimePs repair_at = network_.now() + exponential_delay(rng_, mean_repair_ps);
+    network_.at(repair_at, [this, link] {
+      network_.repair_link(link);
+      ++repairs_;
+      schedule_poisson_failure(link, network_.now());
+    });
+  });
+}
+
+}  // namespace quartz::sim

@@ -1,0 +1,78 @@
+// Live fault injection for the packet simulator — §3.5 made dynamic.
+//
+// core::analyze_faults answers "what if k fibers are cut right now"
+// combinatorially and topo::survive_fiber_cuts rebuilds a degraded
+// fabric before any packets fly.  The FaultScheduler instead makes
+// failures, detection and recovery first-class events inside the DES:
+// it scripts (or Poisson-samples) cut/repair timelines against a live
+// Network, so experiments can observe what flows experience *between*
+// a fiber cut and reconvergence — loss during the detection window,
+// elevated multi-hop latency until repair, and the return to direct
+// lightpaths afterwards.
+//
+// Like the workload generators, a FaultScheduler is pinned in memory
+// once timelines are scheduled (events capture `this`); it is neither
+// copyable nor movable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fault.hpp"
+#include "sim/network.hpp"
+#include "topo/failures.hpp"
+
+namespace quartz::sim {
+
+/// Per-link Poisson cut/repair process parameters.
+struct PoissonFaultParams {
+  double failures_per_link_per_hour = 1e-4;
+  double mean_repair_hours = 8.0;
+  TimePs start = 0;
+  TimePs stop = seconds(1);
+
+  /// Derive the per-link rates from the steady-state availability
+  /// model (core::analyze_availability): each fiber segment fails at
+  /// cuts_per_km_per_year x span_km and stays down mttr_hours.
+  static PoissonFaultParams from_availability(const core::AvailabilityParams& params,
+                                              TimePs start, TimePs stop);
+};
+
+class FaultScheduler {
+ public:
+  explicit FaultScheduler(Network& network) : network_(network) {}
+  FaultScheduler(const FaultScheduler&) = delete;
+  FaultScheduler& operator=(const FaultScheduler&) = delete;
+
+  /// Script one cut event: fail every listed link at `fail_at` and
+  /// repair them all at `repair_at` (negative = never repaired).
+  void schedule_cut(TimePs fail_at, std::vector<topo::LinkId> links, TimePs repair_at = -1);
+
+  /// Script a §3.5 fiber cut against the network's own topology: every
+  /// lightpath whose arc crosses the cut ring segment fails at
+  /// `fail_at` and is restored at `repair_at` (negative = never).
+  void schedule_fiber_cut(TimePs fail_at, const topo::FiberCut& cut, TimePs repair_at = -1);
+
+  /// Drive an independent Poisson cut/repair timeline on every listed
+  /// link between params.start and params.stop.  An empty list targets
+  /// every WDM lightpath of the topology.  Repairs scheduled past
+  /// `stop` still run (if the simulation is driven that far) so the
+  /// fabric converges back to healthy.
+  void run_poisson(const PoissonFaultParams& params, std::vector<topo::LinkId> links, Rng rng);
+
+  /// Individual link failures / repairs injected so far.
+  std::uint64_t cuts() const { return cuts_; }
+  std::uint64_t repairs() const { return repairs_; }
+
+ private:
+  void schedule_poisson_failure(topo::LinkId link, TimePs from);
+
+  Network& network_;
+  PoissonFaultParams poisson_{};
+  Rng rng_{0};
+  std::uint64_t cuts_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace quartz::sim

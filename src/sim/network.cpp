@@ -13,7 +13,48 @@ Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& 
       config_(config),
       line_busy_(topo.graph.link_count() * 2, 0),
       line_active_(topo.graph.link_count() * 2, 0),
-      line_bits_(topo.graph.link_count() * 2, 0) {}
+      line_bits_(topo.graph.link_count() * 2, 0),
+      link_up_(topo.graph.link_count(), 1),
+      link_seq_(topo.graph.link_count(), 0),
+      failure_view_(topo.graph.link_count()) {}
+
+void Network::fail_link(topo::LinkId link) {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
+  auto& up = link_up_[static_cast<std::size_t>(link)];
+  if (!up) return;
+  up = 0;
+  ++link_failures_;
+  const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
+  // The routing plane learns one detection delay later — unless the
+  // link's state changed again in the meantime.
+  events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
+    if (link_seq_[static_cast<std::size_t>(link)] == seq) failure_view_.set_dead(link, true);
+  });
+}
+
+void Network::repair_link(topo::LinkId link) {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
+  auto& up = link_up_[static_cast<std::size_t>(link)];
+  if (up) return;
+  up = 1;
+  ++link_repairs_;
+  const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
+  events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
+    if (link_seq_[static_cast<std::size_t>(link)] == seq) failure_view_.set_dead(link, false);
+  });
+}
+
+bool Network::link_up(topo::LinkId link) const {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
+  return link_up_[static_cast<std::size_t>(link)] != 0;
+}
+
+void Network::drop(const Packet& packet, DropReason reason) {
+  ++packets_dropped_;
+  ++dropped_by_reason_[static_cast<std::size_t>(reason)];
+  ++task_drops_[static_cast<std::size_t>(packet.task)];
+  if (drop_hook_) drop_hook_(packet, reason);
+}
 
 int Network::new_task(DeliveryHandler handler) {
   handlers_.push_back(std::move(handler));
@@ -47,7 +88,7 @@ TimePs Network::queue_delay(topo::LinkId link, int direction) const {
 }
 
 void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
-                   std::uint64_t flow_id) {
+                   std::uint64_t flow_id, std::uint64_t tag) {
   QUARTZ_REQUIRE(topo_->graph.is_host(src) && topo_->graph.is_host(dst),
                  "packets travel host to host");
   QUARTZ_REQUIRE(src != dst, "src and dst must differ");
@@ -61,6 +102,7 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
   packet.size = size;
   packet.created = now();
   packet.task = task;
+  packet.tag = tag;
   ++packets_sent_;
 
   const TimePs ready = now() + config_.host_send_overhead;
@@ -108,6 +150,14 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   const topo::Link& link = graph.link(link_id);
   QUARTZ_CHECK(link.a == node || link.b == node, "oracle returned a detached link");
 
+  // Transmitting onto a dead link loses the packet — the oracle only
+  // learns of the failure after the detection delay, so this is the
+  // blackhole window §3.5's static analysis cannot show.
+  if (!link_up_[static_cast<std::size_t>(link_id)]) {
+    drop(packet, DropReason::kLinkDown);
+    return;
+  }
+
   const std::size_t line =
       static_cast<std::size_t>(link_id) * 2 + (node == link.a ? 0 : 1);
   TimePs& busy_until = line_busy_[line];
@@ -115,8 +165,7 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   const TimePs start = std::max(ready, busy_until);
   packet.queued += start - ready;
   if (start - ready > config_.max_queue_delay) {
-    ++packets_dropped_;
-    ++task_drops_[static_cast<std::size_t>(packet.task)];
+    drop(packet, DropReason::kQueueOverflow);
     return;
   }
   const TimePs finish = std::max(start + transmission_time(packet.size, link.rate), min_finish);
@@ -127,7 +176,15 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   const topo::NodeId peer = link.other(node);
   const TimePs first_bit = start + link.propagation;
   const TimePs last_bit = finish + link.propagation;
-  events_.schedule(first_bit, [this, packet, peer, first_bit, last_bit]() mutable {
+  // A packet queued on or propagating over a link that fails before its
+  // head arrives is lost (the sequence number will have moved on).
+  const std::uint32_t seq = link_seq_[static_cast<std::size_t>(link_id)];
+  events_.schedule(first_bit,
+                   [this, packet, peer, first_bit, last_bit, link_id, seq]() mutable {
+    if (link_seq_[static_cast<std::size_t>(link_id)] != seq) {
+      drop(packet, DropReason::kLinkDown);
+      return;
+    }
     arrive(std::move(packet), peer, first_bit, last_bit);
   });
 }

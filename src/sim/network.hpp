@@ -40,10 +40,23 @@ struct SimConfig {
   /// (drop-tail expressed in time; generous by default so saturation
   /// shows up as unbounded latency growth, as in Fig. 20).
   TimePs max_queue_delay = milliseconds(10);
+  /// How long after a link fails (or is repaired) the routing plane
+  /// learns about it, modeling BFD / loss-of-signal detection plus
+  /// convergence.  Zero = instant detection.  Until detection, oracles
+  /// keep forwarding onto the dead link and those packets are dropped
+  /// (the §3.5 transient).
+  TimePs failure_detection_delay = 0;
 };
+
+/// Why a packet was dropped: output-queue overflow (congestion) versus
+/// transmitting onto — or being in flight on — a failed link.
+enum class DropReason { kQueueOverflow = 0, kLinkDown = 1 };
 
 /// Called on final delivery with the packet and its end-to-end latency.
 using DeliveryHandler = std::function<void(const Packet&, TimePs latency)>;
+
+/// Called on every drop with the packet and the reason.
+using DropHandler = std::function<void(const Packet&, DropReason)>;
 
 /// Called on every node arrival (hosts and switches) with the packet,
 /// the node reached, and the first-bit arrival time.  For tracing and
@@ -68,15 +81,41 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// Install a tracing hook observing every node arrival.
   void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
 
+  /// Install a hook observing every drop (with its reason).
+  void set_drop_hook(DropHandler hook) { drop_hook_ = std::move(hook); }
+
   /// Inject a packet now.  `flow_id` identifies the flow for ECMP/VLB
-  /// hashing (packets of one flow share a path).
-  void send(topo::NodeId src, topo::NodeId dst, Bits size, int task, std::uint64_t flow_id);
+  /// hashing (packets of one flow share a path); `tag` is carried
+  /// opaquely on the packet.
+  void send(topo::NodeId src, topo::NodeId dst, Bits size, int task, std::uint64_t flow_id,
+            std::uint64_t tag = 0);
 
   void run_until(TimePs end) { events_.run_until(end); }
+
+  // --- live fault injection (§3.5 made dynamic) ------------------------------
+  //
+  // fail_link/repair_link flip the *physical* state immediately (call
+  // them via at()/after() to script a timeline, or use FaultScheduler).
+  // Packets in flight on a failing link are dropped; transmit attempts
+  // onto a dead link are dropped and counted as kLinkDown.  The routing
+  // plane's FailureView is updated `failure_detection_delay` later.
+
+  void fail_link(topo::LinkId link);
+  void repair_link(topo::LinkId link);
+  bool link_up(topo::LinkId link) const;
+  /// The routing plane's delayed knowledge of liveness; attach this to
+  /// failure-aware oracles before traffic starts.
+  const routing::FailureView& failure_view() const { return failure_view_; }
+  std::uint64_t link_failures() const { return link_failures_; }
+  std::uint64_t link_repairs() const { return link_repairs_; }
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
+  /// Drops with a specific cause (they sum to packets_dropped()).
+  std::uint64_t packets_dropped(DropReason reason) const {
+    return dropped_by_reason_[static_cast<std::size_t>(reason)];
+  }
   /// Drops attributed to one task id.
   std::uint64_t task_drops(int task) const;
 
@@ -101,6 +140,9 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// next line.  `decision_ready` is when the output port may start.
   void transmit(Packet packet, topo::NodeId node, TimePs decision_ready, TimePs last_bit_in);
 
+  /// Account a drop (global, per-reason, per-task) and fire the hook.
+  void drop(const Packet& packet, DropReason reason);
+
   const topo::BuiltTopology* topo_;
   const routing::RoutingOracle* oracle_;
   SimConfig config_;
@@ -110,13 +152,24 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// accumulated transmitting time and bits per (link, direction).
   std::vector<TimePs> line_active_;
   std::vector<Bits> line_bits_;
+  /// Physical per-link liveness and a state sequence number bumped on
+  /// every fail/repair: in-flight packets carry the sequence observed
+  /// at transmission and are dropped when it changed under them; it
+  /// also guards the delayed FailureView updates against stale events.
+  std::vector<char> link_up_;
+  std::vector<std::uint32_t> link_seq_;
+  routing::FailureView failure_view_;
   std::vector<DeliveryHandler> handlers_;
   ArrivalHook arrival_hook_;
+  DropHandler drop_hook_;
   std::vector<std::uint64_t> task_drops_;
   std::uint64_t next_packet_id_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t dropped_by_reason_[2] = {0, 0};
+  std::uint64_t link_failures_ = 0;
+  std::uint64_t link_repairs_ = 0;
 };
 
 }  // namespace quartz::sim

@@ -129,27 +129,79 @@ RpcWorkload::RpcWorkload(Network& network, topo::NodeId client, topo::NodeId ser
       params_(params),
       flow_id_(rng.next_u64()) {
   QUARTZ_REQUIRE(params_.calls > 0, "RPC workload needs at least one call");
+  QUARTZ_REQUIRE(params_.timeout >= 0, "timeout cannot be negative");
+  if (params_.timeout > 0) {
+    QUARTZ_REQUIRE(params_.max_retries >= 0, "max_retries cannot be negative");
+    QUARTZ_REQUIRE(params_.backoff_base > 0, "backoff base must be positive");
+    QUARTZ_REQUIRE(params_.backoff_multiplier >= 1.0, "backoff must not shrink");
+    QUARTZ_REQUIRE(params_.backoff_cap >= params_.backoff_base, "backoff cap below base");
+  }
 
-  reply_task_ = network_.new_task([this](const Packet&, TimePs) {
-    rtts_.add(to_microseconds(network_.now() - issued_at_));
+  reply_task_ = network_.new_task([this](const Packet& packet, TimePs) {
+    // A retransmitted request can produce duplicate replies, and a slow
+    // reply can land after its call was abandoned; accept only the
+    // reply to the call we are waiting on.
+    if (!awaiting_ || packet.tag != call_seq_) return;
+    awaiting_ = false;
+    const double rtt = to_microseconds(network_.now() - issued_at_);
+    rtts_.add(rtt);
+    if (attempt_ > 0) recovery_us_.add(rtt);
     ++completed_;
-    if (completed_ < params_.calls) issue();
+    if (completed_ + abandoned_ < params_.calls) issue();
   });
-  request_task_ = network_.new_task([this](const Packet&, TimePs) {
+  request_task_ = network_.new_task([this](const Packet& packet, TimePs) {
+    // The server echoes the call sequence number so the client can
+    // match replies to attempts.
+    const std::uint64_t tag = packet.tag;
     if (params_.service_time > 0) {
-      network_.after(params_.service_time, [this] {
-        network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull);
+      network_.after(params_.service_time, [this, tag] {
+        network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull, tag);
       });
     } else {
-      network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull);
+      network_.send(server_, client_, params_.reply_size, reply_task_, flow_id_ ^ 0x52ull, tag);
     }
   });
   network_.at(network_.now(), [this] { issue(); });
 }
 
 void RpcWorkload::issue() {
+  ++call_seq_;
+  attempt_ = 0;
+  awaiting_ = true;
   issued_at_ = network_.now();
-  network_.send(client_, server_, params_.request_size, request_task_, flow_id_);
+  send_attempt();
+}
+
+void RpcWorkload::send_attempt() {
+  network_.send(client_, server_, params_.request_size, request_task_, flow_id_, call_seq_);
+  if (params_.timeout <= 0) return;  // lossless-fabric mode: no timer
+  const std::uint64_t seq = call_seq_;
+  const int attempt = attempt_;
+  network_.after(params_.timeout, [this, seq, attempt] {
+    // Stale timer: the call completed, was abandoned, or a retransmit
+    // already superseded this attempt.
+    if (!awaiting_ || call_seq_ != seq || attempt_ != attempt) return;
+    if (attempt_ >= params_.max_retries) {
+      awaiting_ = false;
+      ++abandoned_;
+      if (completed_ + abandoned_ < params_.calls) issue();
+      return;
+    }
+    ++attempt_;
+    ++total_retries_;
+    network_.after(backoff_delay(attempt_), [this, seq] {
+      if (awaiting_ && call_seq_ == seq) send_attempt();
+    });
+  });
+}
+
+TimePs RpcWorkload::backoff_delay(int retry) const {
+  double delay = static_cast<double>(params_.backoff_base);
+  for (int i = 1; i < retry; ++i) {
+    delay *= params_.backoff_multiplier;
+    if (delay >= static_cast<double>(params_.backoff_cap)) break;
+  }
+  return std::min(params_.backoff_cap, std::max<TimePs>(1, static_cast<TimePs>(delay)));
 }
 
 FlowTransfer::FlowTransfer(Network& network, topo::NodeId src, topo::NodeId dst,

@@ -141,9 +141,28 @@ struct RpcParams {
   int calls = 1000;
   /// Server-side service time before the reply is sent.
   TimePs service_time = 0;
+
+  // --- reliability (fault drills) -------------------------------------------
+  /// Client-side RPC timeout; zero disables timeouts and retries (the
+  /// original lossless-fabric behaviour).
+  TimePs timeout = 0;
+  /// Give up on a call after this many retransmissions.
+  int max_retries = 8;
+  /// Capped exponential backoff between a timeout and the retransmit:
+  /// retry k waits min(backoff_base * backoff_multiplier^(k-1),
+  /// backoff_cap).
+  TimePs backoff_base = microseconds(100);
+  double backoff_multiplier = 2.0;
+  TimePs backoff_cap = milliseconds(50);
 };
 
 /// Serial RPC: the next call starts when the previous response lands.
+/// With a positive timeout the client retransmits lost requests (or
+/// requests whose replies were lost) under capped exponential backoff,
+/// so the Thrift-like workload survives transient loss — fault drills
+/// measure its goodput and recovery-time percentiles across cuts.
+/// Retransmitted requests and stale replies are matched by a per-call
+/// sequence number carried in the packet tag.
 class RpcWorkload {
  public:
   RpcWorkload(Network& network, topo::NodeId client, topo::NodeId server, RpcParams params,
@@ -151,11 +170,22 @@ class RpcWorkload {
   RpcWorkload(const RpcWorkload&) = delete;
   RpcWorkload& operator=(const RpcWorkload&) = delete;
 
+  /// Per-call completion time (first transmission to accepted reply —
+  /// retries included), in microseconds.
   const SampleSet& rtt_us() const { return rtts_; }
-  bool done() const { return completed_ >= params_.calls; }
+  /// Completion times of only the calls that needed >= 1 retry: the
+  /// recovery-time distribution across a failure.
+  const SampleSet& recovery_us() const { return recovery_us_; }
+  std::uint64_t total_retries() const { return total_retries_; }
+  int completed_calls() const { return completed_; }
+  /// Calls abandoned after max_retries (permanent failures).
+  int abandoned_calls() const { return abandoned_; }
+  bool done() const { return completed_ + abandoned_ >= params_.calls; }
 
  private:
   void issue();
+  void send_attempt();
+  TimePs backoff_delay(int retry) const;
 
   Network& network_;
   topo::NodeId client_, server_;
@@ -163,9 +193,15 @@ class RpcWorkload {
   int request_task_ = -1;
   int reply_task_ = -1;
   std::uint64_t flow_id_;
+  std::uint64_t call_seq_ = 0;  ///< current call id, carried as packet tag
+  int attempt_ = 0;             ///< retransmissions of the current call
+  bool awaiting_ = false;
   int completed_ = 0;
-  TimePs issued_at_ = 0;
+  int abandoned_ = 0;
+  std::uint64_t total_retries_ = 0;
+  TimePs issued_at_ = 0;  ///< first transmission of the current call
   SampleSet rtts_;
+  SampleSet recovery_us_;
 };
 
 struct TransferParams {

@@ -42,6 +42,30 @@ int physical_ring_count(const BuiltTopology& topo) {
   return std::max(rings, 1);
 }
 
+int count_components(const Graph& graph) {
+  if (graph.node_count() == 0) return 0;
+  std::vector<char> seen(graph.node_count(), 0);
+  int components = 0;
+  std::vector<NodeId> stack;
+  for (const auto& start : graph.nodes()) {
+    if (seen[static_cast<std::size_t>(start.id)]) continue;
+    ++components;
+    seen[static_cast<std::size_t>(start.id)] = 1;
+    stack.push_back(start.id);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& adj : graph.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(adj.peer)]) {
+          seen[static_cast<std::size_t>(adj.peer)] = 1;
+          stack.push_back(adj.peer);
+        }
+      }
+    }
+  }
+  return components;
+}
+
 }  // namespace
 
 std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& topo,
@@ -58,7 +82,31 @@ std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& t
   return out;
 }
 
-BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
+std::vector<LinkId> severed_links(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
+  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
+  const auto& ring = topo.quartz_rings[0];
+  const auto severed =
+      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
+
+  std::vector<int> ring_index(topo.graph.node_count(), -1);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ring_index[static_cast<std::size_t>(ring[i])] = static_cast<int>(i);
+  }
+
+  std::vector<LinkId> out;
+  for (const auto& link : topo.graph.links()) {
+    const int ia = ring_index[static_cast<std::size_t>(link.a)];
+    const int ib = ring_index[static_cast<std::size_t>(link.b)];
+    if (link.wdm_channel >= 0 && ia >= 0 && ib >= 0) {
+      const auto key = std::minmax(ia, ib);
+      if (severed.contains({key.first, key.second})) out.push_back(link.id);
+    }
+  }
+  return out;
+}
+
+SurvivalOutcome try_survive_fiber_cuts(const BuiltTopology& topo,
+                                       const std::vector<FiberCut>& cuts) {
   QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
   const auto& ring = topo.quartz_rings[0];
   const auto severed =
@@ -70,7 +118,8 @@ BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<Fi
     ring_index[static_cast<std::size_t>(ring[i])] = static_cast<int>(i);
   }
 
-  BuiltTopology survivor;
+  SurvivalOutcome outcome;
+  BuiltTopology& survivor = outcome.degraded;
   survivor.name = topo.name + "-degraded";
   Graph& graph = survivor.graph;
 
@@ -103,7 +152,10 @@ BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<Fi
     const int ib = ring_index[static_cast<std::size_t>(link.b)];
     if (link.wdm_channel >= 0 && ia >= 0 && ib >= 0) {
       const auto key = std::minmax(ia, ib);
-      if (severed.contains({key.first, key.second})) continue;  // cut
+      if (severed.contains({key.first, key.second})) {  // cut
+        ++outcome.severed;
+        continue;
+      }
     }
     graph.add_link(link.a, link.b, link.rate, link.propagation, link.wdm_ring,
                    link.wdm_channel);
@@ -115,8 +167,16 @@ BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<Fi
   survivor.cores = topo.cores;
   survivor.quartz_rings = topo.quartz_rings;
   survivor.host_groups = topo.host_groups;
-  survivor.graph.validate();  // throws if the cuts partitioned the mesh
-  return survivor;
+  outcome.components = count_components(graph);
+  outcome.partitioned = outcome.components > 1;
+  return outcome;
+}
+
+BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
+  SurvivalOutcome outcome = try_survive_fiber_cuts(topo, cuts);
+  QUARTZ_CHECK(!outcome.partitioned, "fiber cuts partitioned the mesh");
+  outcome.degraded.graph.validate();
+  return std::move(outcome.degraded);
 }
 
 }  // namespace quartz::topo

@@ -26,12 +26,30 @@ struct FiberCut {
 /// lightpath to the segments it crosses).  Host links and non-WDM
 /// links are untouched.  Throws if the surviving graph is disconnected
 /// (the Fig. 6 partition case) — callers wanting to observe partitions
-/// should use core::evaluate_failures instead.
+/// should use try_survive_fiber_cuts or core::evaluate_failures.
 BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts);
+
+/// Non-throwing variant: always returns the degraded topology together
+/// with its connectivity outcome, so callers can report the partition
+/// case instead of handling std::logic_error.  When `partitioned`, the
+/// degraded graph fails Graph::validate() and must not be simulated.
+struct SurvivalOutcome {
+  BuiltTopology degraded;
+  std::size_t severed = 0;  ///< mesh links removed by the cuts
+  bool partitioned = false;
+  int components = 1;  ///< connected components of the surviving graph
+};
+SurvivalOutcome try_survive_fiber_cuts(const BuiltTopology& topo,
+                                       const std::vector<FiberCut>& cuts);
 
 /// The mesh links a set of cuts would sever (for reporting): pairs of
 /// (switch, switch) node ids.
 std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& topo,
                                                           const std::vector<FiberCut>& cuts);
+
+/// Same severed set as LinkIds *in the original topology* — the form
+/// the packet simulator's fail_link()/FaultScheduler consume for live
+/// fault injection (the dynamic counterpart of survive_fiber_cuts).
+std::vector<LinkId> severed_links(const BuiltTopology& topo, const std::vector<FiberCut>& cuts);
 
 }  // namespace quartz::topo

@@ -218,6 +218,97 @@ TEST(AdaptiveVlbOracle, StaysDirectWhenEverythingIsHot) {
   EXPECT_EQ(path.size(), 2u);
 }
 
+/// Direct mesh link between two switches.
+LinkId direct_link(const topo::BuiltTopology& t, NodeId a, NodeId b) {
+  for (const auto& adj : t.graph.neighbors(a)) {
+    if (adj.peer == b) return adj.link;
+  }
+  return topo::kInvalidLink;
+}
+
+TEST(FailureView, TracksDeadLinksAndReadsUnknownAsAlive) {
+  FailureView view(4);
+  EXPECT_FALSE(view.is_dead(2));
+  EXPECT_FALSE(view.is_dead(99));  // out of range degrades to alive
+  view.set_dead(2, true);
+  EXPECT_TRUE(view.is_dead(2));
+  EXPECT_EQ(view.dead_count(), 1u);
+  view.set_dead(2, false);
+  EXPECT_FALSE(view.is_dead(2));
+  EXPECT_EQ(view.dead_count(), 0u);
+}
+
+TEST(EcmpOracle, DetoursAroundDetectedDeadLightpath) {
+  const MeshFixture f(6, 2);
+  EcmpOracle oracle(*f.routing);
+  FailureView view(f.topo.graph.link_count());
+  oracle.attach_failure_view(&view);
+  const NodeId src = f.topo.host_groups[0][0];
+  const NodeId dst = f.topo.host_groups[3][0];
+  const LinkId direct = direct_link(f.topo, f.topo.tors[0], f.topo.tors[3]);
+  ASSERT_NE(direct, topo::kInvalidLink);
+
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 2u);
+  view.set_dead(direct, true);
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const auto path = walk(f.topo.graph, oracle, src, dst, flow);
+    ASSERT_EQ(path.size(), 3u);  // deflected one switch around the cut
+    EXPECT_NE(path[1], f.topo.tors[0]);
+    EXPECT_NE(path[1], f.topo.tors[3]);
+  }
+  view.set_dead(direct, false);
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 2u);
+}
+
+TEST(VlbOracle, HealsDeadDirectPathOverTwoHopDetour) {
+  const MeshFixture f(6, 2);
+  VlbOracle oracle(*f.routing, f.topo.quartz_rings, 0.0);
+  FailureView view(f.topo.graph.link_count());
+  oracle.attach_failure_view(&view);
+  const LinkId direct = direct_link(f.topo, f.topo.tors[1], f.topo.tors[4]);
+  view.set_dead(direct, true);
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const auto path =
+        walk(f.topo.graph, oracle, f.topo.host_groups[1][0], f.topo.host_groups[4][0], flow);
+    ASSERT_EQ(path.size(), 3u);
+    // Both detour legs avoid the dead lightpath by construction.
+    EXPECT_NE(direct_link(f.topo, path[0], path[1]), direct);
+    EXPECT_NE(direct_link(f.topo, path[1], path[2]), direct);
+  }
+}
+
+TEST(VlbOracle, DetourIntermediatesExcludeDeadLegs) {
+  // With fraction 1 every flow detours; intermediates whose legs are
+  // dead must never be chosen.
+  const MeshFixture f(6, 2);
+  VlbOracle oracle(*f.routing, f.topo.quartz_rings, 1.0);
+  FailureView view(f.topo.graph.link_count());
+  oracle.attach_failure_view(&view);
+  const NodeId banned = f.topo.tors[2];
+  view.set_dead(direct_link(f.topo, f.topo.tors[0], banned), true);
+  for (std::uint64_t flow = 0; flow < 64; ++flow) {
+    const auto path =
+        walk(f.topo.graph, oracle, f.topo.host_groups[0][0], f.topo.host_groups[3][0], flow);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_NE(path[1], banned) << "detoured through a dead first leg";
+  }
+}
+
+TEST(AdaptiveVlbOracle, RoutesAroundDeadLightpathWithoutProbe) {
+  const MeshFixture f(6, 2);
+  AdaptiveVlbOracle oracle(*f.routing, f.topo.quartz_rings);
+  FailureView view(f.topo.graph.link_count());
+  oracle.attach_failure_view(&view);
+  view.set_dead(direct_link(f.topo, f.topo.tors[0], f.topo.tors[3]), true);
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const auto path =
+        walk(f.topo.graph, oracle, f.topo.host_groups[0][0], f.topo.host_groups[3][0], flow);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_NE(path[1], f.topo.tors[0]);
+    EXPECT_NE(path[1], f.topo.tors[3]);
+  }
+}
+
 TEST(SpanningTreeOracle, RoutesAlongTree) {
   topo::TwoTierParams p;
   p.tors = 4;

@@ -1,0 +1,306 @@
+#include "sim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fault.hpp"
+#include "routing/oracle.hpp"
+#include "sim/network.hpp"
+#include "sim/workloads.hpp"
+#include "topo/builders.hpp"
+#include "topo/failures.hpp"
+
+namespace quartz::sim {
+namespace {
+
+topo::BuiltTopology eight_ring() {
+  topo::QuartzRingParams p;
+  p.switches = 8;
+  p.hosts_per_switch = 2;
+  return topo::quartz_ring(p);
+}
+
+/// First host hanging off a switch.
+topo::NodeId host_of(const topo::BuiltTopology& topo, topo::NodeId sw) {
+  for (const auto& adj : topo.graph.neighbors(sw)) {
+    if (topo.graph.is_host(adj.peer)) return adj.peer;
+  }
+  return topo::kInvalidNode;
+}
+
+/// Direct mesh link between two switches.
+topo::LinkId direct_link(const topo::BuiltTopology& topo, topo::NodeId a, topo::NodeId b) {
+  for (const auto& adj : topo.graph.neighbors(a)) {
+    if (adj.peer == b) return adj.link;
+  }
+  return topo::kInvalidLink;
+}
+
+TEST(FaultInjection, TransmitOntoDeadLinkIsDroppedAndCounted) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);  // failure-oblivious: no view attached
+  Network net(t, oracle);
+
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+  ASSERT_NE(direct, topo::kInvalidLink);
+  net.fail_link(direct);
+  EXPECT_FALSE(net.link_up(direct));
+  EXPECT_EQ(net.link_failures(), 1u);
+  net.fail_link(direct);  // double fail is idempotent
+  EXPECT_EQ(net.link_failures(), 1u);
+
+  int hook_drops = 0;
+  DropReason hook_reason = DropReason::kQueueOverflow;
+  net.set_drop_hook([&](const Packet&, DropReason reason) {
+    ++hook_drops;
+    hook_reason = reason;
+  });
+  const int task = net.new_task({});
+  net.send(host_of(t, t.tors[0]), host_of(t, t.tors[1]), bytes(400), task, 1);
+  net.run_until(milliseconds(1));
+
+  EXPECT_EQ(net.packets_delivered(), 0u);
+  EXPECT_EQ(net.packets_dropped(), 1u);
+  EXPECT_EQ(net.packets_dropped(DropReason::kLinkDown), 1u);
+  EXPECT_EQ(net.packets_dropped(DropReason::kQueueOverflow), 0u);
+  EXPECT_EQ(net.task_drops(task), 1u);
+  EXPECT_EQ(hook_drops, 1);
+  EXPECT_EQ(hook_reason, DropReason::kLinkDown);
+
+  // After repair the same pair delivers again.
+  net.repair_link(direct);
+  EXPECT_TRUE(net.link_up(direct));
+  EXPECT_EQ(net.link_repairs(), 1u);
+  net.send(host_of(t, t.tors[0]), host_of(t, t.tors[1]), bytes(400), task, 1);
+  net.run_until(milliseconds(2));
+  EXPECT_EQ(net.packets_delivered(), 1u);
+  EXPECT_EQ(net.packets_dropped(), 1u);
+}
+
+TEST(FaultInjection, InFlightPacketDropsWhenItsLinkFails) {
+  // A long fiber span (100 us propagation): the packet is on the wire
+  // when the cut lands, so it must be lost even though the transmit
+  // started while the link was still up.
+  topo::QuartzRingParams p;
+  p.switches = 8;
+  p.hosts_per_switch = 2;
+  p.links.fabric_propagation = microseconds(100);
+  const auto t = topo::quartz_ring(p);
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);
+  const int task = net.new_task({});
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+  net.send(host_of(t, t.tors[0]), host_of(t, t.tors[1]), bytes(400), task, 1);
+  net.at(microseconds(10), [&net, direct] { net.fail_link(direct); });
+  net.run_until(milliseconds(1));
+  EXPECT_EQ(net.packets_delivered(), 0u);
+  EXPECT_EQ(net.packets_dropped(DropReason::kLinkDown), 1u);
+}
+
+TEST(FaultInjection, FailureViewUpdatesAfterDetectionDelay) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = microseconds(100);
+  Network net(t, oracle, config);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+
+  net.fail_link(direct);
+  EXPECT_FALSE(net.link_up(direct));                  // physically down now
+  EXPECT_FALSE(net.failure_view().is_dead(direct));   // but not yet detected
+  net.run_until(microseconds(50));
+  EXPECT_FALSE(net.failure_view().is_dead(direct));
+  net.run_until(microseconds(150));
+  EXPECT_TRUE(net.failure_view().is_dead(direct));
+
+  // Repair detection is symmetric.
+  net.repair_link(direct);
+  EXPECT_TRUE(net.link_up(direct));
+  EXPECT_TRUE(net.failure_view().is_dead(direct));
+  net.run_until(microseconds(300));
+  EXPECT_FALSE(net.failure_view().is_dead(direct));
+  EXPECT_EQ(net.failure_view().dead_count(), 0u);
+}
+
+TEST(FaultInjection, RapidFlapNeverAppliesStaleDetection) {
+  // Fail then repair inside one detection window: the stale "mark dead"
+  // event must not fire after the link already came back.
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = microseconds(100);
+  Network net(t, oracle, config);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+  net.at(0, [&] { net.fail_link(direct); });
+  net.at(microseconds(50), [&] { net.repair_link(direct); });
+  bool ever_dead = false;
+  for (TimePs when = 0; when <= microseconds(400); when += microseconds(10)) {
+    net.at(when, [&] { ever_dead = ever_dead || net.failure_view().is_dead(direct); });
+  }
+  net.run_until(microseconds(500));
+  EXPECT_FALSE(ever_dead);
+  EXPECT_EQ(net.failure_view().dead_count(), 0u);
+}
+
+TEST(FaultInjection, ScriptedCutShowsLossOnlyInsideDetectionWindow) {
+  // The acceptance scenario: cut ring 0 segment 0 at t=1s, detection
+  // delay 50ms, repair at t=3s.  An affected pair loses packets only
+  // during the blackhole, rides a one-switch-longer detour until the
+  // repair is detected, then returns to its direct lightpath.
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = milliseconds(50);
+  Network net(t, oracle, config);
+  oracle.attach_failure_view(&net.failure_view());
+
+  const auto severed = topo::severed_links(t, {{0, 0}});
+  ASSERT_FALSE(severed.empty());
+  const topo::Link& victim = t.graph.link(severed.front());
+  const topo::NodeId src = host_of(t, victim.a);
+  const topo::NodeId dst = host_of(t, victim.b);
+
+  std::vector<std::pair<TimePs, int>> delivered;  // (delivery time, switch hops)
+  std::vector<TimePs> dropped;
+  const int task = net.new_task(
+      [&](const Packet& p, TimePs) { delivered.emplace_back(net.now(), p.hops); });
+  net.set_drop_hook([&](const Packet&, DropReason reason) {
+    EXPECT_EQ(reason, DropReason::kLinkDown);
+    dropped.push_back(net.now());
+  });
+
+  for (int i = 0; i < 4'000; ++i) {
+    net.at(milliseconds(1) * i, [&net, src, dst, task] {
+      net.send(src, dst, bytes(400), task, 99);  // one flow, stable hash
+    });
+  }
+  FaultScheduler faults(net);
+  faults.schedule_fiber_cut(seconds(1), {0, 0}, seconds(3));
+  net.run_until(seconds(5));
+
+  EXPECT_EQ(delivered.size() + dropped.size(), 4'000u);
+  ASSERT_FALSE(dropped.empty());
+  for (const TimePs when : dropped) {
+    EXPECT_GE(when, seconds(1));
+    EXPECT_LE(when, seconds(1) + milliseconds(51));
+  }
+
+  int baseline_hops = -1;
+  for (const auto& [when, hops] : delivered) {
+    if (when < seconds(1)) {
+      if (baseline_hops < 0) baseline_hops = hops;
+      EXPECT_EQ(hops, baseline_hops);            // healthy: direct lightpath
+    } else if (when > seconds(1) + milliseconds(60) && when < seconds(3)) {
+      EXPECT_EQ(hops, baseline_hops + 1);        // self-healed two-hop detour
+    } else if (when > seconds(3) + milliseconds(60)) {
+      EXPECT_EQ(hops, baseline_hops);            // repair detected: direct again
+    }
+  }
+  EXPECT_EQ(baseline_hops, 2);  // ingress + egress switch
+}
+
+TEST(FaultInjection, RpcRetriesDeliverEverythingAcrossACutRepairCycle) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = milliseconds(5);
+  Network net(t, oracle, config);
+  oracle.attach_failure_view(&net.failure_view());
+
+  const auto severed = topo::severed_links(t, {{0, 0}});
+  const topo::Link& victim = t.graph.link(severed.front());
+  RpcParams rpc;
+  rpc.calls = 200;
+  rpc.service_time = microseconds(100);
+  rpc.timeout = microseconds(300);
+  rpc.max_retries = 20;
+  rpc.backoff_base = microseconds(50);
+  rpc.backoff_cap = milliseconds(2);
+  RpcWorkload load(net, host_of(t, victim.a), host_of(t, victim.b), rpc, Rng(5));
+
+  FaultScheduler faults(net);
+  faults.schedule_cut(milliseconds(10), severed, milliseconds(100));
+  net.run_until(seconds(1));
+
+  // 100% eventual delivery: the blackhole only delays calls.
+  EXPECT_TRUE(load.done());
+  EXPECT_EQ(load.completed_calls(), rpc.calls);
+  EXPECT_EQ(load.abandoned_calls(), 0);
+  EXPECT_GT(load.total_retries(), 0u);
+  ASSERT_FALSE(load.recovery_us().empty());
+  // Recovery spans the detection window, so it is far above healthy RTT.
+  EXPECT_GT(load.recovery_us().max(), to_microseconds(config.failure_detection_delay));
+  EXPECT_GT(faults.cuts(), 0u);
+  EXPECT_EQ(faults.cuts(), faults.repairs());
+}
+
+TEST(FaultInjection, PoissonChurnConservesPacketsAndConverges) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = microseconds(500);
+  Network net(t, oracle, config);
+  oracle.attach_failure_view(&net.failure_view());
+
+  const int task = net.new_task({});
+  Rng rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    net.at(microseconds(10) * i, [&net, &t, &rng, task] {
+      const auto src = t.hosts[rng.next_below(t.hosts.size())];
+      auto dst = t.hosts[rng.next_below(t.hosts.size())];
+      while (dst == src) dst = t.hosts[rng.next_below(t.hosts.size())];
+      net.send(src, dst, bytes(400), task, rng.next_u64());
+    });
+  }
+
+  FaultScheduler faults(net);
+  PoissonFaultParams churn;
+  churn.failures_per_link_per_hour = 3.6e5;  // mean TTF 10 ms per link
+  churn.mean_repair_hours = 1e-6;            // mean TTR 3.6 ms
+  churn.stop = milliseconds(200);
+  faults.run_poisson(churn, {}, Rng(23));
+  net.run_until(seconds(2));
+
+  EXPECT_GT(faults.cuts(), 0u);
+  EXPECT_GT(faults.repairs(), 0u);
+  EXPECT_EQ(net.link_failures(), faults.cuts());
+  EXPECT_EQ(net.packets_sent(), 20'000u);
+  EXPECT_EQ(net.packets_delivered() + net.packets_dropped(), net.packets_sent());
+  EXPECT_GT(net.packets_delivered(), 0u);
+}
+
+TEST(PoissonFaultParams, FromAvailabilityMatchesSteadyStateModel) {
+  core::AvailabilityParams availability;  // 0.5 cuts/km/year over 0.1 km spans
+  const auto p = PoissonFaultParams::from_availability(availability, 0, seconds(2));
+  EXPECT_NEAR(p.failures_per_link_per_hour,
+              availability.cuts_per_km_per_year * availability.span_km / 8766.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.mean_repair_hours, availability.mttr_hours);
+  EXPECT_EQ(p.start, 0);
+  EXPECT_EQ(p.stop, seconds(2));
+}
+
+TEST(FaultScheduler, RejectsBadTimelines) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);
+  FaultScheduler faults(net);
+  EXPECT_THROW(faults.schedule_cut(seconds(1), {}), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_cut(seconds(1), {0}, seconds(1)), std::invalid_argument);
+  PoissonFaultParams churn;
+  churn.failures_per_link_per_hour = 0.0;
+  EXPECT_THROW(faults.run_poisson(churn, {}, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::sim

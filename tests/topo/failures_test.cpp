@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "routing/oracle.hpp"
 #include "sim/network.hpp"
 #include "wavelength/assign.hpp"
@@ -107,6 +110,67 @@ TEST(Failures, TwoRingPlanSurvivesTwoCuts) {
   const BuiltTopology s = survive_fiber_cuts(t, {{0, 4}, {1, 20}});
   EXPECT_NO_THROW(s.graph.validate());
   EXPECT_LT(s.graph.link_count(), t.graph.link_count());
+}
+
+TEST(Failures, TryVariantReportsPartitionInsteadOfThrowing) {
+  QuartzRingParams p;
+  p.switches = 6;
+  p.hosts_per_switch = 1;
+  const BuiltTopology t = quartz_ring(p);
+  const SurvivalOutcome outcome = try_survive_fiber_cuts(t, {{0, 0}, {0, 3}});
+  EXPECT_TRUE(outcome.partitioned);
+  EXPECT_GT(outcome.components, 1);
+  EXPECT_GT(outcome.severed, 0u);
+  // The throwing wrapper still refuses the same cuts.
+  EXPECT_THROW(survive_fiber_cuts(t, {{0, 0}, {0, 3}}), std::logic_error);
+}
+
+TEST(Failures, TryVariantMatchesThrowingOnSurvivableCuts) {
+  const BuiltTopology t = eight_ring();
+  const SurvivalOutcome outcome = try_survive_fiber_cuts(t, {{0, 1}});
+  EXPECT_FALSE(outcome.partitioned);
+  EXPECT_EQ(outcome.components, 1);
+  EXPECT_EQ(outcome.severed, severed_lightpaths(t, {{0, 1}}).size());
+  const BuiltTopology s = survive_fiber_cuts(t, {{0, 1}});
+  EXPECT_EQ(outcome.degraded.graph.link_count(), s.graph.link_count());
+}
+
+TEST(Failures, SeveredLinksMapBackToOriginalTopology) {
+  const BuiltTopology t = eight_ring();
+  const auto links = severed_links(t, {{0, 0}});
+  const auto pairs = severed_lightpaths(t, {{0, 0}});
+  ASSERT_EQ(links.size(), pairs.size());
+  for (const LinkId id : links) {
+    const Link& link = t.graph.link(id);
+    EXPECT_EQ(link.wdm_ring, 0);
+    const bool listed =
+        std::any_of(pairs.begin(), pairs.end(), [&](const std::pair<NodeId, NodeId>& pair) {
+          return (pair.first == link.a && pair.second == link.b) ||
+                 (pair.first == link.b && pair.second == link.a);
+        });
+    EXPECT_TRUE(listed) << "link " << id << " not in the severed lightpath list";
+  }
+}
+
+TEST(Failures, MultiRingCutsSeverDisjointPerRingSets) {
+  // A 33-switch plan stripes lightpaths over two physical rings; a cut
+  // only severs lightpaths carried by its own ring.
+  QuartzRingParams p;
+  p.switches = 33;
+  p.hosts_per_switch = 1;
+  const BuiltTopology t = quartz_ring(p);
+  const auto ring0 = severed_links(t, {{0, 4}});
+  const auto ring1 = severed_links(t, {{1, 20}});
+  ASSERT_FALSE(ring0.empty());
+  ASSERT_FALSE(ring1.empty());
+  for (const LinkId id : ring0) EXPECT_EQ(t.graph.link(id).wdm_ring, 0);
+  for (const LinkId id : ring1) EXPECT_EQ(t.graph.link(id).wdm_ring, 1);
+  for (const LinkId id : ring0) {
+    EXPECT_EQ(std::count(ring1.begin(), ring1.end(), id), 0);
+  }
+  // Both cuts together sever exactly the union.
+  const auto both = severed_links(t, {{0, 4}, {1, 20}});
+  EXPECT_EQ(both.size(), ring0.size() + ring1.size());
 }
 
 TEST(Failures, RejectsOutOfRangeCuts) {
