@@ -37,7 +37,7 @@ void report_vlb_sweep() {
     std::snprintf(p, sizeof(p), "%.2f", r.p99_latency_us);
     table.add_row({kk, m, p, std::to_string(r.packets_dropped)});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("vlb_sweep", table);
   bench::print_note(
       "with 50G offered into a 40G lightpath, at least 20% of traffic "
       "must detour; the sweep shows the knee and the small per-hop cost "
@@ -79,7 +79,7 @@ void report_spanning_tree() {
     std::snprintf(p, sizeof(p), "%.2f", samples.percentile(99));
     table.add_row({name, m, p, std::to_string(samples.count())});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("l2_vs_ecmp", table);
   bench::print_note(
       "§3.4: Ethernet's single spanning tree funnels every flow through "
       "the root switch, recreating the congestion the mesh exists to "
@@ -107,7 +107,7 @@ void report_ring_scaling() {
                                   static_cast<std::size_t>(design.physical_rings)),
                    os});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("ring_scaling", table);
   bench::print_note(
       "channels grow ~M^2/8, so mux capacity (80) forces a second "
       "physical ring near M=25 and the fiber cap (160) stops the mesh at "
@@ -137,7 +137,7 @@ void report_oversubscription() {
                       .normalized_throughput);
     table.add_row({std::to_string(n), ratio, p, i, s});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("oversubscription", table);
   bench::print_note(
       "§3: \"a DCN designer can reduce the number of required switches by "
       "increasing the server-to-switch ratio at the cost of higher "
@@ -159,7 +159,7 @@ void report_upgrade_path() {
     table.add_row({std::to_string(s.ring_size), std::to_string(s.ports_supported),
                    std::to_string(s.channels), std::to_string(s.physical_rings), step, q, c});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("pay_as_you_grow", table);
   char frac[16];
   std::snprintf(frac, sizeof(frac), "%.0f%%", 100.0 * core::max_step_fraction(plan));
   std::printf("largest single Quartz step: %s of the final spend\n", frac);
@@ -204,7 +204,7 @@ void report_fct() {
     std::snprintf(sp, sizeof(sp), "%.2fx", fct[0] / fct[1]);
     table.add_row({std::to_string(kb) + " KB", t, q, sp});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("flow_completion_time", table);
   bench::print_note(
       "short transfers are latency-bound and see the full hop-count win; "
       "long transfers become serialization-bound and the fabrics converge "
@@ -224,7 +224,7 @@ void report_availability() {
     std::snprintf(part, sizeof(part), "%.3f", r.partition_minutes_per_year);
     table.add_row({std::to_string(rings), avail, part});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("availability", table);
   bench::print_note(
       "under a fixed failure *rate*, extra rings buy partition "
       "resistance rather than bandwidth (every lightpath still crosses "
@@ -262,7 +262,7 @@ void report_scale_sensitivity() {
     table.add_row({std::to_string(scale.pods * scale.tors_per_pod * scale.hosts_per_tor),
                    std::to_string(scale.pods), t, q, red});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("scale_sensitivity", table);
   bench::print_note(
       "more pods push more traffic through the 6 us core, widening the "
       "gap; the quartz advantage is not an artifact of one simulated "
@@ -270,6 +270,7 @@ void report_scale_sensitivity() {
 }
 
 void report() {
+  bench::Report::instance().open("ablation", "Design-choice ablations");
   report_vlb_sweep();
   report_spanning_tree();
   report_ring_scaling();

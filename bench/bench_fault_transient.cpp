@@ -3,10 +3,10 @@
 // detours -> repair -> direct lightpaths again.  Reports time-bucketed
 // delivery latency percentiles and drop counts around the scripted
 // timeline, plus the recovery profile of a timeout-and-retry RPC
-// workload riding across the cut.
+// workload riding across the cut.  The bucketing and the fault-event
+// log both come from telemetry sinks attached to the network.
 #include "report.hpp"
 
-#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -18,6 +18,7 @@
 #include "sim/fault_injection.hpp"
 #include "sim/network.hpp"
 #include "sim/workloads.hpp"
+#include "telemetry/sampler.hpp"
 #include "topo/builders.hpp"
 #include "topo/failures.hpp"
 
@@ -46,9 +47,18 @@ topo::NodeId host_of(const topo::BuiltTopology& topo, topo::NodeId sw) {
   return topo::kInvalidNode;
 }
 
+const char* phase_of(TimePs start) {
+  return start < kCutAt                ? "healthy"
+         : start < kCutAt + kDetect    ? "blackhole"
+         : start < kRepairAt           ? "detoured"
+         : start < kRepairAt + kDetect ? "repairing"
+                                       : "healthy";
+}
+
 void report() {
-  bench::print_banner("Fault transient",
-                      "live fiber cut on an 8-switch Quartz mesh: cut, detect, reroute, repair");
+  bench::Report::instance().open(
+      "fault_transient",
+      "live fiber cut on an 8-switch Quartz mesh: cut, detect, reroute, repair");
 
   const topo::BuiltTopology topo = make_fabric();
   routing::EcmpRouting routing(topo.graph);
@@ -58,20 +68,17 @@ void report() {
   sim::Network net(topo, oracle, config);
   oracle.attach_failure_view(&net.failure_view());
 
-  const std::size_t buckets = static_cast<std::size_t>(kEnd / kBucket);
-  std::vector<SampleSet> latency(buckets);
-  std::vector<std::uint64_t> down_drops(buckets, 0);
-  std::vector<std::uint64_t> queue_drops(buckets, 0);
-  auto bucket_of = [&](TimePs when) {
-    return std::min(buckets - 1, static_cast<std::size_t>(when / kBucket));
-  };
-  const int task = net.new_task([&](const sim::Packet&, TimePs l) {
-    latency[bucket_of(net.now())].add(to_microseconds(l));
-  });
-  net.set_drop_hook([&](const sim::Packet&, sim::DropReason reason) {
-    auto& row = reason == sim::DropReason::kLinkDown ? down_drops : queue_drops;
-    ++row[bucket_of(net.now())];
-  });
+  // The sampler rebuilds the 100 ms latency/drop buckets from sink
+  // events; the timeline records every cut/repair and its delayed
+  // detection by the routing plane.
+  telemetry::PeriodicSampler::Options sampling;
+  sampling.bucket = kBucket;
+  telemetry::PeriodicSampler sampler(sampling);
+  telemetry::FaultTimeline timeline;
+  net.add_sink(&sampler);
+  net.add_sink(&timeline);
+
+  const int task = net.new_task([](const sim::Packet&, TimePs) {});
 
   // All-to-all Poisson background traffic for the whole timeline.
   Rng rng(42);
@@ -113,27 +120,45 @@ void report() {
   std::printf("timeline: cut at %.1f s, detection %.0f ms, repair at %.1f s; %zu lightpaths cut\n",
               to_seconds(kCutAt), to_microseconds(kDetect) / 1000.0, to_seconds(kRepairAt),
               severed.size());
+  const std::vector<telemetry::BucketSummary> buckets = sampler.summaries();
   Table table({"t (ms)", "delivered", "p50 (us)", "p99 (us)", "link-down drops",
-               "overflow drops", "phase"});
-  for (std::size_t b = 0; b < buckets; ++b) {
-    const TimePs start = static_cast<TimePs>(b) * kBucket;
-    const char* phase = start < kCutAt                ? "healthy"
-                        : start < kCutAt + kDetect    ? "blackhole"
-                        : start < kRepairAt           ? "detoured"
-                        : start < kRepairAt + kDetect ? "repairing"
-                                                      : "healthy";
-    char p50[16], p99[16];
-    std::snprintf(p50, sizeof(p50), "%.2f", latency[b].empty() ? 0.0 : latency[b].percentile(50));
-    std::snprintf(p99, sizeof(p99), "%.2f", latency[b].empty() ? 0.0 : latency[b].percentile(99));
-    table.add_row({std::to_string(static_cast<long long>(start / milliseconds(1))),
-                   std::to_string(latency[b].count()), p50, p99,
-                   std::to_string(down_drops[b]), std::to_string(queue_drops[b]), phase});
+               "overflow drops", "hottest link util", "phase"});
+  for (const auto& b : buckets) {
+    char p50[16], p99[16], util[16];
+    std::snprintf(p50, sizeof(p50), "%.2f", b.p50_us);
+    std::snprintf(p99, sizeof(p99), "%.2f", b.p99_us);
+    std::snprintf(util, sizeof(util), "%.4f",
+                  b.hottest.empty() ? 0.0 : b.hottest.front().utilization);
+    table.add_row({std::to_string(static_cast<long long>(b.start / milliseconds(1))),
+                   std::to_string(b.delivered), p50, p99, std::to_string(b.link_down_drops),
+                   std::to_string(b.queue_drops), util, phase_of(b.start)});
   }
   std::printf("%s\n", table.to_text().c_str());
+  bench::Report::instance().add_timeline("latency_timeline", buckets);
   bench::print_note(
       "loss is confined to the detection windows; between detection and "
       "repair the affected pairs ride two-hop detours (elevated p99), and "
       "direct-lightpath latency returns after the repair is detected");
+
+  std::printf("fault events (%llu cuts, %llu repairs, %llu detections, "
+              "mean detection lag %.0f us):\n",
+              static_cast<unsigned long long>(timeline.cuts()),
+              static_cast<unsigned long long>(timeline.repairs()),
+              static_cast<unsigned long long>(timeline.detections()),
+              timeline.mean_detection_lag_us());
+  for (const auto& event : timeline.events()) {
+    std::printf("  t=%8.1f ms  link %u  %s\n", to_microseconds(event.when) / 1000.0,
+                event.link, telemetry::FaultTimeline::kind_name(event.kind));
+  }
+  for (auto& row : timeline.to_rows()) {
+    bench::Report::instance().add_row("fault_events", std::move(row));
+  }
+  bench::Report::instance().add_row(
+      "fault_summary",
+      {{"cuts", timeline.cuts()},
+       {"repairs", timeline.repairs()},
+       {"detections", timeline.detections()},
+       {"mean_detection_lag_us", timeline.mean_detection_lag_us()}});
 
   std::printf("RPC across the severed lightpath (timeout %.0f us, %d retries max):\n",
               to_microseconds(rpc.timeout), rpc.max_retries);
@@ -149,6 +174,13 @@ void report() {
                 rpc_load.recovery_us().count(), rpc_load.recovery_us().percentile(50),
                 rpc_load.recovery_us().percentile(99));
   }
+  bench::Report::instance().add_row(
+      "rpc_recovery",
+      {{"completed", static_cast<std::int64_t>(rpc_load.completed_calls())},
+       {"abandoned", static_cast<std::int64_t>(rpc_load.abandoned_calls())},
+       {"retries", rpc_load.total_retries()},
+       {"rtt_p50_us", rpc_load.rtt_us().percentile(50)},
+       {"rtt_p99_us", rpc_load.rtt_us().percentile(99)}});
 }
 
 /// Event-processing cost of a dense Poisson cut/repair churn timeline

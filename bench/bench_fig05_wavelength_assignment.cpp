@@ -13,7 +13,7 @@ using namespace quartz::wavelength;
 constexpr int kExactLimit = 13;  // certification attempted up to here
 
 void report() {
-  bench::print_banner("Figure 5", "Optimal wavelength assignment");
+  bench::Report::instance().open("fig05", "Optimal wavelength assignment");
 
   Table table({"ring size", "lower bound", "greedy (longest-first)", "naive first-fit",
                "optimal (B&B)", "certified"});
@@ -39,13 +39,17 @@ void report() {
     }
     table.add(m, lb, greedy, naive, exact, certified);
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("channels_vs_ring_size", table);
 
   std::printf("\nheadlines:\n");
   std::printf("  max ring size @ 160 channels/fiber : %d   (paper: 35)\n", max_ring_size(160));
   std::printf("  max ring size @ 80 channels/mux    : %d\n", max_ring_size(80));
   std::printf("  channels for the 33-switch ring    : %d   (paper: 137)\n",
               greedy_assign(33).channels_used);
+  bench::Report::instance().add_row(
+      "headlines", {{"max_ring_size_160", max_ring_size(160)},
+                    {"max_ring_size_80", max_ring_size(80)},
+                    {"channels_33_ring", greedy_assign(33).channels_used}});
   bench::print_note(
       "the exact branch-and-bound stands in for the paper's ILP; it is run "
       "only where certification is cheap, matching \"for a small ring, we "

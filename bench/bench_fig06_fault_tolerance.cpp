@@ -11,7 +11,7 @@ using namespace quartz;
 using namespace quartz::core;
 
 void report() {
-  bench::print_banner("Figure 6", "Fault tolerance of multi-ring Quartz (33 switches)");
+  bench::Report::instance().open("fig06", "Fault tolerance of multi-ring Quartz (33 switches)");
 
   Table loss({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
   Table part({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
@@ -34,8 +34,10 @@ void report() {
     loss.add_row(loss_row);
     part.add_row(part_row);
   }
-  std::printf("top: mean bandwidth loss\n%s", loss.to_text().c_str());
-  std::printf("\nbottom: probability of network partition\n%s", part.to_text().c_str());
+  std::printf("top: mean bandwidth loss\n");
+  bench::Report::instance().add_table("mean_bandwidth_loss", loss);
+  std::printf("\nbottom: probability of network partition\n");
+  bench::Report::instance().add_table("partition_probability", part);
   bench::print_note(
       "paper: one ring loses ~20%% per failure and partitions (>90%%) at "
       ">=2 failures; two rings partition with probability 0.0024 even at "

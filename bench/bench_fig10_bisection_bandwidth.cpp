@@ -11,7 +11,7 @@ using namespace quartz;
 using namespace quartz::flow;
 
 void report() {
-  bench::print_banner("Figure 10", "Normalized throughput for three traffic patterns");
+  bench::Report::instance().open("fig10", "Normalized throughput for three traffic patterns");
 
   const std::vector<FabricUnderTest> fabrics = {
       FabricUnderTest::kFullBisection, FabricUnderTest::kQuartz,
@@ -32,7 +32,7 @@ void report() {
     }
     table.add_row(row);
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("normalized_throughput", table);
   bench::print_note(
       "paper: quartz ~0.9 for permutation and incast, ~0.75 for rack "
       "shuffle — below full bisection but above 1/2 bisection everywhere; "

@@ -12,7 +12,7 @@ using namespace quartz;
 using namespace quartz::sim;
 
 void report() {
-  bench::print_banner("Figure 14", "Impact of cross-traffic on different topologies");
+  bench::Report::instance().open("fig14", "Impact of cross-traffic on different topologies");
 
   CrossTrafficParams base;
   base.rpc_calls = 2'000;
@@ -36,7 +36,7 @@ void report() {
     std::snprintf(ci, sizeof(ci), "%.2f", tree.ci95_us);
     table.add_row({std::to_string(static_cast<int>(mbps)), t, tn, q, qn, ci});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("rpc_rtt_vs_cross_traffic", table);
   bench::print_note(
       "paper: at 200 Mb/s cross-traffic the tree's RPC latency rises by "
       "more than 70% while Quartz is unaffected (dedicated lightpaths; "

@@ -14,7 +14,7 @@ const std::vector<Fabric> kFabrics = {Fabric::kThreeTierTree, Fabric::kJellyfish
                                       Fabric::kQuartzInJellyfish,
                                       Fabric::kQuartzInEdgeAndCore};
 
-void run_pattern(Pattern pattern, int max_tasks) {
+void run_pattern(Pattern pattern, int max_tasks, const std::string& section) {
   std::vector<std::string> header{"tasks"};
   for (Fabric f : kFabrics) header.push_back(fabric_name(f));
   Table table(header);
@@ -34,15 +34,48 @@ void run_pattern(Pattern pattern, int max_tasks) {
     }
     table.add_row(row);
   }
-  std::printf("\n(%s) mean latency of the localized task (us)\n%s",
-              pattern_name(pattern).c_str(), table.to_text().c_str());
+  std::printf("\n(%s) mean latency of the localized task (us)\n",
+              pattern_name(pattern).c_str());
+  bench::Report::instance().add_table(section, table);
+}
+
+// Telemetry sinks are passive observers: attaching a full tracer plus a
+// time-series sampler must leave the simulated results untouched.  Run
+// one configuration both ways and report the deltas (the artifact lets
+// CI assert they stay under 2%; determinism makes them exactly zero).
+void run_overhead_check() {
+  TaskExperimentParams params;
+  params.pattern = Pattern::kScatter;
+  params.tasks = 3;
+  params.localized = true;
+  params.duration = milliseconds(10);
+  const auto plain = run_task_experiment(Fabric::kQuartzInJellyfish, {}, params);
+
+  params.telemetry.trace = true;
+  params.telemetry.sample_bucket = milliseconds(1);
+  const auto traced = run_task_experiment(Fabric::kQuartzInJellyfish, {}, params);
+
+  const auto rel = [](double a, double b) { return b == 0 ? 0.0 : (a - b) / b; };
+  std::printf("\ntelemetry overhead check (quartz in jellyfish, 3 tasks):\n");
+  std::printf("  mean %.4f -> %.4f us, p99 %.4f -> %.4f us\n", plain.mean_latency_us,
+              traced.mean_latency_us, plain.p99_latency_us, traced.p99_latency_us);
+  bench::Report::instance().add_row(
+      "telemetry_overhead",
+      {{"mean_us_plain", plain.mean_latency_us},
+       {"mean_us_traced", traced.mean_latency_us},
+       {"p99_us_plain", plain.p99_latency_us},
+       {"p99_us_traced", traced.p99_latency_us},
+       {"mean_rel_delta", rel(traced.mean_latency_us, plain.mean_latency_us)},
+       {"p99_rel_delta", rel(traced.p99_latency_us, plain.p99_latency_us)},
+       {"traced_packets", traced.decomposition.packets}});
 }
 
 void report() {
-  bench::print_banner("Figure 18", "Average latency, localized traffic patterns");
-  run_pattern(Pattern::kScatter, 6);
-  run_pattern(Pattern::kGather, 6);
-  run_pattern(Pattern::kScatterGather, 5);
+  bench::Report::instance().open("fig18", "Average latency, localized traffic patterns");
+  run_pattern(Pattern::kScatter, 6, "scatter_local_mean_latency_us");
+  run_pattern(Pattern::kGather, 6, "gather_local_mean_latency_us");
+  run_pattern(Pattern::kScatterGather, 5, "scatter_gather_local_mean_latency_us");
+  run_overhead_check();
   bench::print_note(
       "paper: jellyfish is highest (it cannot exploit locality); the tree "
       "improves (local traffic skips the core) but still rises with "
@@ -60,6 +93,19 @@ void BM_LocalizedExperiment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalizedExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_LocalizedExperimentTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    TaskExperimentParams params;
+    params.tasks = 3;
+    params.localized = true;
+    params.duration = milliseconds(2);
+    params.telemetry.trace = true;
+    params.telemetry.sample_bucket = milliseconds(1);
+    benchmark::DoNotOptimize(run_task_experiment(Fabric::kQuartzInJellyfish, {}, params));
+  }
+}
+BENCHMARK(BM_LocalizedExperimentTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -11,7 +11,7 @@ using namespace quartz;
 using namespace quartz::sim;
 
 void report() {
-  bench::print_banner("Figure 20", "Average latency, pathological traffic pattern");
+  bench::Report::instance().open("fig20", "Average latency, pathological traffic pattern");
 
   Table table({"offered load (Gb/s)", "non-blocking switch (us)", "quartz ECMP (us)",
                "quartz VLB k=0.8 (us)", "quartz adaptive VLB (us)", "ECMP drops"});
@@ -35,7 +35,7 @@ void report() {
     table.add_row({std::to_string(static_cast<int>(gbps)), n, e, v, a,
                    std::to_string(ecmp.packets_dropped)});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("latency_vs_offered_load", table);
   bench::print_note(
       "paper: the store-and-forward core is flat but slow (~6 us+); "
       "quartz ECMP is lowest until the direct 40 Gb/s lightpath "

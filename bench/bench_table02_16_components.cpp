@@ -12,6 +12,7 @@ namespace {
 using namespace quartz;
 
 void report() {
+  bench::Report::instance().open("table02_16", "Component latencies and simulated switches");
   bench::print_banner("Table 2", "Network latencies of different components");
   Table t2({"component", "standard", "state of the art"});
   for (const auto& c : sim::table2_components()) {
@@ -25,7 +26,7 @@ void report() {
             : format_time(c.state_of_art_low) + " - " + format_time(c.state_of_art_high);
     t2.add_row({c.component, standard, sota});
   }
-  std::printf("%s", t2.to_text().c_str());
+  bench::Report::instance().add_table("table2_component_latencies", t2);
 
   bench::print_banner("Table 16", "Switches used in the simulations");
   Table t16({"switch", "latency", "forwarding", "ports"});
@@ -34,7 +35,7 @@ void report() {
                  model.cut_through ? "cut-through" : "store-and-forward",
                  std::to_string(model.port_count)});
   }
-  std::printf("%s", t16.to_text().c_str());
+  bench::Report::instance().add_table("table16_switches", t16);
 
   bench::print_banner("Section 3.3", "Insertion loss and amplifier placement (24-node ring)");
   const auto transceiver = optical::TransceiverSpec::dwdm_10g();
@@ -54,6 +55,15 @@ void report() {
   std::printf("paper rule of thumb: %zu amplifiers (one per two switches)\n",
               optical::paper_rule_amplifier_count(24));
   std::printf("amplifier cost     : $%.0f (exact plan)\n", plan.amplifier_cost_usd);
+  bench::Report::instance().add_row(
+      "insertion_loss",
+      {{"power_budget_db", transceiver.power_budget().value},
+       {"muxes_per_budget", optical::max_muxes_without_amplification(transceiver, mux)},
+       {"exact_amplifiers", static_cast<std::uint64_t>(plan.amplifier_count())},
+       {"rule_of_thumb_amplifiers",
+        static_cast<std::uint64_t>(optical::paper_rule_amplifier_count(24))},
+       {"amplifier_cost_usd", plan.amplifier_cost_usd},
+       {"feasible", plan.feasible}});
   bench::print_note(
       "the exact power walk places amplifiers more densely than the "
       "paper's rule of thumb because an express channel crosses two AWGs "

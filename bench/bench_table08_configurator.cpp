@@ -11,7 +11,7 @@ using namespace quartz;
 using namespace quartz::core;
 
 void report() {
-  bench::print_banner("Table 8", "Approximate cost and latency comparison");
+  bench::Report::instance().open("table08", "Approximate cost and latency comparison");
 
   Table table({"datacenter", "utilization", "topology", "latency (us)", "cost/server",
                "latency reduction", "cost premium"});
@@ -27,7 +27,7 @@ void report() {
                    design_choice_name(row.baseline), bl, bc, "-", "-"});
     table.add_row({"", "", design_choice_name(row.quartz), ql, qc, red, prem});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("cost_and_latency", table);
   bench::print_note(
       "paper reductions: small 33%/50%, medium 20%/40%, large 70%/74%; "
       "paper premiums: +7%, +13%, 0%/+17%.  Costs here are priced against "

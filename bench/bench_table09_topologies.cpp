@@ -12,7 +12,7 @@ using namespace quartz;
 using namespace quartz::topo;
 
 void report() {
-  bench::print_banner("Table 9", "Network structures with ~1k servers");
+  bench::Report::instance().open("table09", "Network structures with ~1k servers");
 
   struct Row {
     std::string name;
@@ -65,7 +65,7 @@ void report() {
                    std::to_string(props.wiring_complexity),
                    std::to_string(props.path_diversity)});
   }
-  std::printf("%s", table.to_text().c_str());
+  bench::Report::instance().add_table("structures", table);
   bench::print_note(
       "paper (with 0.5us switches): 2-tier 1.5us/17 sw/16 links/div 1; "
       "fat-tree 1.5us/48/1024/32; bcube 16us/2 hops + server hop/div 2; "

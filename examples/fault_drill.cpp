@@ -5,16 +5,21 @@
 // the degraded fabric), then live (inject the cut into a running
 // simulation and watch detection, reroute and repair).
 //
-//   $ ./fault_drill [switches] [trials]
+//   $ ./fault_drill [--switches=N] [--trials=N] [--metrics-out=FILE]
+//   $ ./fault_drill 8 1000          # positional form still accepted
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "routing/oracle.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
 #include "topo/failures.hpp"
 #include "core/fault.hpp"
 #include "wavelength/assign.hpp"
@@ -30,19 +35,38 @@ bool parse_int_at_least(const char* text, int minimum, int* out) {
   return true;
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--switches=N>=4] [--trials=N>=1] [--metrics-out=FILE]\n"
+               "       %s [switches >= 4] [trials >= 1]\n",
+               argv0, argv0);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace quartz;
+  const Flags flags = Flags::parse(argc, argv);
+  for (const auto& key : flags.unknown_keys({"switches", "trials", "metrics-out"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+    return usage(argv[0]);
+  }
   int switches = 33;
   int trials = 20'000;
   // The redundancy sweep cuts up to 4 fibers of a single ring, so the
-  // ring needs at least 4 segments.
-  if ((argc > 1 && !parse_int_at_least(argv[1], 4, &switches)) ||
-      (argc > 2 && !parse_int_at_least(argv[2], 1, &trials)) || argc > 3) {
-    std::fprintf(stderr, "usage: %s [switches >= 4] [trials >= 1]\n", argv[0]);
-    return 1;
+  // ring needs at least 4 segments.  Positional [switches] [trials]
+  // stays accepted alongside the flag form.
+  const auto& positional = flags.positional();
+  if ((positional.size() > 0 && !parse_int_at_least(positional[0].c_str(), 4, &switches)) ||
+      (positional.size() > 1 && !parse_int_at_least(positional[1].c_str(), 1, &trials)) ||
+      positional.size() > 2) {
+    return usage(argv[0]);
   }
+  if (flags.has("switches")) switches = static_cast<int>(flags.get_int("switches", switches));
+  if (flags.has("trials")) trials = static_cast<int>(flags.get_int("trials", trials));
+  if (switches < 4 || trials < 1) return usage(argv[0]);
+  telemetry::MetricRegistry metrics(flags.has("metrics-out"));
 
   std::printf("Fault drill: %d-switch Quartz mesh, %d Monte Carlo trials/cell\n\n", switches,
               trials);
@@ -129,6 +153,8 @@ int main(int argc, char** argv) {
     config.failure_detection_delay = milliseconds(50);
     sim::Network net(healthy, live_oracle, config);
     live_oracle.attach_failure_view(&net.failure_view());
+    telemetry::FaultTimeline timeline;
+    net.add_sink(&timeline);
     const int task = net.new_task({});
     Rng rng(11);
     for (int i = 0; i < 40'000; ++i) {
@@ -155,6 +181,30 @@ int main(int argc, char** argv) {
                     net.packets_dropped(sim::DropReason::kQueueOverflow)));
     std::printf("  loss is confined to the two 50 ms detection windows; the\n"
                 "  self-healed detours carry everything else.\n");
+    std::printf("  timeline: %llu cuts, %llu repairs, %llu detections,"
+                " mean detection lag %.0f us\n",
+                static_cast<unsigned long long>(timeline.cuts()),
+                static_cast<unsigned long long>(timeline.repairs()),
+                static_cast<unsigned long long>(timeline.detections()),
+                timeline.mean_detection_lag_us());
+    if (metrics.enabled()) {
+      faults.publish_metrics(metrics, "drill");
+      metrics.counter("drill.packets_sent").inc(net.packets_sent());
+      metrics.counter("drill.packets_delivered").inc(net.packets_delivered());
+      metrics.counter("drill.drops.link_down")
+          .inc(net.packets_dropped(sim::DropReason::kLinkDown));
+      metrics.gauge("drill.mean_detection_lag_us").set(timeline.mean_detection_lag_us());
+    }
+  }
+  if (metrics.enabled()) {
+    const std::string path = flags.get("metrics-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    metrics.write_csv(out);
+    std::printf("metrics: %s\n", path.c_str());
   }
   return 0;
 }

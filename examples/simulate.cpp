@@ -6,11 +6,14 @@
 //   $ ./simulate --fabric=three-tier --pattern=gather --tasks=8 --csv
 //   $ ./simulate --list
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "sim/experiments.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -36,7 +39,8 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s [--fabric=NAME] [--pattern=NAME] [--tasks=N] [--fanout=N]\n"
       "          [--rate-mbps=R] [--duration-ms=D] [--seed=S] [--localized]\n"
-      "          [--vlb=K] [--csv] [--list]\n",
+      "          [--vlb=K] [--csv] [--list]\n"
+      "          [--trace] [--sample-every=N] [--metrics-out=FILE]\n",
       argv0);
   return 1;
 }
@@ -54,14 +58,12 @@ int main(int argc, char** argv) {
     std::printf("\n");
     return 0;
   }
-  for (const auto& key : flags.keys()) {
-    static const std::vector<std::string> known = {
-        "fabric", "pattern", "tasks",     "fanout", "rate-mbps", "duration-ms",
-        "seed",   "csv",     "localized", "vlb",    "list"};
-    if (std::find(known.begin(), known.end(), key) == known.end()) {
-      std::printf("unknown flag --%s\n", key.c_str());
-      return usage(argv[0]);
-    }
+  const auto unknown = flags.unknown_keys(
+      {"fabric", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed", "csv",
+       "localized", "vlb", "list", "trace", "sample-every", "metrics-out"});
+  if (!unknown.empty()) {
+    for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
+    return usage(argv[0]);
   }
 
   const std::string fabric_name = flags.get("fabric", "quartz-edge-core");
@@ -103,6 +105,18 @@ int main(int argc, char** argv) {
   params.duration = milliseconds(flags.get_int("duration-ms", 10));
   params.localized = flags.get_bool("localized");
   params.seed = config.seed * 31 + 7;
+  if (params.tasks < 1 || params.fanout < 1 || flags.get_int("duration-ms", 10) < 1 ||
+      flags.get_double("rate-mbps", 200.0) <= 0.0 || flags.get_int("sample-every", 1) < 1) {
+    std::printf("--tasks, --fanout, --duration-ms, --rate-mbps and --sample-every "
+                "must be positive\n");
+    return usage(argv[0]);
+  }
+
+  telemetry::MetricRegistry metrics(flags.has("metrics-out"));
+  params.telemetry.trace = flags.get_bool("trace");
+  params.telemetry.trace_sample_every =
+      static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
+  params.telemetry.metrics = metrics.enabled() ? &metrics : nullptr;
 
   const TaskExperimentResult result = run_task_experiment(fabric, config, params);
 
@@ -125,6 +139,26 @@ int main(int argc, char** argv) {
     std::printf("  %llu packets measured, %llu dropped\n",
                 static_cast<unsigned long long>(result.packets_measured),
                 static_cast<unsigned long long>(result.packets_dropped));
+  }
+
+  if (params.telemetry.trace) {
+    const auto& d = result.decomposition;
+    std::printf(
+        "latency decomposition (%llu sampled packets, mean us/packet):\n"
+        "  host %.3f + queueing %.3f + serialization %.3f + switching %.3f"
+        " + propagation %.3f = %.3f\n",
+        static_cast<unsigned long long>(d.packets), d.host_us, d.queueing_us,
+        d.serialization_us, d.switching_us, d.propagation_us, d.total_us);
+  }
+  if (metrics.enabled()) {
+    const std::string path = flags.get("metrics-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    metrics.write_csv(out);
+    std::printf("metrics: %s\n", path.c_str());
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -62,6 +63,14 @@ std::vector<std::string> Flags::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());
   for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> Flags::unknown_keys(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) out.push_back(key);
+  }
   return out;
 }
 

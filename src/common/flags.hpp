@@ -35,6 +35,9 @@ class Flags {
   /// Keys that were parsed; lets a tool verify against its known set.
   std::vector<std::string> keys() const;
 
+  /// Parsed keys not in `known` — non-empty means the user made a typo.
+  std::vector<std::string> unknown_keys(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

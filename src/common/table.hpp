@@ -25,6 +25,10 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Column names / cell data, for structured exporters.
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Render with aligned columns and a header rule.
   std::string to_text() const;
   /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).

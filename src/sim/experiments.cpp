@@ -141,6 +141,24 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
   Network network(built.topo, *built.oracle);
   Rng rng(params.seed);
 
+  // Optional observers; attaching them never perturbs the event stream.
+  std::unique_ptr<telemetry::PacketTracer> tracer;
+  if (params.telemetry.trace) {
+    telemetry::PacketTracer::Options trace_options;
+    trace_options.sample_every = params.telemetry.trace_sample_every;
+    trace_options.keep_traces = params.telemetry.keep_traces;
+    tracer = std::make_unique<telemetry::PacketTracer>(trace_options);
+    network.add_sink(tracer.get());
+  }
+  std::unique_ptr<telemetry::PeriodicSampler> sampler;
+  if (params.telemetry.sample_bucket > 0) {
+    telemetry::PeriodicSampler::Options sampler_options;
+    sampler_options.bucket = params.telemetry.sample_bucket;
+    sampler_options.top_k = params.telemetry.top_k;
+    sampler = std::make_unique<telemetry::PeriodicSampler>(sampler_options);
+    network.add_sink(sampler.get());
+  }
+
   TaskPatternParams flow_params;
   flow_params.per_flow_rate = params.per_flow_rate;
   flow_params.stop = params.duration;
@@ -233,6 +251,25 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
     result.ci95_us = all.confidence_half_width(0.95);
   }
   if (!queueing_us.empty()) result.mean_queueing_us = queueing_us.mean();
+
+  if (tracer != nullptr) {
+    result.decomposition = tracer->summary();
+    for (int task : tracer->tasks()) {
+      result.task_decompositions.emplace_back(task, tracer->summary(task));
+    }
+  }
+  if (sampler != nullptr) result.timeline = sampler->summaries();
+  if (params.telemetry.metrics != nullptr) {
+    telemetry::MetricRegistry& reg = *params.telemetry.metrics;
+    reg.counter("sim.packets_sent").inc(network.packets_sent());
+    reg.counter("sim.packets_delivered").inc(network.packets_delivered());
+    reg.counter("sim.drops.queue_overflow")
+        .inc(network.packets_dropped(DropReason::kQueueOverflow));
+    reg.counter("sim.drops.link_down").inc(network.packets_dropped(DropReason::kLinkDown));
+    reg.gauge("sim.duration_ms").set(to_microseconds(params.duration) / 1000.0);
+    telemetry::LatencyRecorder& lat = reg.latency("task.latency_us");
+    for (double s : all.samples()) lat.add_us(s);
+  }
   return result;
 }
 

@@ -13,9 +13,14 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "routing/oracle.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
 
 namespace quartz::sim {
 
@@ -67,6 +72,27 @@ enum class Pattern { kScatter, kGather, kScatterGather };
 
 std::string pattern_name(Pattern pattern);
 
+/// Optional observability attached to an experiment run.  Everything
+/// here is passive: enabling it never changes simulated results.
+struct TaskTelemetryOptions {
+  /// Attach a PacketTracer and roll up the end-to-end latency
+  /// decomposition (Table 2's budget, measured in vivo).
+  bool trace = false;
+  /// Trace every Nth packet (1 = all); rollups stay unbiased because
+  /// packet ids are assigned in send order.
+  std::uint32_t trace_sample_every = 1;
+  /// Retain the full per-hop journey of this many packets.
+  std::size_t keep_traces = 0;
+  /// > 0: attach a PeriodicSampler with this bucket width and report
+  /// the time-series in TaskExperimentResult::timeline.
+  TimePs sample_bucket = 0;
+  /// Hottest lightpath directions reported per bucket.
+  int top_k = 4;
+  /// If set, the run publishes simulator counters and the measured
+  /// latency distribution into this registry under "sim." / "task.".
+  telemetry::MetricRegistry* metrics = nullptr;
+};
+
 struct TaskExperimentParams {
   Pattern pattern = Pattern::kScatter;
   int tasks = 1;
@@ -79,6 +105,7 @@ struct TaskExperimentParams {
   double scatter_gather_rounds_per_second = 5000.0;
   TimePs duration = milliseconds(20);
   std::uint64_t seed = 7;
+  TaskTelemetryOptions telemetry;
 };
 
 struct TaskExperimentResult {
@@ -90,6 +117,15 @@ struct TaskExperimentResult {
   double mean_queueing_us = 0;
   std::uint64_t packets_measured = 0;
   std::uint64_t packets_dropped = 0;
+
+  // --- populated only when the matching TaskTelemetryOptions are on --
+  /// Decomposition over every traced packet (telemetry.trace).
+  telemetry::DecompositionSummary decomposition;
+  /// Per-task decompositions, keyed by the simulator task id in
+  /// creation order (task 0 is the localized task under Fig. 18).
+  std::vector<std::pair<int, telemetry::DecompositionSummary>> task_decompositions;
+  /// Time-series buckets (telemetry.sample_bucket > 0).
+  std::vector<telemetry::BucketSummary> timeline;
 };
 
 TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& config,

@@ -86,4 +86,10 @@ void FaultScheduler::schedule_poisson_failure(topo::LinkId link, TimePs from) {
   });
 }
 
+void FaultScheduler::publish_metrics(telemetry::MetricRegistry& registry,
+                                     const std::string& prefix) const {
+  registry.counter(prefix + ".cuts").inc(cuts_);
+  registry.counter(prefix + ".repairs").inc(repairs_);
+}
+
 }  // namespace quartz::sim

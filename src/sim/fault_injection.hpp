@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/fault.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
 #include "topo/failures.hpp"
 
 namespace quartz::sim {
@@ -64,6 +66,9 @@ class FaultScheduler {
   /// Individual link failures / repairs injected so far.
   std::uint64_t cuts() const { return cuts_; }
   std::uint64_t repairs() const { return repairs_; }
+
+  /// Export injection counters under `<prefix>.cuts` / `<prefix>.repairs`.
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   void schedule_poisson_failure(topo::LinkId link, TimePs from);

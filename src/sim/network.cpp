@@ -18,17 +18,29 @@ Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& 
       link_seq_(topo.graph.link_count(), 0),
       failure_view_(topo.graph.link_count()) {}
 
+void Network::add_sink(TelemetrySink* sink) {
+  QUARTZ_REQUIRE(sink != nullptr, "null telemetry sink");
+  sinks_.push_back(sink);
+}
+
+void Network::remove_sink(TelemetrySink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
 void Network::fail_link(topo::LinkId link) {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
   auto& up = link_up_[static_cast<std::size_t>(link)];
   if (!up) return;
   up = 0;
   ++link_failures_;
+  for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/false, now());
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   // The routing plane learns one detection delay later — unless the
   // link's state changed again in the meantime.
   events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
-    if (link_seq_[static_cast<std::size_t>(link)] == seq) failure_view_.set_dead(link, true);
+    if (link_seq_[static_cast<std::size_t>(link)] != seq) return;
+    failure_view_.set_dead(link, true);
+    for (TelemetrySink* sink : sinks_) sink->on_link_detected(link, /*dead=*/true, now());
   });
 }
 
@@ -38,9 +50,12 @@ void Network::repair_link(topo::LinkId link) {
   if (up) return;
   up = 1;
   ++link_repairs_;
+  for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/true, now());
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
-    if (link_seq_[static_cast<std::size_t>(link)] == seq) failure_view_.set_dead(link, false);
+    if (link_seq_[static_cast<std::size_t>(link)] != seq) return;
+    failure_view_.set_dead(link, false);
+    for (TelemetrySink* sink : sinks_) sink->on_link_detected(link, /*dead=*/false, now());
   });
 }
 
@@ -53,7 +68,8 @@ void Network::drop(const Packet& packet, DropReason reason) {
   ++packets_dropped_;
   ++dropped_by_reason_[static_cast<std::size_t>(reason)];
   ++task_drops_[static_cast<std::size_t>(packet.task)];
-  if (drop_hook_) drop_hook_(packet, reason);
+  for (const DropHandler& hook : drop_hooks_) hook(packet, reason);
+  for (TelemetrySink* sink : sinks_) sink->on_drop(packet, reason, now());
 }
 
 int Network::new_task(DeliveryHandler handler) {
@@ -106,6 +122,7 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
   ++packets_sent_;
 
   const TimePs ready = now() + config_.host_send_overhead;
+  for (TelemetrySink* sink : sinks_) sink->on_send(packet, ready);
   events_.schedule(ready, [this, packet, src, ready]() mutable {
     transmit(packet, src, ready, /*min_finish=*/0);
   });
@@ -113,12 +130,16 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
 
 void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit) {
   const topo::Graph& graph = topo_->graph;
-  if (arrival_hook_) arrival_hook_(packet, node, first_bit);
+  for (const ArrivalHook& hook : arrival_hooks_) hook(packet, node, first_bit);
+  for (TelemetrySink* sink : sinks_) sink->on_arrival(packet, node, first_bit, last_bit);
 
   if (node == packet.key.dst) {
     const TimePs delivered = last_bit + config_.host_recv_overhead;
     events_.schedule(delivered, [this, packet, delivered]() {
       ++packets_delivered_;
+      for (TelemetrySink* sink : sinks_) {
+        sink->on_delivery(packet, delivered, delivered - packet.created);
+      }
       const auto& handler = handlers_[static_cast<std::size_t>(packet.task)];
       if (handler) handler(packet, delivered - packet.created);
     });
@@ -127,17 +148,24 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
 
   TimePs decision;
   TimePs min_finish;
+  telemetry::HopKind kind;
   if (graph.is_switch(node)) {
     const topo::SwitchModel& model = graph.model_of(node);
     decision = (model.cut_through ? first_bit : last_bit) + model.latency;
     // A cut-through switch cannot finish sending before it has finished
     // receiving (matters when egress is faster than ingress).
     min_finish = last_bit + model.latency;
+    kind = model.cut_through ? telemetry::HopKind::kCutThrough
+                             : telemetry::HopKind::kStoreAndForward;
     ++packet.hops;
   } else {
     // Server relay (server-centric fabrics): full receive + OS stack.
     decision = last_bit + config_.server_forward_latency;
     min_finish = decision;
+    kind = telemetry::HopKind::kServerRelay;
+  }
+  for (TelemetrySink* sink : sinks_) {
+    sink->on_forward(packet, node, kind, first_bit, last_bit, decision);
   }
   events_.schedule(decision, [this, packet, node, decision, min_finish]() mutable {
     transmit(packet, node, decision, min_finish);
@@ -172,6 +200,9 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   busy_until = finish;
   line_active_[line] += finish - start;
   line_bits_[line] += packet.size;
+  for (TelemetrySink* sink : sinks_) {
+    sink->on_transmit(packet, node, link_id, node == link.a ? 0 : 1, ready, start, finish);
+  }
 
   const topo::NodeId peer = link.other(node);
   const TimePs first_bit = start + link.propagation;

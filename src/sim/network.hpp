@@ -24,6 +24,7 @@
 #include "routing/oracle.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
+#include "telemetry/sink.hpp"
 #include "topo/builders.hpp"
 
 namespace quartz::sim {
@@ -50,7 +51,13 @@ struct SimConfig {
 
 /// Why a packet was dropped: output-queue overflow (congestion) versus
 /// transmitting onto — or being in flight on — a failed link.
-enum class DropReason { kQueueOverflow = 0, kLinkDown = 1 };
+/// (Defined in telemetry so observers need not depend on the simulator.)
+using DropReason = telemetry::DropReason;
+
+/// Structured observer of the simulator's event stream; see
+/// telemetry/sink.hpp for the event vocabulary.  Sinks are purely
+/// passive: attaching any number of them never perturbs the simulation.
+using TelemetrySink = telemetry::TelemetrySink;
 
 /// Called on final delivery with the packet and its end-to-end latency.
 using DeliveryHandler = std::function<void(const Packet&, TimePs latency)>;
@@ -78,11 +85,24 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// delivery of a packet sent with the returned task id.
   int new_task(DeliveryHandler handler);
 
-  /// Install a tracing hook observing every node arrival.
-  void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
+  /// Attach a telemetry sink observing the full event stream (send,
+  /// transmit, arrival, forward, delivery, drop, link state).  The sink
+  /// must outlive the simulation; any number may be attached and each
+  /// event fans out to all of them in attachment order.
+  void add_sink(TelemetrySink* sink);
+  /// Detach a previously attached sink (no-op if absent).
+  void remove_sink(TelemetrySink* sink);
 
-  /// Install a hook observing every drop (with its reason).
-  void set_drop_hook(DropHandler hook) { drop_hook_ = std::move(hook); }
+  /// Add a tracing hook observing every node arrival.  Hooks accumulate:
+  /// each registered hook fires on every arrival, so independent
+  /// observers never displace one another.
+  void add_arrival_hook(ArrivalHook hook) { arrival_hooks_.push_back(std::move(hook)); }
+  void set_arrival_hook(ArrivalHook hook) { add_arrival_hook(std::move(hook)); }
+
+  /// Add a hook observing every drop (with its reason).  Accumulates
+  /// like add_arrival_hook.
+  void add_drop_hook(DropHandler hook) { drop_hooks_.push_back(std::move(hook)); }
+  void set_drop_hook(DropHandler hook) { add_drop_hook(std::move(hook)); }
 
   /// Inject a packet now.  `flow_id` identifies the flow for ECMP/VLB
   /// hashing (packets of one flow share a path); `tag` is carried
@@ -160,8 +180,9 @@ class Network : public routing::LoadProbe, public routing::Clock {
   std::vector<std::uint32_t> link_seq_;
   routing::FailureView failure_view_;
   std::vector<DeliveryHandler> handlers_;
-  ArrivalHook arrival_hook_;
-  DropHandler drop_hook_;
+  std::vector<ArrivalHook> arrival_hooks_;
+  std::vector<DropHandler> drop_hooks_;
+  std::vector<TelemetrySink*> sinks_;
   std::vector<std::uint64_t> task_drops_;
   std::uint64_t next_packet_id_ = 0;
   std::uint64_t packets_sent_ = 0;

@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace quartz::sim {
 
@@ -74,6 +75,9 @@ class ScatterTask {
   const SampleSet& latencies_us() const { return samples_; }
   /// Output-queue waiting per packet (the congestion share).
   const RunningStats& queueing_us() const { return queueing_; }
+  /// Export the task's distributions under `<prefix>.latency_us` /
+  /// `<prefix>.queueing_mean_us`.
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   SampleSet samples_;
@@ -91,6 +95,7 @@ class GatherTask {
 
   const SampleSet& latencies_us() const { return samples_; }
   const RunningStats& queueing_us() const { return queueing_; }
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   SampleSet samples_;
@@ -118,6 +123,7 @@ class ScatterGatherTask {
 
   const SampleSet& latencies_us() const { return samples_; }
   const RunningStats& queueing_us() const { return queueing_; }
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   void schedule_round();
@@ -181,6 +187,9 @@ class RpcWorkload {
   /// Calls abandoned after max_retries (permanent failures).
   int abandoned_calls() const { return abandoned_; }
   bool done() const { return completed_ + abandoned_ >= params_.calls; }
+  /// Export call counters (`<prefix>.completed` / `.abandoned` /
+  /// `.retries`) and the RTT / recovery distributions.
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   void issue();

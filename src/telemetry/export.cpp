@@ -1,0 +1,182 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace quartz::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::prepare_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already positioned us
+  }
+  if (!stack_.empty()) {
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+    newline_indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  os_ << '{';
+  stack_.push_back({false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  os_ << '[';
+  stack_.push_back({true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!stack_.back().first) os_ << ',';
+  stack_.back().first = false;
+  newline_indent();
+  os_ << '"' << json_escape(name) << "\":";
+  if (pretty_) os_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prepare_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  prepare_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  os_ << "null";
+  return *this;
+}
+
+void JsonValue::write(JsonWriter& w) const {
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          w.null();
+        } else {
+          w.value(v);
+        }
+      },
+      v_);
+}
+
+std::string JsonValue::to_csv_cell() const {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          return "";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.12g", v);
+          return buf;
+        } else {
+          return std::to_string(v);
+        }
+      },
+      v_);
+}
+
+void write_row(JsonWriter& w, const JsonRow& row) {
+  w.begin_object();
+  for (const auto& [name, value] : row) {
+    w.key(name);
+    value.write(w);
+  }
+  w.end_object();
+}
+
+std::string csv_escape(std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) return std::string(cell);
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace quartz::telemetry

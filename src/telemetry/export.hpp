@@ -1,0 +1,96 @@
+// Machine-readable output: a dependency-free streaming JSON writer, a
+// tagged JSON value for row-oriented data, and CSV escaping.  Used by
+// the telemetry rollups, the MetricRegistry dumps and the bench
+// binaries' BENCH_<figure>.json reports.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace quartz::telemetry {
+
+/// Escape for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON emitter.  The caller is responsible for well-formed
+/// nesting (begin/end pairs, key before value inside objects); the
+/// writer handles commas, indentation and escaping.  Non-finite doubles
+/// are emitted as null, keeping the output strictly-parseable JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true) : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename V>
+  JsonWriter& kv(std::string_view name, const V& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void prepare_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  /// One frame per open container: is it an array, and has it emitted
+  /// its first element yet.
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+/// A self-describing JSON scalar for row-oriented report data.
+class JsonValue {
+ public:
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::int64_t i) : v_(i) {}
+  JsonValue(std::uint64_t u) : v_(u) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+
+  void write(JsonWriter& w) const;
+  /// Render for CSV cells (no quoting; caller escapes).
+  std::string to_csv_cell() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double, std::string> v_;
+};
+
+/// An ordered list of named scalars — one JSON object, or one CSV row.
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Write a row as a JSON object.
+void write_row(JsonWriter& w, const JsonRow& row);
+
+/// RFC-4180-ish CSV cell escaping (quotes cells with commas/quotes/newlines).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace quartz::telemetry

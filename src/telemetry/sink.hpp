@@ -1,0 +1,110 @@
+// The telemetry event vocabulary of the packet simulator.
+//
+// sim::Network multiplexes every observable event — packet lifecycle
+// steps, drops, and link state transitions — over a list of
+// TelemetrySink subscribers.  The sink methods are empty by default so
+// a consumer overrides only what it needs; with no sinks attached the
+// simulator pays one empty-vector check per event and nothing more.
+//
+// The per-hop events are designed so that a subscriber can rebuild the
+// *exact* critical path of a packet (see telemetry::PacketTracer): the
+// timestamps telescope along the first-bit/forwarding-decision
+// trajectory, so end-to-end latency decomposes into host overhead,
+// queueing, serialization, switching and propagation with zero
+// residual — the machine-checkable form of the paper's Table 2 budget.
+#pragma once
+
+#include "common/units.hpp"
+#include "topo/graph.hpp"
+
+namespace quartz::sim {
+struct Packet;
+}  // namespace quartz::sim
+
+namespace quartz::telemetry {
+
+/// Why a packet was dropped: output-queue overflow (congestion) versus
+/// transmitting onto — or being in flight on — a failed link.
+enum class DropReason { kQueueOverflow = 0, kLinkDown = 1 };
+
+inline constexpr int kDropReasonCount = 2;
+
+inline const char* drop_reason_name(DropReason reason) {
+  return reason == DropReason::kQueueOverflow ? "queue-overflow" : "link-down";
+}
+
+/// How a node forwards: a cut-through switch decides on the header, a
+/// store-and-forward switch waits for the last bit, a server relay
+/// (BCube-style) pays the OS stack after full receipt.
+enum class HopKind { kCutThrough = 0, kStoreAndForward = 1, kServerRelay = 2 };
+
+inline const char* hop_kind_name(HopKind kind) {
+  switch (kind) {
+    case HopKind::kCutThrough: return "cut-through";
+    case HopKind::kStoreAndForward: return "store-and-forward";
+    case HopKind::kServerRelay: return "server-relay";
+  }
+  return "unknown";
+}
+
+/// Passive observer of a running sim::Network.  All methods default to
+/// no-ops; implementations must not mutate the simulation.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  /// A packet was injected; `ready` is when the source NIC may start
+  /// transmitting (injection time + host send overhead).
+  virtual void on_send(const sim::Packet& packet, TimePs ready) {
+    (void)packet;
+    (void)ready;
+  }
+
+  /// A packet was put on a line.  `ready` is when the forwarding
+  /// decision allowed transmission, `start` when the output port became
+  /// free (start - ready is the output-queue wait), `finish` when the
+  /// last bit left (finish - start is the wire occupancy).
+  virtual void on_transmit(const sim::Packet& packet, topo::NodeId from, topo::LinkId link,
+                           int direction, TimePs ready, TimePs start, TimePs finish) {
+    (void)packet, (void)from, (void)link, (void)direction;
+    (void)ready, (void)start, (void)finish;
+  }
+
+  /// A packet reached `node` (host or switch): first/last bit times.
+  virtual void on_arrival(const sim::Packet& packet, topo::NodeId node, TimePs first_bit,
+                          TimePs last_bit) {
+    (void)packet, (void)node, (void)first_bit, (void)last_bit;
+  }
+
+  /// A non-destination node made its forwarding decision.
+  /// `decision_ready` is when the packet may hit the output port:
+  /// first_bit + switch latency for cut-through, last_bit + switch
+  /// latency for store-and-forward, last_bit + OS stack for a relay.
+  virtual void on_forward(const sim::Packet& packet, topo::NodeId node, HopKind kind,
+                          TimePs first_bit, TimePs last_bit, TimePs decision_ready) {
+    (void)packet, (void)node, (void)kind;
+    (void)first_bit, (void)last_bit, (void)decision_ready;
+  }
+
+  /// Final delivery (after host receive overhead).
+  virtual void on_delivery(const sim::Packet& packet, TimePs delivered, TimePs latency) {
+    (void)packet, (void)delivered, (void)latency;
+  }
+
+  virtual void on_drop(const sim::Packet& packet, DropReason reason, TimePs when) {
+    (void)packet, (void)reason, (void)when;
+  }
+
+  /// Physical link state flipped (fault injection timeline).
+  virtual void on_link_state(topo::LinkId link, bool up, TimePs when) {
+    (void)link, (void)up, (void)when;
+  }
+
+  /// The routing plane learned about a transition (one detection delay
+  /// after the fact): the cut→detect edge of the §3.5 transient.
+  virtual void on_link_detected(topo::LinkId link, bool dead, TimePs when) {
+    (void)link, (void)dead, (void)when;
+  }
+};
+
+}  // namespace quartz::telemetry

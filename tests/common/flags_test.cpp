@@ -69,5 +69,18 @@ TEST(Flags, LastValueWinsOnRepeat) {
   EXPECT_EQ(f.get_int("n", 0), 2);
 }
 
+TEST(Flags, UnknownKeysFlagsTypos) {
+  const Flags f = parse({"--tasks=4", "--trase", "--out=x.csv"});
+  const auto unknown = f.unknown_keys({"tasks", "trace", "out"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown.front(), "trase");
+}
+
+TEST(Flags, UnknownKeysEmptyWhenAllKnown) {
+  const Flags f = parse({"--a=1", "--b"});
+  EXPECT_TRUE(f.unknown_keys({"a", "b", "c"}).empty());
+  EXPECT_TRUE(Flags::parse(0, nullptr).unknown_keys({}).empty());
+}
+
 }  // namespace
 }  // namespace quartz

@@ -61,6 +61,29 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(b.mean(), mean);
 }
 
+TEST(RunningStats, ManyChunkMergeMatchesSinglePass) {
+  // Merge in uneven chunks (including empties) and compare against the
+  // single-pass Welford baseline over the identical stream.
+  Rng rng(13);
+  RunningStats single;
+  RunningStats merged;
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    RunningStats part;
+    const int n = chunk % 4 == 0 ? 0 : chunk * 37;  // some chunks empty
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.next_exponential(0.5) - 1.0;
+      single.add(x);
+      part.add(x);
+    }
+    merged.merge(part);
+  }
+  ASSERT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), single.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+}
+
 TEST(RunningStats, ConfidenceShrinksWithSamples) {
   Rng rng(7);
   RunningStats small, large;
@@ -78,6 +101,23 @@ TEST(SampleSet, PercentilesExactOnKnownData) {
   EXPECT_NEAR(s.percentile(99.0), 99.01, 1e-9);
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+}
+
+TEST(SampleSet, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(SampleSet, PercentileEndpointsAreMinAndMax) {
+  Rng rng(3);
+  SampleSet s;
+  for (int i = 0; i < 257; ++i) s.add(rng.next_double() * 100.0 - 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), s.min());
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), s.max());
 }
 
 TEST(SampleSet, PercentileRejectsOutOfRange) {

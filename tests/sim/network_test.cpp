@@ -223,6 +223,71 @@ TEST(Network, ArrivalHookTracesTheRoute) {
   EXPECT_EQ(trace[2], topo.host_groups[3][1]);
 }
 
+TEST(Network, TwoArrivalSubscribersBothFire) {
+  // Regression: hook registration used to be last-writer-wins, so a
+  // second subscriber silently replaced the first.
+  auto f = Fixture::single_switch(topo::SwitchModel::ull(), gigabits_per_second(10));
+  Network net(f.topo, *f.oracle);
+  int first = 0;
+  int second = 0;
+  net.add_arrival_hook([&first](const Packet&, topo::NodeId, TimePs) { ++first; });
+  net.add_arrival_hook([&second](const Packet&, topo::NodeId, TimePs) { ++second; });
+  const int task = net.new_task({});
+  net.send(f.topo.hosts[0], f.topo.hosts[1], bytes(400), task, 1);
+  net.run_until(milliseconds(1));
+  EXPECT_EQ(first, 2);  // switch + destination host
+  EXPECT_EQ(second, 2);
+}
+
+TEST(Network, TwoDropSubscribersBothFire) {
+  auto f = Fixture::single_switch(topo::SwitchModel::ull(), gigabits_per_second(10));
+  SimConfig config;
+  config.max_queue_delay = microseconds(1);
+  Network net(f.topo, *f.oracle, config);
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  net.set_drop_hook([&first](const Packet&, DropReason) { ++first; });   // legacy shim
+  net.add_drop_hook([&second](const Packet&, DropReason) { ++second; });
+  const int task = net.new_task({});
+  for (int i = 0; i < 50; ++i) {
+    net.send(f.topo.hosts[0], f.topo.hosts[1], bytes(400), task, 1);
+  }
+  net.run_until(milliseconds(1));
+  ASSERT_GT(net.packets_dropped(), 0u);
+  EXPECT_EQ(first, net.packets_dropped());
+  EXPECT_EQ(second, net.packets_dropped());
+}
+
+TEST(Network, SinkAndHookCoexist) {
+  // A telemetry sink and a legacy hook observe the same events, and a
+  // removed sink stops observing.
+  struct CountingSink final : TelemetrySink {
+    int arrivals = 0;
+    int deliveries = 0;
+    void on_arrival(const Packet&, topo::NodeId, TimePs, TimePs) override { ++arrivals; }
+    void on_delivery(const Packet&, TimePs, TimePs) override { ++deliveries; }
+  };
+  auto f = Fixture::single_switch(topo::SwitchModel::ull(), gigabits_per_second(10));
+  Network net(f.topo, *f.oracle);
+  CountingSink sink;
+  net.add_sink(&sink);
+  int hook_arrivals = 0;
+  net.set_arrival_hook(
+      [&hook_arrivals](const Packet&, topo::NodeId, TimePs) { ++hook_arrivals; });
+  const int task = net.new_task({});
+  net.send(f.topo.hosts[0], f.topo.hosts[1], bytes(400), task, 1);
+  net.run_until(milliseconds(1));
+  EXPECT_EQ(sink.arrivals, 2);
+  EXPECT_EQ(hook_arrivals, 2);
+  EXPECT_EQ(sink.deliveries, 1);
+
+  net.remove_sink(&sink);
+  net.send(f.topo.hosts[0], f.topo.hosts[1], bytes(400), task, 2);
+  net.run_until(net.now() + milliseconds(1));
+  EXPECT_EQ(sink.arrivals, 2);  // unchanged after removal
+  EXPECT_EQ(hook_arrivals, 4);
+}
+
 TEST(Network, TracedHopsMatchRoutingDistance) {
   // Property: for random host pairs, the number of arrivals equals the
   // ECMP distance (route conformance of the simulator).

@@ -1,0 +1,83 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace quartz::telemetry {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, CompactNestedStructure) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object()
+      .kv("name", "quartz")
+      .kv("count", std::int64_t{3})
+      .key("items")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .kv("ok", true)
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"name":"quartz","count":3,"items":[1,2],"ok":true})");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(os.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, PrettyModeIndents) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object().kv("a", 1).end_object();
+  const std::string out = os.str();
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find("\"a\": 1"), std::string::npos);
+}
+
+TEST(JsonValue, CsvCellsForEveryType) {
+  EXPECT_EQ(JsonValue(nullptr).to_csv_cell(), "");
+  EXPECT_EQ(JsonValue(true).to_csv_cell(), "true");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).to_csv_cell(), "-7");
+  EXPECT_EQ(JsonValue(std::uint64_t{7}).to_csv_cell(), "7");
+  EXPECT_EQ(JsonValue("text").to_csv_cell(), "text");
+}
+
+TEST(WriteRow, EmitsOneObject) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  write_row(w, {{"x", 1}, {"y", "z"}});
+  EXPECT_EQ(os.str(), R"({"x":1,"y":"z"})");
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace quartz::telemetry
