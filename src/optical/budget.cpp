@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -197,6 +198,44 @@ AmplifierPlan plan_ring_amplifiers(const RingBudgetParams& params) {
   plan.attenuator_cost_usd = static_cast<double>(plan.attenuator_nodes.size()) *
                              AttenuatorSpec::fixed(10).price_usd;
   return plan;
+}
+
+double q_factor_from_margin_db(double margin_db) {
+  return kReferenceQ * std::pow(10.0, margin_db / 10.0);
+}
+
+double ber_from_q(double q) {
+  if (q <= 0.0) return 0.5;  // no eye opening: a coin flip per bit
+  return 0.5 * std::erfc(q / std::sqrt(2.0));
+}
+
+double packet_loss_probability(double ber, std::uint64_t bits) {
+  QUARTZ_REQUIRE(ber >= 0.0 && ber <= 1.0, "BER must be in [0,1]");
+  QUARTZ_REQUIRE(bits > 0, "a packet has at least one bit");
+  if (ber >= 1.0) return 1.0;
+  // 1 - (1-ber)^bits via expm1/log1p so sub-1e-12 BERs don't vanish.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+double worst_case_margin_db(const RingBudgetParams& params, const AmplifierPlan& plan) {
+  QUARTZ_REQUIRE(params.ring_size >= 2, "a ring needs at least two switches");
+  const std::size_t max_hops = worst_case_hops(params.ring_size);
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t src = 0; src < params.ring_size; ++src) {
+    for (std::size_t hops = 1; hops <= max_hops; ++hops) {
+      const GainDb margin =
+          receive_power(params, plan, src, hops) - params.transceiver.sensitivity;
+      worst = std::min(worst, margin.value);
+    }
+  }
+  return worst;
+}
+
+double degraded_drop_probability(const RingBudgetParams& params, const AmplifierPlan& plan,
+                                 double extra_loss_db, std::uint64_t packet_bits) {
+  QUARTZ_REQUIRE(extra_loss_db >= 0.0, "extra loss cannot be negative");
+  const double margin = worst_case_margin_db(params, plan) - extra_loss_db;
+  return packet_loss_probability(ber_from_q(q_factor_from_margin_db(margin)), packet_bits);
 }
 
 }  // namespace quartz::optical

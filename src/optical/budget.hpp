@@ -105,4 +105,38 @@ double worst_case_osnr_db(const RingBudgetParams& params, const AmplifierPlan& p
 /// Receiver OSNR floor for 10G on-off keying at ~1e-12 BER.
 inline constexpr double kRequiredOsnrDb10G = 20.0;
 
+// --- gray failures: margin → Q → BER → packet loss --------------------------
+//
+// A lightpath that still lands above sensitivity is not binary-healthy:
+// a failed amplifier stage or an aging transceiver erodes the power
+// margin, the receiver's Q factor falls with the optical power, and the
+// BER climbs until it silently eats packets — the gray failure the
+// fault scheduler injects as a per-packet drop probability.
+
+/// Q at the receiver specification point: ~1e-12 BER for 10G OOK.
+inline constexpr double kReferenceQ = 7.0;
+
+/// Receiver Q factor at `margin_db` of power above sensitivity.  At
+/// margin 0 the receiver just meets its specified BER (Q = 7); Q scales
+/// linearly with the optical power, i.e. by 10^(margin/10).
+double q_factor_from_margin_db(double margin_db);
+
+/// On-off-keying bit error rate at Q: 0.5 * erfc(Q / sqrt(2)).
+double ber_from_q(double q);
+
+/// Probability at least one bit of a `bits`-bit packet is corrupted:
+/// 1 - (1 - BER)^bits, computed stably for tiny BER.
+double packet_loss_probability(double ber, std::uint64_t bits);
+
+/// Smallest margin above sensitivity over every lightpath of the ring
+/// (1..floor(M/2) hops from every source), in dB.  Requires a feasible
+/// plan.
+double worst_case_margin_db(const RingBudgetParams& params, const AmplifierPlan& plan);
+
+/// Per-packet drop probability of the ring's worst lightpath after
+/// `extra_loss_db` of its budget is gone (failed amplifier stage, aged
+/// transceiver): worst margin − extra loss → Q → BER → packet loss.
+double degraded_drop_probability(const RingBudgetParams& params, const AmplifierPlan& plan,
+                                 double extra_loss_db, std::uint64_t packet_bits = 12000);
+
 }  // namespace quartz::optical

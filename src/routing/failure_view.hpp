@@ -18,6 +18,32 @@
 
 namespace quartz::routing {
 
+/// Health of a link as either plane sees it: fully up, up but silently
+/// eating packets (a gray failure: degraded amplifier/transceiver whose
+/// eroded optical margin shows up as BER loss), or down.
+enum class LinkHealth { kHealthy = 0, kLossy = 1, kDead = 2 };
+
+inline const char* link_health_name(LinkHealth health) {
+  switch (health) {
+    case LinkHealth::kHealthy: return "healthy";
+    case LinkHealth::kLossy: return "lossy";
+    case LinkHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+/// The routing plane's estimate of per-link packet loss.  Oracles that
+/// attach a LossView treat heavily lossy lightpaths as soft-failed:
+/// they deflect over a two-hop detour whenever the detour's combined
+/// observed loss beats the direct lightpath's.  HealthMonitor is the
+/// canonical implementation (probe-derived EWMA).
+class LossView {
+ public:
+  virtual ~LossView() = default;
+  /// Observed loss probability of a link in [0, 1]; 0 = clean.
+  virtual double loss_rate(topo::LinkId link) const = 0;
+};
+
 class FailureView {
  public:
   FailureView() = default;

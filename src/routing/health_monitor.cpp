@@ -1,0 +1,113 @@
+#include "routing/health_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace quartz::routing {
+
+HealthMonitor::HealthMonitor(std::size_t links, HealthMonitorConfig config)
+    : config_(config), states_(links), view_(links) {
+  QUARTZ_REQUIRE(config_.dead_after_misses >= 1, "need at least one miss to declare death");
+  QUARTZ_REQUIRE(config_.alive_after_acks >= 1, "need at least one ack to declare recovery");
+  QUARTZ_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                 "EWMA weight must be in (0, 1]");
+  QUARTZ_REQUIRE(config_.lossy_exit >= 0.0 && config_.lossy_exit <= config_.lossy_enter &&
+                     config_.lossy_enter < 1.0,
+                 "need 0 <= lossy_exit <= lossy_enter < 1");
+  QUARTZ_REQUIRE(config_.hold_down >= 0 && config_.hold_down_cap >= config_.hold_down,
+                 "hold-down cap must be at least the base hold-down");
+  QUARTZ_REQUIRE(config_.flap_memory >= 0, "flap memory cannot be negative");
+}
+
+void HealthMonitor::transition(topo::LinkId link, LinkState& state, LinkHealth to, TimePs now) {
+  const LinkHealth from = state.health;
+  if (from == to) return;
+  state.health = to;
+  if (to == LinkHealth::kDead) {
+    ++deaths_;
+    view_.set_dead(link, true);
+  } else if (from == LinkHealth::kDead) {
+    ++revivals_;
+    view_.set_dead(link, false);
+  }
+  if (transition_hook_) transition_hook_(link, from, to, now);
+}
+
+void HealthMonitor::record_probe(topo::LinkId link, bool delivered, TimePs now) {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < states_.size(), "unknown link");
+  LinkState& state = states_[static_cast<std::size_t>(link)];
+  ++probes_;
+  state.ewma = config_.ewma_alpha * (delivered ? 0.0 : 1.0) +
+               (1.0 - config_.ewma_alpha) * state.ewma;
+  if (delivered) {
+    ++state.acks;
+    state.misses = 0;
+  } else {
+    ++state.misses;
+    state.acks = 0;
+    ++missed_;
+  }
+
+  if (state.health != LinkHealth::kDead) {
+    if (state.misses >= config_.dead_after_misses) {
+      // Rapid re-death doubles the hold-down (capped): the damping
+      // penalty that pins a flapping lightpath dead.
+      if (state.last_death >= 0 && now - state.last_death <= config_.flap_memory) {
+        ++state.flaps;
+      } else {
+        state.flaps = 0;
+      }
+      state.last_death = now;
+      TimePs hold = config_.hold_down;
+      for (int i = 0; i < std::min(state.flaps, 30) && hold < config_.hold_down_cap; ++i) {
+        hold *= 2;
+      }
+      state.suppressed_until = now + std::min(hold, config_.hold_down_cap);
+      state.damp_announced = false;
+      transition(link, state, LinkHealth::kDead, now);
+    } else if (state.health == LinkHealth::kHealthy && state.ewma > config_.lossy_enter) {
+      transition(link, state, LinkHealth::kLossy, now);
+    } else if (state.health == LinkHealth::kLossy && state.ewma < config_.lossy_exit) {
+      transition(link, state, LinkHealth::kHealthy, now);
+    }
+    return;
+  }
+
+  // Dead: recovery needs both the ack streak and an expired hold-down.
+  if (state.acks < config_.alive_after_acks) return;
+  if (now < state.suppressed_until) {
+    if (!state.damp_announced) {
+      ++damped_;
+      state.damp_announced = true;
+      if (damp_hook_) damp_hook_(link, state.suppressed_until, now);
+    }
+    return;
+  }
+  transition(link, state,
+             state.ewma > config_.lossy_enter ? LinkHealth::kLossy : LinkHealth::kHealthy, now);
+}
+
+LinkHealth HealthMonitor::health(topo::LinkId link) const {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < states_.size(), "unknown link");
+  return states_[static_cast<std::size_t>(link)].health;
+}
+
+double HealthMonitor::loss_rate(topo::LinkId link) const {
+  if (link < 0 || static_cast<std::size_t>(link) >= states_.size()) return 0.0;
+  const LinkState& state = states_[static_cast<std::size_t>(link)];
+  return state.health == LinkHealth::kDead ? 1.0 : state.ewma;
+}
+
+double HealthMonitor::loss_ewma(topo::LinkId link) const {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < states_.size(), "unknown link");
+  return states_[static_cast<std::size_t>(link)].ewma;
+}
+
+std::size_t HealthMonitor::lossy_count() const {
+  std::size_t n = 0;
+  for (const LinkState& s : states_) n += s.health == LinkHealth::kLossy ? 1 : 0;
+  return n;
+}
+
+}  // namespace quartz::routing

@@ -1,0 +1,129 @@
+// Probe-based link health monitoring with flap damping.
+//
+// PR 1's detection path was omniscient: the simulator told the routing
+// plane about every transition exactly `failure_detection_delay` later.
+// Real detection is inferred from evidence, and the evidence is noisy —
+// a degraded amplifier does not kill a lightpath, it erodes the power
+// budget until BER-induced loss silently eats packets (§3.3's margin
+// analysis made dynamic).  The HealthMonitor is the routing plane's
+// evidence-based detector:
+//
+//  * a probe plane (sim::ProbePlane) sends periodic in-band probe cells
+//    per lightpath and reports each outcome via record_probe();
+//  * k consecutive missed probes declare a link DEAD (mirrored into the
+//    owned FailureView that oracles attach);
+//  * a loss-rate EWMA crossing `lossy_enter` declares the link LOSSY —
+//    oracles treat it as soft-failed via the LossView interface — and
+//    only a drop below `lossy_exit` (hysteresis) clears it; and
+//  * recovery is flap-damped: a dead link must deliver
+//    `alive_after_acks` consecutive probes AND sit out a hold-down that
+//    doubles with each rapid death (BGP-style penalty, capped), so a
+//    flapping lightpath is pinned dead instead of thrashing the oracles
+//    through every cycle.
+//
+// The monitor is pure control-plane state: it never touches the
+// simulator, so it lives in the routing library and is driven by
+// whoever owns the probe schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "routing/failure_view.hpp"
+
+namespace quartz::routing {
+
+struct HealthMonitorConfig {
+  /// Consecutive missed probes that declare a link dead.
+  int dead_after_misses = 3;
+  /// Consecutive delivered probes required before a dead link may be
+  /// declared alive again (in addition to the hold-down).
+  int alive_after_acks = 3;
+  /// Loss-rate EWMA above this marks a link lossy...
+  double lossy_enter = 0.05;
+  /// ...and only below this (hysteresis) marks it healthy again.
+  double lossy_exit = 0.01;
+  /// EWMA weight of the newest probe outcome.
+  double ewma_alpha = 0.2;
+  /// Base hold-down: minimum time a link stays dead after a death even
+  /// if probes start succeeding immediately.
+  TimePs hold_down = milliseconds(1);
+  /// Damping cap: the hold-down doubles with each death that arrives
+  /// within `flap_memory` of the previous one, up to this ceiling.
+  TimePs hold_down_cap = milliseconds(50);
+  /// Deaths further apart than this reset the flap penalty.
+  TimePs flap_memory = milliseconds(100);
+};
+
+/// Per-link health state machine fed by probe outcomes; owns the
+/// FailureView oracles attach and implements LossView for soft-failure
+/// routing.  See file comment for the transition rules.
+class HealthMonitor final : public LossView {
+ public:
+  /// (link, old health, new health, when)
+  using TransitionHook = std::function<void(topo::LinkId, LinkHealth, LinkHealth, TimePs)>;
+  /// (link, suppressed until, when): a recovery was ready but damped.
+  using DampHook = std::function<void(topo::LinkId, TimePs, TimePs)>;
+
+  explicit HealthMonitor(std::size_t links, HealthMonitorConfig config = {});
+
+  /// Feed one probe outcome observed at `now`.  Probe times must be
+  /// non-decreasing per link (the probe plane guarantees this).
+  void record_probe(topo::LinkId link, bool delivered, TimePs now);
+
+  LinkHealth health(topo::LinkId link) const;
+  /// LossView: the observed loss estimate oracles route on (EWMA for
+  /// live links, 1.0 for links currently declared dead).
+  double loss_rate(topo::LinkId link) const override;
+  /// Raw EWMA regardless of the dead flag (for telemetry/tests).
+  double loss_ewma(topo::LinkId link) const;
+
+  /// The failure view mirroring the monitor's dead set; attach this to
+  /// oracles instead of the simulator's omniscient fixed-delay view.
+  const FailureView& view() const { return view_; }
+
+  std::size_t dead_count() const { return view_.dead_count(); }
+  std::size_t lossy_count() const;
+
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t missed_probes() const { return missed_; }
+  std::uint64_t deaths() const { return deaths_; }
+  std::uint64_t revivals() const { return revivals_; }
+  /// Recoveries that were ready (enough acks) but suppressed by the
+  /// hold-down — each one is a flap the damper absorbed.
+  std::uint64_t damped_recoveries() const { return damped_; }
+
+  void set_transition_hook(TransitionHook hook) { transition_hook_ = std::move(hook); }
+  void set_damp_hook(DampHook hook) { damp_hook_ = std::move(hook); }
+
+  const HealthMonitorConfig& config() const { return config_; }
+
+ private:
+  struct LinkState {
+    LinkHealth health = LinkHealth::kHealthy;
+    double ewma = 0.0;
+    int misses = 0;
+    int acks = 0;
+    int flaps = 0;               ///< consecutive rapid deaths (damping penalty)
+    TimePs last_death = -1;
+    TimePs suppressed_until = 0;
+    bool damp_announced = false;  ///< damp hook fired for this suppression
+  };
+
+  void transition(topo::LinkId link, LinkState& state, LinkHealth to, TimePs now);
+
+  HealthMonitorConfig config_;
+  std::vector<LinkState> states_;
+  FailureView view_;
+  TransitionHook transition_hook_;
+  DampHook damp_hook_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t missed_ = 0;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t revivals_ = 0;
+  std::uint64_t damped_ = 0;
+};
+
+}  // namespace quartz::routing

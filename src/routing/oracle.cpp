@@ -44,6 +44,16 @@ topo::LinkId select_alive(std::span<const topo::LinkId> links, const FailureView
 
 }  // namespace
 
+void EcmpOracle::set_soft_fail_threshold(double loss) {
+  QUARTZ_REQUIRE(loss >= 0.0 && loss < 1.0, "soft-fail threshold must be in [0,1)");
+  soft_fail_threshold_ = loss;
+}
+
+double EcmpOracle::loss_of(topo::LinkId link) const {
+  if (view_ != nullptr && view_->is_dead(link)) return 1.0;
+  return loss_view_ == nullptr ? 0.0 : loss_view_->loss_rate(link);
+}
+
 topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
   // A deflection set by an earlier hop completes on arrival.
   if (key.via == node) key.via = topo::kInvalidNode;
@@ -53,36 +63,43 @@ topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
   bool any_alive = true;
   const topo::LinkId chosen =
       select_alive(links, view_, key.flow_hash, static_cast<std::uint64_t>(node), &any_alive);
-  if (any_alive) return chosen;
+  const double direct_loss = any_alive ? loss_of(chosen) : 1.0;
+  if (direct_loss <= soft_fail_threshold_) return chosen;
 
-  // Every equal-cost next hop is known dead: deflect one hop to the
-  // closest neighbouring switch that still has a live shortest-path
-  // link toward the destination (in a Quartz mesh this is exactly the
-  // two-hop detour over the surviving lightpaths).
+  // Every equal-cost next hop is known dead — or the choice is a gray
+  // failure losing more than the soft-fail threshold: deflect one hop
+  // to the closest neighbouring switch that still has a live
+  // shortest-path link toward the destination (in a Quartz mesh this is
+  // exactly the two-hop detour over the surviving lightpaths), provided
+  // the deflection's combined observed loss beats staying direct.
   const topo::Graph& graph = routing_->graph();
   const int here = routing_->distance(node, key.dst);
   std::vector<std::pair<topo::NodeId, topo::LinkId>> candidates;
   int best = -1;
+  double best_loss = direct_loss;
   for (const auto& adj : graph.neighbors(node)) {
-    if (view_->is_dead(adj.link) || !graph.is_switch(adj.peer)) continue;
+    if ((view_ != nullptr && view_->is_dead(adj.link)) || !graph.is_switch(adj.peer)) continue;
     const int d = routing_->distance(adj.peer, key.dst);
     if (d < 0 || (here >= 0 && d > here)) continue;  // never deflect backward
-    bool peer_has_live_exit = false;
+    double exit_loss = 1.0;  // best (lowest-loss) live exit at the peer
     for (const topo::LinkId l : routing_->next_links(adj.peer, key.dst)) {
-      if (!view_->is_dead(l)) {
-        peer_has_live_exit = true;
-        break;
-      }
+      if (view_ != nullptr && view_->is_dead(l)) continue;
+      exit_loss = std::min(exit_loss, loss_of(l));
     }
-    if (!peer_has_live_exit) continue;
-    if (best < 0 || d < best) {
+    if (exit_loss >= 1.0) continue;  // peer has no live exit
+    const double combined = 1.0 - (1.0 - loss_of(adj.link)) * (1.0 - exit_loss);
+    if (combined >= direct_loss) continue;  // no better than staying direct
+    if (best >= 0 && d > best) continue;
+    if (best < 0 || d < best || combined < best_loss - 1e-12) {
       best = d;
+      best_loss = combined;
       candidates.clear();
     }
-    if (d == best) candidates.emplace_back(adj.peer, adj.link);
+    if (combined <= best_loss + 1e-12) candidates.emplace_back(adj.peer, adj.link);
   }
-  // No live escape: forward onto the dead link and let the simulator
-  // drop and count it (the blackhole inside the detection window).
+  // No live escape: forward onto the dead/lossy link and let the
+  // simulator drop and count it (the blackhole inside the detection
+  // window, or the gray link's residual loss).
   if (candidates.empty()) return chosen;
   const auto& pick =
       candidates[hash_select(key.flow_hash, 0x4445544Full, candidates.size())];  // "DETO"
@@ -106,6 +123,11 @@ MeshAwareOracle::MeshAwareOracle(const EcmpRouting& routing,
       mesh_links_.emplace(pair_key(link.a, link.b), link.id);
     }
   }
+}
+
+void MeshAwareOracle::set_soft_fail_threshold(double loss) {
+  QUARTZ_REQUIRE(loss >= 0.0 && loss < 1.0, "soft-fail threshold must be in [0,1)");
+  soft_fail_threshold_ = loss;
 }
 
 topo::LinkId MeshAwareOracle::mesh_link(topo::NodeId a, topo::NodeId b) const {
@@ -143,23 +165,34 @@ topo::LinkId MeshAwareOracle::follow_via(topo::NodeId node, FlowKey& key) const 
 
 topo::LinkId MeshAwareOracle::heal_choice(topo::NodeId node, FlowKey& key,
                                           topo::LinkId chosen) const {
-  if (!link_dead(chosen)) return chosen;
+  const bool direct_dead = link_dead(chosen);
+  const double direct_loss = direct_dead ? 1.0 : link_loss(chosen);
+  if (!direct_dead && direct_loss <= soft_fail_threshold_) return chosen;
   const int r = ring_of(node);
   if (r < 0) return chosen;
   const topo::NodeId exit = routing().graph().link(chosen).other(node);
   if (ring_of(exit) != r) return chosen;
-  // node -> w -> exit over surviving lightpaths only.
+  // node -> w -> exit over surviving lightpaths, keeping the detours
+  // with the lowest combined observed loss — and only when that beats
+  // staying on the direct lightpath (a dead direct counts as loss 1).
   std::vector<std::pair<topo::NodeId, topo::LinkId>> alive;
+  double best_loss = direct_loss;
   for (topo::NodeId w : ring(r)) {
     if (w == node || w == exit) continue;
     const topo::LinkId leg1 = mesh_link(node, w);
     const topo::LinkId leg2 = mesh_link(w, exit);
     if (leg1 == topo::kInvalidLink || leg2 == topo::kInvalidLink) continue;
     if (link_dead(leg1) || link_dead(leg2)) continue;
-    alive.emplace_back(w, leg1);
+    const double combined = 1.0 - (1.0 - link_loss(leg1)) * (1.0 - link_loss(leg2));
+    if (combined >= direct_loss) continue;  // detour no better than direct
+    if (alive.empty() || combined < best_loss - 1e-12) {
+      best_loss = combined;
+      alive.clear();
+    }
+    if (combined <= best_loss + 1e-12) alive.emplace_back(w, leg1);
   }
-  // Nothing survives: forward onto the dead lightpath and let the
-  // simulator drop and count it.
+  // Nothing survives (or nothing beats the direct loss): forward onto
+  // the dead/lossy lightpath and let the simulator drop and count it.
   if (alive.empty()) return chosen;
   const auto& pick = alive[hash_select(key.flow_hash, 0x4845414Cull, alive.size())];  // "HEAL"
   key.via = pick.first;
@@ -272,7 +305,7 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
   }
 
   const topo::LinkId chosen = ecmp_choice(node, key);
-  if (link_dead(chosen)) return heal_choice(node, key, chosen);
+  if (link_soft_failed(chosen)) return heal_choice(node, key, chosen);
   if (probe_ == nullptr) return chosen;
 
   const int r = ring_of(node);

@@ -31,6 +31,10 @@ class RoutingOracle {
   virtual topo::LinkId next_link(topo::NodeId node, FlowKey& key) const = 0;
 };
 
+/// Observed loss above this treats a link as soft-failed: oracles with
+/// a LossView deflect around it when a detour's combined loss is lower.
+inline constexpr double kSoftFailLossThreshold = 0.02;
+
 class EcmpOracle : public RoutingOracle {
  public:
   explicit EcmpOracle(const EcmpRouting& routing) : routing_(&routing) {}
@@ -42,11 +46,24 @@ class EcmpOracle : public RoutingOracle {
   /// the surviving mesh, §3.5).
   void attach_failure_view(const FailureView* view) { view_ = view; }
 
+  /// Once attached, a chosen link whose observed loss exceeds the
+  /// soft-fail threshold is treated like the all-dead case: the packet
+  /// deflects one hop when the deflection's combined loss beats the
+  /// direct lightpath's (gray failures degrade gracefully instead of
+  /// cliff-dropping).
+  void attach_loss_view(const LossView* view) { loss_view_ = view; }
+  /// Throws std::invalid_argument unless `loss` is in [0, 1).
+  void set_soft_fail_threshold(double loss);
+
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
 
  private:
+  double loss_of(topo::LinkId link) const;
+
   const EcmpRouting* routing_;
   const FailureView* view_ = nullptr;
+  const LossView* loss_view_ = nullptr;
+  double soft_fail_threshold_ = kSoftFailLossThreshold;
 };
 
 /// Shared machinery for oracles that know the Quartz ring structure:
@@ -61,6 +78,14 @@ class MeshAwareOracle : public RoutingOracle {
   /// over the surviving mesh (§3.5 self-healing).
   void attach_failure_view(const FailureView* view) { view_ = view; }
 
+  /// Share the routing plane's loss estimates (HealthMonitor): a direct
+  /// lightpath whose observed loss exceeds the soft-fail threshold is
+  /// deflected over the two-hop detour with the lowest combined loss,
+  /// when that beats staying direct.
+  void attach_loss_view(const LossView* view) { loss_view_ = view; }
+  /// Throws std::invalid_argument unless `loss` is in [0, 1).
+  void set_soft_fail_threshold(double loss);
+
  protected:
   /// Mesh link between two members of the same ring; kInvalidLink if none.
   topo::LinkId mesh_link(topo::NodeId a, topo::NodeId b) const;
@@ -72,6 +97,15 @@ class MeshAwareOracle : public RoutingOracle {
   const EcmpRouting& routing() const { return *routing_; }
   /// Known-dead according to the attached view (false when detached).
   bool link_dead(topo::LinkId link) const { return view_ != nullptr && view_->is_dead(link); }
+  /// Observed loss of a link (0 when no loss view is attached).
+  double link_loss(topo::LinkId link) const {
+    return loss_view_ == nullptr ? 0.0 : loss_view_->loss_rate(link);
+  }
+  /// True when the link should be routed around: known dead, or
+  /// observed loss above the soft-fail threshold.
+  bool link_soft_failed(topo::LinkId link) const {
+    return link_dead(link) || link_loss(link) > soft_fail_threshold_;
+  }
   /// ECMP link choice for this flow at this node, preferring links not
   /// known to be dead.
   topo::LinkId ecmp_choice(topo::NodeId node, const FlowKey& key) const;
@@ -79,14 +113,18 @@ class MeshAwareOracle : public RoutingOracle {
   /// is not detouring (caller falls through to its own policy).  A
   /// detour whose own leg has since died is abandoned.
   topo::LinkId follow_via(topo::NodeId node, FlowKey& key) const;
-  /// If `chosen` is a known-dead mesh hop, reroute over a two-hop
-  /// detour (node -> w -> exit) whose legs are both alive; otherwise
-  /// return `chosen` unchanged.  Consumes the flow's detour budget.
+  /// If `chosen` is a known-dead or lossy-above-threshold mesh hop,
+  /// reroute over the two-hop detour (node -> w -> exit) with the
+  /// lowest combined observed loss, provided both legs are alive and
+  /// the detour's loss beats the direct lightpath's; otherwise return
+  /// `chosen` unchanged.  Consumes the flow's detour budget.
   topo::LinkId heal_choice(topo::NodeId node, FlowKey& key, topo::LinkId chosen) const;
 
  private:
   const EcmpRouting* routing_;
   const FailureView* view_ = nullptr;
+  const LossView* loss_view_ = nullptr;
+  double soft_fail_threshold_ = kSoftFailLossThreshold;
   std::vector<std::vector<topo::NodeId>> rings_;
   std::unordered_map<topo::NodeId, int> ring_of_;
   std::unordered_map<std::uint64_t, topo::LinkId> mesh_links_;

@@ -19,6 +19,10 @@ TimePs exponential_delay(Rng& rng, double mean_ps) {
 
 PoissonFaultParams PoissonFaultParams::from_availability(const core::AvailabilityParams& params,
                                                          TimePs start, TimePs stop) {
+  QUARTZ_REQUIRE(params.cuts_per_km_per_year > 0, "cut rate must be positive");
+  QUARTZ_REQUIRE(params.span_km > 0, "fiber span must be positive");
+  QUARTZ_REQUIRE(params.mttr_hours > 0, "repair time must be positive");
+  QUARTZ_REQUIRE(stop > start, "timeline must have a positive duration");
   PoissonFaultParams out;
   out.failures_per_link_per_hour =
       params.cuts_per_km_per_year * params.span_km / kHoursPerYear;
@@ -28,22 +32,39 @@ PoissonFaultParams PoissonFaultParams::from_availability(const core::Availabilit
   return out;
 }
 
+void FaultScheduler::require_valid_link(topo::LinkId link) const {
+  QUARTZ_REQUIRE(
+      link >= 0 && static_cast<std::size_t>(link) < network_.graph().link_count(),
+      "unknown link");
+}
+
+void FaultScheduler::inject_fail(topo::LinkId link) {
+  ++cuts_;
+  if (++down_refs_[link] == 1) network_.fail_link(link);
+}
+
+void FaultScheduler::inject_repair(topo::LinkId link) {
+  ++repairs_;
+  const auto it = down_refs_.find(link);
+  QUARTZ_CHECK(it != down_refs_.end() && it->second > 0, "repair without a matching cut");
+  if (--it->second == 0) {
+    down_refs_.erase(it);
+    network_.repair_link(link);
+  }
+}
+
 void FaultScheduler::schedule_cut(TimePs fail_at, std::vector<topo::LinkId> links,
                                   TimePs repair_at) {
   QUARTZ_REQUIRE(!links.empty(), "a cut needs at least one link");
+  QUARTZ_REQUIRE(fail_at >= 0, "cut time cannot be negative");
   QUARTZ_REQUIRE(repair_at < 0 || repair_at > fail_at, "repair must follow the cut");
+  for (const topo::LinkId link : links) require_valid_link(link);
   network_.at(fail_at, [this, links] {
-    for (const topo::LinkId link : links) {
-      network_.fail_link(link);
-      ++cuts_;
-    }
+    for (const topo::LinkId link : links) inject_fail(link);
   });
   if (repair_at >= 0) {
     network_.at(repair_at, [this, links = std::move(links)] {
-      for (const topo::LinkId link : links) {
-        network_.repair_link(link);
-        ++repairs_;
-      }
+      for (const topo::LinkId link : links) inject_repair(link);
     });
   }
 }
@@ -51,6 +72,70 @@ void FaultScheduler::schedule_cut(TimePs fail_at, std::vector<topo::LinkId> link
 void FaultScheduler::schedule_fiber_cut(TimePs fail_at, const topo::FiberCut& cut,
                                         TimePs repair_at) {
   schedule_cut(fail_at, topo::severed_links(network_.topology(), {cut}), repair_at);
+}
+
+void FaultScheduler::add_degradation(topo::LinkId link, double drop_p) {
+  ++degradations_;
+  std::vector<double>& contribs = degrade_contribs_[link];
+  contribs.push_back(drop_p);
+  double pass = 1.0;
+  for (const double p : contribs) pass *= 1.0 - p;
+  network_.set_link_loss(link, 1.0 - pass);
+}
+
+void FaultScheduler::remove_degradation(topo::LinkId link, double drop_p) {
+  ++restorations_;
+  const auto it = degrade_contribs_.find(link);
+  QUARTZ_CHECK(it != degrade_contribs_.end(), "restoration without a matching degradation");
+  auto& contribs = it->second;
+  const auto pos = std::find(contribs.begin(), contribs.end(), drop_p);
+  QUARTZ_CHECK(pos != contribs.end(), "restoration without a matching degradation");
+  contribs.erase(pos);
+  double pass = 1.0;
+  for (const double p : contribs) pass *= 1.0 - p;
+  if (contribs.empty()) degrade_contribs_.erase(it);
+  network_.set_link_loss(link, 1.0 - pass);
+}
+
+void FaultScheduler::schedule_degradation(TimePs fail_at, std::vector<topo::LinkId> links,
+                                          double drop_p, TimePs repair_at) {
+  QUARTZ_REQUIRE(!links.empty(), "a degradation needs at least one link");
+  QUARTZ_REQUIRE(fail_at >= 0, "degradation time cannot be negative");
+  QUARTZ_REQUIRE(drop_p > 0.0 && drop_p <= 1.0, "drop probability must be in (0,1]");
+  QUARTZ_REQUIRE(repair_at < 0 || repair_at > fail_at, "repair must follow the degradation");
+  for (const topo::LinkId link : links) require_valid_link(link);
+  network_.at(fail_at, [this, links, drop_p] {
+    for (const topo::LinkId link : links) add_degradation(link, drop_p);
+  });
+  if (repair_at >= 0) {
+    network_.at(repair_at, [this, links = std::move(links), drop_p] {
+      for (const topo::LinkId link : links) remove_degradation(link, drop_p);
+    });
+  }
+}
+
+void FaultScheduler::schedule_amplifier_failure(TimePs fail_at, const topo::FiberCut& span,
+                                                double drop_p, TimePs repair_at) {
+  schedule_degradation(fail_at, topo::severed_links(network_.topology(), {span}), drop_p,
+                       repair_at);
+}
+
+void FaultScheduler::schedule_transceiver_aging(TimePs fail_at, topo::LinkId link, double drop_p,
+                                                TimePs repair_at) {
+  schedule_degradation(fail_at, {link}, drop_p, repair_at);
+}
+
+void FaultScheduler::schedule_flapping(TimePs start, topo::LinkId link, TimePs down_time,
+                                       TimePs up_time, int cycles) {
+  QUARTZ_REQUIRE(start >= 0, "flap start cannot be negative");
+  QUARTZ_REQUIRE(down_time > 0 && up_time > 0, "flap phases must have positive duration");
+  QUARTZ_REQUIRE(cycles > 0, "need at least one flap cycle");
+  require_valid_link(link);
+  TimePs t = start;
+  for (int c = 0; c < cycles; ++c) {
+    schedule_cut(t, {link}, t + down_time);
+    t += down_time + up_time;
+  }
 }
 
 void FaultScheduler::run_poisson(const PoissonFaultParams& params,
@@ -74,13 +159,11 @@ void FaultScheduler::schedule_poisson_failure(topo::LinkId link, TimePs from) {
   const TimePs fail_at = from + exponential_delay(rng_, mean_ttf_ps);
   if (fail_at >= poisson_.stop) return;
   network_.at(fail_at, [this, link] {
-    network_.fail_link(link);
-    ++cuts_;
+    inject_fail(link);
     const double mean_repair_ps = poisson_.mean_repair_hours * kPsPerHour;
     const TimePs repair_at = network_.now() + exponential_delay(rng_, mean_repair_ps);
     network_.at(repair_at, [this, link] {
-      network_.repair_link(link);
-      ++repairs_;
+      inject_repair(link);
       schedule_poisson_failure(link, network_.now());
     });
   });
@@ -90,6 +173,8 @@ void FaultScheduler::publish_metrics(telemetry::MetricRegistry& registry,
                                      const std::string& prefix) const {
   registry.counter(prefix + ".cuts").inc(cuts_);
   registry.counter(prefix + ".repairs").inc(repairs_);
+  registry.counter(prefix + ".degradations").inc(degradations_);
+  registry.counter(prefix + ".restorations").inc(restorations_);
 }
 
 }  // namespace quartz::sim

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -63,21 +64,67 @@ class FaultScheduler {
   /// fabric converges back to healthy.
   void run_poisson(const PoissonFaultParams& params, std::vector<topo::LinkId> links, Rng rng);
 
+  // --- component faults (gray failures & flapping) ---------------------------
+  //
+  // These model the failure modes that do NOT sever a fiber: the link
+  // stays up but silently corrupts packets (injected through
+  // Network::set_link_loss), or bounces between up and down faster than
+  // detection converges.  Use optical::degraded_drop_probability to
+  // derive `drop_p` from the ring's power budget.
+
+  /// A pump-laser (EDFA) failure on the fiber span `span`: every
+  /// lightpath whose arc crosses that span loses part of its power
+  /// budget and corrupts packets with probability `drop_p` from
+  /// `fail_at` until `repair_at` (negative = never repaired).
+  void schedule_amplifier_failure(TimePs fail_at, const topo::FiberCut& span, double drop_p,
+                                  TimePs repair_at = -1);
+
+  /// One aging transceiver degrades its own lightpath by `drop_p`.
+  void schedule_transceiver_aging(TimePs fail_at, topo::LinkId link, double drop_p,
+                                  TimePs repair_at = -1);
+
+  /// Scripted flapping: `cycles` consecutive down/up cycles starting at
+  /// `start` (down for `down_time`, then up for `up_time`, repeat).
+  void schedule_flapping(TimePs start, topo::LinkId link, TimePs down_time, TimePs up_time,
+                         int cycles);
+
   /// Individual link failures / repairs injected so far.
   std::uint64_t cuts() const { return cuts_; }
   std::uint64_t repairs() const { return repairs_; }
+  /// Gray degradations applied / lifted so far.
+  std::uint64_t degradations() const { return degradations_; }
+  std::uint64_t restorations() const { return restorations_; }
 
   /// Export injection counters under `<prefix>.cuts` / `<prefix>.repairs`.
   void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
  private:
   void schedule_poisson_failure(topo::LinkId link, TimePs from);
+  void require_valid_link(topo::LinkId link) const;
+
+  /// Reference-counted physical state: a link goes down on its first
+  /// active cut and comes back only when the LAST overlapping cut is
+  /// repaired — a repair belonging to one window must not resurrect a
+  /// link another window still holds down.
+  void inject_fail(topo::LinkId link);
+  void inject_repair(topo::LinkId link);
+
+  /// Gray degradations stack: the combined drop probability of all
+  /// active contributions is 1 - Π(1 - p_i).
+  void add_degradation(topo::LinkId link, double drop_p);
+  void remove_degradation(topo::LinkId link, double drop_p);
+  void schedule_degradation(TimePs fail_at, std::vector<topo::LinkId> links, double drop_p,
+                            TimePs repair_at);
 
   Network& network_;
   PoissonFaultParams poisson_{};
   Rng rng_{0};
   std::uint64_t cuts_ = 0;
   std::uint64_t repairs_ = 0;
+  std::uint64_t degradations_ = 0;
+  std::uint64_t restorations_ = 0;
+  std::unordered_map<topo::LinkId, int> down_refs_;
+  std::unordered_map<topo::LinkId, std::vector<double>> degrade_contribs_;
 };
 
 }  // namespace quartz::sim

@@ -16,6 +16,8 @@ Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& 
       line_bits_(topo.graph.link_count() * 2, 0),
       link_up_(topo.graph.link_count(), 1),
       link_seq_(topo.graph.link_count(), 0),
+      link_loss_(topo.graph.link_count(), 0.0),
+      loss_rng_(config.corruption_seed),
       failure_view_(topo.graph.link_count()) {}
 
 void Network::add_sink(TelemetrySink* sink) {
@@ -62,6 +64,37 @@ void Network::repair_link(topo::LinkId link) {
 bool Network::link_up(topo::LinkId link) const {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
   return link_up_[static_cast<std::size_t>(link)] != 0;
+}
+
+void Network::set_link_loss(topo::LinkId link, double p) {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_loss_.size(), "unknown link");
+  QUARTZ_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability must be in [0,1]");
+  link_loss_[static_cast<std::size_t>(link)] = p;
+  for (TelemetrySink* sink : sinks_) sink->on_link_degraded(link, p, now());
+}
+
+double Network::link_loss_rate(topo::LinkId link) const {
+  QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_loss_.size(), "unknown link");
+  return link_loss_[static_cast<std::size_t>(link)];
+}
+
+routing::LinkHealth Network::link_health(topo::LinkId link) const {
+  if (!link_up(link)) return routing::LinkHealth::kDead;
+  return link_loss_[static_cast<std::size_t>(link)] > 0.0 ? routing::LinkHealth::kLossy
+                                                          : routing::LinkHealth::kHealthy;
+}
+
+void Network::emit_probe(topo::LinkId link, bool delivered, TimePs when) {
+  for (TelemetrySink* sink : sinks_) sink->on_probe(link, delivered, when);
+}
+
+void Network::emit_health_transition(topo::LinkId link, routing::LinkHealth from,
+                                     routing::LinkHealth to, TimePs when) {
+  for (TelemetrySink* sink : sinks_) sink->on_health_transition(link, from, to, when);
+}
+
+void Network::emit_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) {
+  for (TelemetrySink* sink : sinks_) sink->on_flap_damped(link, suppressed_until, when);
 }
 
 void Network::drop(const Packet& packet, DropReason reason) {
@@ -214,6 +247,13 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
                    [this, packet, peer, first_bit, last_bit, link_id, seq]() mutable {
     if (link_seq_[static_cast<std::size_t>(link_id)] != seq) {
       drop(packet, DropReason::kLinkDown);
+      return;
+    }
+    // Gray failure: the link is up but corrupts packets independently
+    // with its drop probability (BER made packet-level).
+    const double loss = link_loss_[static_cast<std::size_t>(link_id)];
+    if (loss > 0.0 && loss_rng_.next_double() < loss) {
+      drop(packet, DropReason::kCorrupted);
       return;
     }
     arrive(std::move(packet), peer, first_bit, last_bit);

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "routing/oracle.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
@@ -47,6 +48,9 @@ struct SimConfig {
   /// keep forwarding onto the dead link and those packets are dropped
   /// (the §3.5 transient).
   TimePs failure_detection_delay = 0;
+  /// Seed of the per-network stream that samples gray-failure packet
+  /// corruption (see set_link_loss); runs are deterministic per seed.
+  std::uint64_t corruption_seed = 0x475241594C4Bull;  // "GRAYLK"
 };
 
 /// Why a packet was dropped: output-queue overflow (congestion) versus
@@ -123,6 +127,34 @@ class Network : public routing::LoadProbe, public routing::Clock {
   void fail_link(topo::LinkId link);
   void repair_link(topo::LinkId link);
   bool link_up(topo::LinkId link) const;
+
+  // --- gray failures ---------------------------------------------------------
+  //
+  // A gray-failed link stays up but corrupts each packet independently
+  // with probability `p` (checked when the head arrives at the far
+  // end); corrupted packets are dropped and counted as kCorrupted.
+  // The fixed-delay FailureView never learns about gray failures — only
+  // a probe-based HealthMonitor can see them.
+
+  /// Set a link's drop probability (0 restores it).  Fans out
+  /// on_link_degraded to the attached sinks.
+  void set_link_loss(topo::LinkId link, double p);
+  double link_loss_rate(topo::LinkId link) const;
+  /// Ground-truth health: dead when physically down, lossy when the
+  /// drop probability is non-zero, healthy otherwise.  This is what a
+  /// perfect monitor would converge to.
+  routing::LinkHealth link_health(topo::LinkId link) const;
+
+  // --- health-monitor event fan-out ------------------------------------------
+  //
+  // The probe plane and HealthMonitor live outside the simulator; these
+  // relay their events to the attached telemetry sinks so one sink list
+  // observes the whole detection story.
+
+  void emit_probe(topo::LinkId link, bool delivered, TimePs when);
+  void emit_health_transition(topo::LinkId link, routing::LinkHealth from,
+                              routing::LinkHealth to, TimePs when);
+  void emit_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when);
   /// The routing plane's delayed knowledge of liveness; attach this to
   /// failure-aware oracles before traffic starts.
   const routing::FailureView& failure_view() const { return failure_view_; }
@@ -178,6 +210,10 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// also guards the delayed FailureView updates against stale events.
   std::vector<char> link_up_;
   std::vector<std::uint32_t> link_seq_;
+  /// Per-link gray-failure drop probability (0 = clean).
+  std::vector<double> link_loss_;
+  /// Corruption sampling stream (seeded; deterministic per run).
+  Rng loss_rng_;
   routing::FailureView failure_view_;
   std::vector<DeliveryHandler> handlers_;
   std::vector<ArrivalHook> arrival_hooks_;
@@ -188,7 +224,7 @@ class Network : public routing::LoadProbe, public routing::Clock {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;
-  std::uint64_t dropped_by_reason_[2] = {0, 0};
+  std::uint64_t dropped_by_reason_[telemetry::kDropReasonCount] = {};
   std::uint64_t link_failures_ = 0;
   std::uint64_t link_repairs_ = 0;
 };

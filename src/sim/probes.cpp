@@ -1,0 +1,62 @@
+#include "sim/probes.hpp"
+
+#include "common/check.hpp"
+
+namespace quartz::sim {
+
+ProbePlane::ProbePlane(Network& network, routing::HealthMonitor& monitor)
+    : ProbePlane(network, monitor, Options{}) {}
+
+ProbePlane::ProbePlane(Network& network, routing::HealthMonitor& monitor, Options options)
+    : network_(network), monitor_(monitor), options_(options), rng_(options.seed) {
+  QUARTZ_REQUIRE(options_.interval > 0, "probe interval must be positive");
+  QUARTZ_REQUIRE(options_.start >= 0, "probe start cannot be negative");
+  monitor_.set_transition_hook(
+      [this](topo::LinkId link, routing::LinkHealth from, routing::LinkHealth to, TimePs when) {
+        network_.emit_health_transition(link, from, to, when);
+      });
+  monitor_.set_damp_hook([this](topo::LinkId link, TimePs suppressed_until, TimePs when) {
+    network_.emit_flap_damped(link, suppressed_until, when);
+  });
+}
+
+void ProbePlane::start(std::vector<topo::LinkId> links) {
+  if (links.empty()) {
+    links.reserve(network_.graph().link_count());
+    for (const auto& link : network_.graph().links()) links.push_back(link.id);
+  }
+  QUARTZ_REQUIRE(!links.empty(), "no links to probe");
+  // Stagger the per-link schedules evenly across one interval.
+  const auto n = static_cast<TimePs>(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const topo::LinkId link = links[i];
+    QUARTZ_REQUIRE(
+        link >= 0 && static_cast<std::size_t>(link) < network_.graph().link_count(),
+        "unknown link");
+    const TimePs offset = options_.interval * static_cast<TimePs>(i) / n;
+    network_.at(options_.start + offset, [this, link] { fire(link); });
+  }
+}
+
+void ProbePlane::fire(topo::LinkId link) {
+  const TimePs sent_at = network_.now();
+  if (options_.stop >= 0 && sent_at >= options_.stop) return;
+  ++sent_;
+  // The probe's fate is sealed bit by bit: it must find the link up at
+  // launch, survive the gray-failure coin flip, and the link must still
+  // be up when it lands one propagation later.
+  const bool launched = network_.link_up(link);
+  const bool corrupted =
+      launched && network_.link_loss_rate(link) > 0.0 &&
+      rng_.next_double() < network_.link_loss_rate(link);
+  const TimePs arrival = sent_at + network_.graph().link(link).propagation;
+  network_.at(arrival, [this, link, launched, corrupted] {
+    const bool delivered = launched && !corrupted && network_.link_up(link);
+    const TimePs now = network_.now();
+    monitor_.record_probe(link, delivered, now);
+    network_.emit_probe(link, delivered, now);
+  });
+  network_.at(sent_at + options_.interval, [this, link] { fire(link); });
+}
+
+}  // namespace quartz::sim

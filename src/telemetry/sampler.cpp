@@ -16,6 +16,7 @@ JsonRow BucketSummary::to_row() const {
       {"p99_us", p99_us},
       {"queue_drops", queue_drops},
       {"link_down_drops", link_down_drops},
+      {"corrupted_drops", corrupted_drops},
       {"max_queue_wait_us", max_queue_wait_us},
   };
 }
@@ -71,6 +72,7 @@ std::vector<BucketSummary> PeriodicSampler::summaries() const {
     }
     s.queue_drops = bucket.drops[static_cast<int>(DropReason::kQueueOverflow)];
     s.link_down_drops = bucket.drops[static_cast<int>(DropReason::kLinkDown)];
+    s.corrupted_drops = bucket.drops[static_cast<int>(DropReason::kCorrupted)];
     s.max_queue_wait_us = to_microseconds(bucket.max_queue_wait);
 
     std::vector<LinkActivity> lines;
@@ -102,12 +104,13 @@ std::vector<BucketSummary> PeriodicSampler::summaries() const {
 }
 
 void PeriodicSampler::write_csv(std::ostream& os) const {
-  os << "t_ms,delivered,mean_us,p50_us,p99_us,queue_drops,link_down_drops,max_queue_wait_us\n";
+  os << "t_ms,delivered,mean_us,p50_us,p99_us,queue_drops,link_down_drops,corrupted_drops,"
+        "max_queue_wait_us\n";
   for (const BucketSummary& s : summaries()) {
     os << JsonValue(to_microseconds(s.start) / 1000.0).to_csv_cell() << "," << s.delivered << ","
        << JsonValue(s.mean_us).to_csv_cell() << "," << JsonValue(s.p50_us).to_csv_cell() << ","
        << JsonValue(s.p99_us).to_csv_cell() << "," << s.queue_drops << "," << s.link_down_drops
-       << "," << JsonValue(s.max_queue_wait_us).to_csv_cell() << "\n";
+       << "," << s.corrupted_drops << "," << JsonValue(s.max_queue_wait_us).to_csv_cell() << "\n";
   }
 }
 
@@ -121,6 +124,16 @@ const char* FaultTimeline::kind_name(Kind kind) {
       return "detected_dead";
     case Kind::kDetectedLive:
       return "detected_live";
+    case Kind::kDegraded:
+      return "degraded";
+    case Kind::kRestored:
+      return "restored";
+    case Kind::kLossyDetected:
+      return "lossy_detected";
+    case Kind::kLossyCleared:
+      return "lossy_cleared";
+    case Kind::kDamped:
+      return "flap_damped";
   }
   return "unknown";
 }
@@ -143,6 +156,51 @@ void FaultTimeline::on_link_detected(topo::LinkId link, bool dead, TimePs when) 
   }
 }
 
+void FaultTimeline::on_link_degraded(topo::LinkId link, double loss_rate, TimePs when) {
+  const Kind kind = loss_rate > 0.0 ? Kind::kDegraded : Kind::kRestored;
+  events_.push_back({when, link, kind, loss_rate});
+  ++counts_[static_cast<int>(kind)];
+  if (kind == Kind::kDegraded) {
+    pending_degrade_.emplace(link, when);  // first degradation wins the lag clock
+  } else {
+    pending_degrade_.erase(link);
+  }
+}
+
+void FaultTimeline::on_probe(topo::LinkId /*link*/, bool delivered, TimePs /*when*/) {
+  ++probes_;
+  if (!delivered) ++probe_losses_;
+}
+
+void FaultTimeline::on_health_transition(topo::LinkId link, routing::LinkHealth from,
+                                         routing::LinkHealth to, TimePs when) {
+  // Dead edges reuse the detection vocabulary so probe-based monitors
+  // get the same detection-lag accounting as the fixed-delay path.
+  if (to == routing::LinkHealth::kDead) {
+    on_link_detected(link, /*dead=*/true, when);
+    return;
+  }
+  if (from == routing::LinkHealth::kDead) {
+    on_link_detected(link, /*dead=*/false, when);
+    return;
+  }
+  const Kind kind = to == routing::LinkHealth::kLossy ? Kind::kLossyDetected : Kind::kLossyCleared;
+  events_.push_back({when, link, kind});
+  ++counts_[static_cast<int>(kind)];
+  if (kind == Kind::kLossyDetected) {
+    const auto it = pending_degrade_.find(link);
+    if (it != pending_degrade_.end()) {
+      detection_lag_us_.add(to_microseconds(when - it->second));
+      pending_degrade_.erase(it);
+    }
+  }
+}
+
+void FaultTimeline::on_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) {
+  events_.push_back({when, link, Kind::kDamped, to_microseconds(suppressed_until)});
+  ++counts_[static_cast<int>(Kind::kDamped)];
+}
+
 double FaultTimeline::mean_detection_lag_us() const {
   return detection_lag_us_.count() > 0 ? detection_lag_us_.mean() : 0.0;
 }
@@ -151,11 +209,15 @@ std::vector<JsonRow> FaultTimeline::to_rows() const {
   std::vector<JsonRow> rows;
   rows.reserve(events_.size());
   for (const Event& e : events_) {
-    rows.push_back({
+    JsonRow row{
         {"t_us", to_microseconds(e.when)},
         {"link", static_cast<std::int64_t>(e.link)},
         {"event", std::string(kind_name(e.kind))},
-    });
+    };
+    if (e.kind == Kind::kDegraded || e.kind == Kind::kRestored || e.kind == Kind::kDamped) {
+      row.emplace_back("value", e.value);
+    }
+    rows.push_back(std::move(row));
   }
   return rows;
 }

@@ -44,6 +44,7 @@ struct BucketSummary {
   double mean_us = 0;
   std::uint64_t queue_drops = 0;
   std::uint64_t link_down_drops = 0;
+  std::uint64_t corrupted_drops = 0;
   double max_queue_wait_us = 0;
   std::vector<LinkActivity> hottest;  ///< top-K directions by bits
 
@@ -67,7 +68,7 @@ class PeriodicSampler final : public TelemetrySink {
   TimePs bucket_width() const { return options_.bucket; }
 
   /// t_ms,delivered,mean_us,p50_us,p99_us,queue_drops,link_down_drops,
-  /// max_queue_wait_us — one row per bucket.
+  /// corrupted_drops,max_queue_wait_us — one row per bucket.
   void write_csv(std::ostream& os) const;
 
   // --- TelemetrySink ---------------------------------------------------------
@@ -85,7 +86,7 @@ class PeriodicSampler final : public TelemetrySink {
   };
   struct Bucket {
     SampleSet latency_us;
-    std::uint64_t drops[kDropReasonCount] = {0, 0};
+    std::uint64_t drops[kDropReasonCount] = {};
     TimePs max_queue_wait = 0;
     std::unordered_map<std::uint64_t, LinkCell> lines;  ///< key: link*2 + direction
   };
@@ -96,17 +97,31 @@ class PeriodicSampler final : public TelemetrySink {
   std::vector<Bucket> buckets_;
 };
 
-/// Records the fault-injection timeline: physical cuts and repairs as
-/// they strike, and the routing plane's delayed detections — the
-/// cut → detect → reroute → repair story as machine-readable events.
+/// Records the fault-injection timeline: physical cuts, repairs and
+/// gray degradations as they strike, and the routing plane's delayed
+/// detections (fixed-delay or probe-based) — the cut → detect →
+/// reroute → repair story as machine-readable events.
 class FaultTimeline final : public TelemetrySink {
  public:
-  enum class Kind { kCut = 0, kRepair = 1, kDetectedDead = 2, kDetectedLive = 3 };
+  enum class Kind {
+    kCut = 0,
+    kRepair = 1,
+    kDetectedDead = 2,
+    kDetectedLive = 3,
+    kDegraded = 4,       ///< drop probability raised (gray failure)
+    kRestored = 5,       ///< drop probability back to zero
+    kLossyDetected = 6,  ///< HealthMonitor marked the link lossy
+    kLossyCleared = 7,   ///< HealthMonitor cleared the lossy mark
+    kDamped = 8,         ///< a ready recovery was flap-damped
+  };
+  static constexpr int kKindCount = 9;
 
   struct Event {
     TimePs when = 0;
     topo::LinkId link = topo::kInvalidLink;
     Kind kind = Kind::kCut;
+    /// Degraded: the new drop probability.  Damped: suppressed-until, us.
+    double value = 0;
   };
 
   static const char* kind_name(Kind kind);
@@ -115,24 +130,41 @@ class FaultTimeline final : public TelemetrySink {
   std::uint64_t cuts() const { return counts_[0]; }
   std::uint64_t repairs() const { return counts_[1]; }
   std::uint64_t detections() const { return counts_[2] + counts_[3]; }
+  std::uint64_t degrades() const { return counts_[4]; }
+  std::uint64_t restores() const { return counts_[5]; }
+  std::uint64_t lossy_detections() const { return counts_[6]; }
+  std::uint64_t damped() const { return counts_[8]; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t probe_losses() const { return probe_losses_; }
 
-  /// Mean lag from a physical transition to its detection (the
-  /// blackhole window the routing plane cannot see), microseconds.
+  /// Mean lag from a physical transition (cut, repair or degradation)
+  /// to its detection (the blackhole window the routing plane cannot
+  /// see), microseconds.
   double mean_detection_lag_us() const;
 
-  /// One {"t_us", "link", "event"} object per line.
+  /// One {"t_us", "link", "event"} object per line (degrade/damp rows
+  /// carry an extra "value" field).
   void write_jsonl(std::ostream& os) const;
   std::vector<JsonRow> to_rows() const;
 
   // --- TelemetrySink ---------------------------------------------------------
   void on_link_state(topo::LinkId link, bool up, TimePs when) override;
   void on_link_detected(topo::LinkId link, bool dead, TimePs when) override;
+  void on_link_degraded(topo::LinkId link, double loss_rate, TimePs when) override;
+  void on_probe(topo::LinkId link, bool delivered, TimePs when) override;
+  void on_health_transition(topo::LinkId link, routing::LinkHealth from, routing::LinkHealth to,
+                            TimePs when) override;
+  void on_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) override;
 
  private:
   std::vector<Event> events_;
-  std::uint64_t counts_[4] = {0, 0, 0, 0};
+  std::uint64_t counts_[kKindCount] = {};
+  std::uint64_t probes_ = 0;
+  std::uint64_t probe_losses_ = 0;
   /// Pending transition time per link, for detection-lag accounting.
   std::unordered_map<topo::LinkId, TimePs> pending_;
+  /// Pending degradation time per link, consumed by lossy detection.
+  std::unordered_map<topo::LinkId, TimePs> pending_degrade_;
   RunningStats detection_lag_us_;
 };
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "common/units.hpp"
+#include "routing/failure_view.hpp"
 #include "topo/graph.hpp"
 
 namespace quartz::sim {
@@ -23,14 +24,20 @@ struct Packet;
 
 namespace quartz::telemetry {
 
-/// Why a packet was dropped: output-queue overflow (congestion) versus
-/// transmitting onto — or being in flight on — a failed link.
-enum class DropReason { kQueueOverflow = 0, kLinkDown = 1 };
+/// Why a packet was dropped: output-queue overflow (congestion),
+/// transmitting onto — or being in flight on — a failed link, or
+/// corruption on a gray-failed (lossy but not dead) link.
+enum class DropReason { kQueueOverflow = 0, kLinkDown = 1, kCorrupted = 2 };
 
-inline constexpr int kDropReasonCount = 2;
+inline constexpr int kDropReasonCount = 3;
 
 inline const char* drop_reason_name(DropReason reason) {
-  return reason == DropReason::kQueueOverflow ? "queue-overflow" : "link-down";
+  switch (reason) {
+    case DropReason::kQueueOverflow: return "queue-overflow";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kCorrupted: return "corrupted";
+  }
+  return "unknown";
 }
 
 /// How a node forwards: a cut-through switch decides on the header, a
@@ -104,6 +111,28 @@ class TelemetrySink {
   /// after the fact): the cut→detect edge of the §3.5 transient.
   virtual void on_link_detected(topo::LinkId link, bool dead, TimePs when) {
     (void)link, (void)dead, (void)when;
+  }
+
+  /// A link's drop probability changed (gray failure injected, worsened,
+  /// or repaired).  `loss_rate` 0 means fully restored.
+  virtual void on_link_degraded(topo::LinkId link, double loss_rate, TimePs when) {
+    (void)link, (void)loss_rate, (void)when;
+  }
+
+  /// A health probe completed (or was lost) on a link.
+  virtual void on_probe(topo::LinkId link, bool delivered, TimePs when) {
+    (void)link, (void)delivered, (void)when;
+  }
+
+  /// The HealthMonitor moved a link between healthy/lossy/dead.
+  virtual void on_health_transition(topo::LinkId link, routing::LinkHealth from,
+                                    routing::LinkHealth to, TimePs when) {
+    (void)link, (void)from, (void)to, (void)when;
+  }
+
+  /// A recovery was ready but suppressed by flap damping.
+  virtual void on_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) {
+    (void)link, (void)suppressed_until, (void)when;
   }
 };
 

@@ -1,0 +1,83 @@
+#include "chaos/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace quartz::chaos {
+namespace {
+
+/// A short storm that still contains every fault class; tier-1 smoke.
+StormParams smoke_params(DetectionMode mode, std::uint64_t seed) {
+  StormParams p;
+  p.seed = seed;
+  p.mode = mode;
+  p.packets = 9'000;  // 90 ms of traffic at the 10 us cadence
+  p.storm_start = milliseconds(10);
+  p.storm_end = milliseconds(30);
+  p.quiesce_at = milliseconds(40);
+  p.run_until = milliseconds(150);
+  return p;
+}
+
+TEST(ChaosStorm, HealthMonitorModeSurvivesASmokeStorm) {
+  const StormReport r = run_storm(smoke_params(DetectionMode::kHealthMonitor, 7));
+  EXPECT_TRUE(r.passed()) << r.summary();
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.sent, 9'000u);
+  EXPECT_EQ(r.delivered + r.queue_drops + r.link_down_drops + r.corrupted_drops, r.sent);
+  // The storm actually stormed: cuts happened and were all repaired,
+  // gray failures corrupted packets, probes drove the detector.
+  EXPECT_GT(r.cuts, 0u);
+  EXPECT_EQ(r.cuts, r.repairs);
+  EXPECT_GT(r.degradations, 0u);
+  EXPECT_EQ(r.degradations, r.restorations);
+  EXPECT_GT(r.probes, 0u);
+  EXPECT_GT(r.missed_probes, 0u);
+  EXPECT_GT(r.deaths, 0u);
+  EXPECT_EQ(r.deaths, r.revivals);  // converged: nothing left dead
+  EXPECT_LE(r.max_hops, r.hop_bound);
+}
+
+TEST(ChaosStorm, FixedDelayModeSurvivesASmokeStorm) {
+  const StormReport r = run_storm(smoke_params(DetectionMode::kFixedDelay, 7));
+  EXPECT_TRUE(r.passed()) << r.summary();
+  EXPECT_EQ(r.sent, 9'000u);
+  EXPECT_GT(r.cuts, 0u);
+  EXPECT_EQ(r.cuts, r.repairs);
+  // No probe plane in this mode.
+  EXPECT_EQ(r.probes, 0u);
+}
+
+TEST(ChaosStorm, StormsAreDeterministicPerSeed) {
+  const StormParams p = smoke_params(DetectionMode::kHealthMonitor, 21);
+  const StormReport a = run_storm(p);
+  const StormReport b = run_storm(p);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.link_down_drops, b.link_down_drops);
+  EXPECT_EQ(a.corrupted_drops, b.corrupted_drops);
+  EXPECT_EQ(a.cuts, b.cuts);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(ChaosStorm, RejectsIncoherentPhaseOrdering) {
+  StormParams p = smoke_params(DetectionMode::kHealthMonitor, 1);
+  p.storm_end = p.storm_start;  // empty storm window
+  EXPECT_THROW(run_storm(p), std::invalid_argument);
+
+  p = smoke_params(DetectionMode::kHealthMonitor, 1);
+  p.quiesce_at = p.run_until + 1;  // quiescence after the horizon
+  EXPECT_THROW(run_storm(p), std::invalid_argument);
+
+  p = smoke_params(DetectionMode::kHealthMonitor, 1);
+  p.packets = 100;  // traffic ends before quiescence: nothing to judge
+  EXPECT_THROW(run_storm(p), std::invalid_argument);
+
+  p = smoke_params(DetectionMode::kHealthMonitor, 1);
+  p.switches = 2;  // no mesh to detour over
+  EXPECT_THROW(run_storm(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::chaos

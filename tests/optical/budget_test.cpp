@@ -151,6 +151,60 @@ TEST(Osnr, RejectsBadArguments) {
   EXPECT_THROW(osnr_db(params, plan, 0, 5), std::invalid_argument);
 }
 
+TEST(GrayFailure, QAndBerTrackTheMarginMonotonically) {
+  // More margin, higher Q; higher Q, lower BER.
+  EXPECT_DOUBLE_EQ(q_factor_from_margin_db(0.0), kReferenceQ);
+  EXPECT_GT(q_factor_from_margin_db(1.0), q_factor_from_margin_db(0.0));
+  EXPECT_LT(q_factor_from_margin_db(-1.0), q_factor_from_margin_db(0.0));
+  EXPECT_LT(ber_from_q(7.0), ber_from_q(5.0));
+  EXPECT_LT(ber_from_q(5.0), ber_from_q(3.0));
+  // Spec point: Q = 7 is the ~1e-12 BER receiver.
+  EXPECT_NEAR(ber_from_q(kReferenceQ), 1.28e-12, 1e-13);
+  // A dead receiver guesses: BER saturates at one half.
+  EXPECT_DOUBLE_EQ(ber_from_q(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ber_from_q(-3.0), 0.5);
+}
+
+TEST(GrayFailure, PacketLossIsStableForTinyBerAndSaturates) {
+  // At the spec BER a 12000-bit packet is essentially never corrupted…
+  const double at_spec = packet_loss_probability(ber_from_q(7.0), 12'000);
+  EXPECT_GT(at_spec, 0.0);
+  EXPECT_LT(at_spec, 1e-7);
+  // …and the small-BER regime is the linear approximation bits * BER.
+  EXPECT_NEAR(packet_loss_probability(1e-9, 12'000), 12'000 * 1e-9, 1e-10);
+  // Saturation: a hopeless link loses everything.
+  EXPECT_DOUBLE_EQ(packet_loss_probability(0.5, 12'000), 1.0);
+  EXPECT_DOUBLE_EQ(packet_loss_probability(0.0, 12'000), 0.0);
+  EXPECT_DOUBLE_EQ(packet_loss_probability(1.0, 100), 1.0);
+  EXPECT_THROW(packet_loss_probability(-0.1, 100), std::invalid_argument);
+  EXPECT_THROW(packet_loss_probability(1.1, 100), std::invalid_argument);
+  EXPECT_THROW(packet_loss_probability(1e-9, 0), std::invalid_argument);
+}
+
+TEST(GrayFailure, DegradedDropProbabilityScalesWithTheInjuredBudget) {
+  const auto params = paper_params(8);
+  const AmplifierPlan plan = plan_ring_amplifiers(params);
+  ASSERT_TRUE(plan.feasible);
+  const double margin = worst_case_margin_db(params, plan);
+  // A validated plan keeps every lightpath at or above sensitivity.
+  EXPECT_GE(margin, 0.0);
+
+  // Losing nothing loses (almost) nothing.
+  EXPECT_LT(degraded_drop_probability(params, plan, 0.0), 1e-6);
+  // Eroding the whole margin puts the worst lightpath exactly at
+  // sensitivity: Q = 7, BER ~1.28e-12, still negligible per packet.
+  EXPECT_LT(degraded_drop_probability(params, plan, margin), 1e-6);
+  // Three dB below sensitivity is a proper gray failure: packets are
+  // lost at a rate routing can *measure* but liveness cannot *see*.
+  const double gray = degraded_drop_probability(params, plan, margin + 3.0);
+  EXPECT_GT(gray, 0.01);
+  EXPECT_LT(gray, 1.0);
+  // Deeper injury only makes it worse, monotonically, up to total loss.
+  EXPECT_GT(degraded_drop_probability(params, plan, margin + 4.0), gray);
+  EXPECT_NEAR(degraded_drop_probability(params, plan, margin + 30.0), 1.0, 1e-9);
+  EXPECT_THROW(degraded_drop_probability(params, plan, -1.0), std::invalid_argument);
+}
+
 class BudgetRingSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BudgetRingSweep, PlanIsValidAcrossRingSizes) {

@@ -1,0 +1,191 @@
+#include "routing/health_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace quartz::routing {
+namespace {
+
+HealthMonitorConfig fast_config() {
+  HealthMonitorConfig c;
+  c.dead_after_misses = 3;
+  c.alive_after_acks = 3;
+  c.lossy_enter = 0.05;
+  c.lossy_exit = 0.01;
+  c.ewma_alpha = 0.2;
+  c.hold_down = microseconds(100);
+  c.hold_down_cap = microseconds(1600);
+  c.flap_memory = milliseconds(5);
+  return c;
+}
+
+TEST(HealthMonitor, DeathAfterConsecutiveMissesOnly) {
+  HealthMonitor monitor(4, fast_config());
+  TimePs t = 0;
+  // Two misses, an ack, two more misses: never three consecutive.
+  for (const bool delivered : {false, false, true, false, false}) {
+    monitor.record_probe(1, delivered, t += microseconds(10));
+  }
+  EXPECT_NE(monitor.health(1), LinkHealth::kDead);
+  EXPECT_EQ(monitor.deaths(), 0u);
+
+  monitor.record_probe(1, false, t += microseconds(10));  // third consecutive
+  EXPECT_EQ(monitor.health(1), LinkHealth::kDead);
+  EXPECT_TRUE(monitor.view().is_dead(1));
+  EXPECT_EQ(monitor.dead_count(), 1u);
+  EXPECT_EQ(monitor.deaths(), 1u);
+  // Other links are untouched.
+  EXPECT_EQ(monitor.health(0), LinkHealth::kHealthy);
+  EXPECT_FALSE(monitor.view().is_dead(0));
+}
+
+TEST(HealthMonitor, LossyEntryAndHysteresisExit) {
+  HealthMonitor monitor(2, fast_config());
+  TimePs t = 0;
+  // Alternate loss/delivery: EWMA climbs toward 0.5, far above
+  // lossy_enter, without ever hitting three consecutive misses.
+  for (int i = 0; i < 20; ++i) {
+    monitor.record_probe(0, i % 2 == 0, t += microseconds(10));
+  }
+  EXPECT_EQ(monitor.health(0), LinkHealth::kLossy);
+  EXPECT_FALSE(monitor.view().is_dead(0));  // lossy is not dead
+  EXPECT_GT(monitor.loss_rate(0), 0.05);
+  EXPECT_EQ(monitor.lossy_count(), 1u);
+
+  // Deliveries decay the EWMA; the link must stay lossy while the
+  // estimate sits between exit and enter (hysteresis), then clear.
+  bool was_lossy_below_enter = false;
+  while (monitor.health(0) == LinkHealth::kLossy) {
+    monitor.record_probe(0, true, t += microseconds(10));
+    if (monitor.health(0) == LinkHealth::kLossy && monitor.loss_ewma(0) < 0.05) {
+      was_lossy_below_enter = true;
+    }
+  }
+  EXPECT_TRUE(was_lossy_below_enter);
+  EXPECT_EQ(monitor.health(0), LinkHealth::kHealthy);
+  EXPECT_LT(monitor.loss_ewma(0), 0.01);
+}
+
+TEST(HealthMonitor, RecoveryNeedsAckStreakAndExpiredHoldDown) {
+  HealthMonitor monitor(2, fast_config());
+  TimePs t = 0;
+  for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+  ASSERT_EQ(monitor.health(0), LinkHealth::kDead);
+  const TimePs death_at = t;
+
+  // Probes succeed immediately, but the hold-down (100 us) suppresses
+  // the recovery: the damper should absorb exactly one announcement.
+  int damp_events = 0;
+  TimePs suppressed_until = 0;
+  monitor.set_damp_hook([&](topo::LinkId, TimePs until, TimePs) {
+    ++damp_events;
+    suppressed_until = until;
+  });
+  while (t < death_at + microseconds(90)) {
+    monitor.record_probe(0, true, t += microseconds(10));
+    EXPECT_EQ(monitor.health(0), LinkHealth::kDead);
+  }
+  EXPECT_EQ(damp_events, 1);
+  EXPECT_EQ(monitor.damped_recoveries(), 1u);
+  EXPECT_EQ(suppressed_until, death_at + microseconds(100));
+
+  // Past the hold-down the pending recovery goes through (to healthy or
+  // lossy depending on where the EWMA decayed to — just not dead).
+  monitor.record_probe(0, true, t = death_at + microseconds(110));
+  EXPECT_NE(monitor.health(0), LinkHealth::kDead);
+  EXPECT_EQ(monitor.revivals(), 1u);
+  EXPECT_FALSE(monitor.view().is_dead(0));
+}
+
+TEST(HealthMonitor, RapidRedeathDoublesHoldDownUpToCap) {
+  HealthMonitor monitor(1, fast_config());
+  std::vector<TimePs> suppression_lengths;
+  TimePs last_death = 0;
+  monitor.set_transition_hook([&](topo::LinkId, LinkHealth, LinkHealth to, TimePs when) {
+    if (to == LinkHealth::kDead) last_death = when;
+  });
+  monitor.set_damp_hook([&](topo::LinkId, TimePs until, TimePs) {
+    suppression_lengths.push_back(until - last_death);
+  });
+
+  // Flap cycle: 3 misses (death), then acks until the monitor revives.
+  TimePs t = 0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+    ASSERT_EQ(monitor.health(0), LinkHealth::kDead);
+    while (monitor.health(0) == LinkHealth::kDead) {
+      monitor.record_probe(0, true, t += microseconds(10));
+    }
+  }
+  // Every recovery was damped (acks outrun the hold-down)...
+  ASSERT_EQ(suppression_lengths.size(), 6u);
+  // ...and each rapid re-death doubled the hold-down until the cap.
+  EXPECT_EQ(suppression_lengths[0], microseconds(100));
+  EXPECT_EQ(suppression_lengths[1], microseconds(200));
+  EXPECT_EQ(suppression_lengths[2], microseconds(400));
+  EXPECT_EQ(suppression_lengths[3], microseconds(800));
+  EXPECT_EQ(suppression_lengths[4], microseconds(1600));
+  EXPECT_EQ(suppression_lengths[5], microseconds(1600));  // capped
+}
+
+TEST(HealthMonitor, QuietPeriodResetsFlapPenalty) {
+  HealthMonitor monitor(1, fast_config());
+  std::vector<TimePs> suppression_lengths;
+  TimePs last_death = 0;
+  monitor.set_transition_hook([&](topo::LinkId, LinkHealth, LinkHealth to, TimePs when) {
+    if (to == LinkHealth::kDead) last_death = when;
+  });
+  monitor.set_damp_hook([&](topo::LinkId, TimePs until, TimePs) {
+    suppression_lengths.push_back(until - last_death);
+  });
+
+  TimePs t = 0;
+  auto flap_once = [&] {
+    for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+    while (monitor.health(0) == LinkHealth::kDead) {
+      monitor.record_probe(0, true, t += microseconds(10));
+    }
+  };
+  flap_once();
+  flap_once();  // rapid: doubled
+  t += milliseconds(10);  // beyond flap_memory: penalty forgets
+  flap_once();
+  ASSERT_EQ(suppression_lengths.size(), 3u);
+  EXPECT_EQ(suppression_lengths[1], microseconds(200));
+  EXPECT_EQ(suppression_lengths[2], microseconds(100));
+}
+
+TEST(HealthMonitor, DeadLinkReportsTotalLossToOracles) {
+  HealthMonitor monitor(2, fast_config());
+  TimePs t = 0;
+  for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+  const LossView& view = monitor;
+  EXPECT_DOUBLE_EQ(view.loss_rate(0), 1.0);   // dead = certain loss
+  EXPECT_LT(monitor.loss_ewma(0), 1.0);       // raw EWMA is not forced
+  EXPECT_DOUBLE_EQ(view.loss_rate(1), 0.0);   // untouched link is clean
+}
+
+TEST(HealthMonitor, RejectsBadConfigAndUnknownLinks) {
+  HealthMonitorConfig bad = fast_config();
+  bad.dead_after_misses = 0;
+  EXPECT_THROW(HealthMonitor(1, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(HealthMonitor(1, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.lossy_exit = bad.lossy_enter + 0.1;
+  EXPECT_THROW(HealthMonitor(1, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.hold_down_cap = bad.hold_down - 1;
+  EXPECT_THROW(HealthMonitor(1, bad), std::invalid_argument);
+
+  HealthMonitor monitor(2, fast_config());
+  EXPECT_THROW(monitor.record_probe(2, true, 0), std::invalid_argument);
+  EXPECT_THROW(monitor.record_probe(-1, true, 0), std::invalid_argument);
+  EXPECT_THROW(monitor.health(7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::routing

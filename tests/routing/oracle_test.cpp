@@ -309,6 +309,99 @@ TEST(AdaptiveVlbOracle, RoutesAroundDeadLightpathWithoutProbe) {
   }
 }
 
+/// Loss estimates handed to the oracles by tests (stands in for the
+/// HealthMonitor).
+struct FakeLossView final : LossView {
+  std::map<LinkId, double> loss;
+  double loss_rate(LinkId link) const override {
+    const auto it = loss.find(link);
+    return it == loss.end() ? 0.0 : it->second;
+  }
+};
+
+TEST(EcmpOracle, AllZeroLossViewChangesNothing) {
+  const MeshFixture f(6, 2);
+  EcmpOracle plain(*f.routing);
+  EcmpOracle attached(*f.routing);
+  FakeLossView losses;  // empty: every link reads 0.0
+  attached.attach_loss_view(&losses);
+  for (std::uint64_t flow = 0; flow < 32; ++flow) {
+    EXPECT_EQ(walk(f.topo.graph, plain, f.topo.host_groups[0][0], f.topo.host_groups[3][0], flow),
+              walk(f.topo.graph, attached, f.topo.host_groups[0][0], f.topo.host_groups[3][0],
+                   flow));
+  }
+}
+
+TEST(EcmpOracle, DeflectsAroundLossyLightpath) {
+  const MeshFixture f(6, 2);
+  EcmpOracle oracle(*f.routing);
+  FakeLossView losses;
+  oracle.attach_loss_view(&losses);
+  const NodeId src = f.topo.host_groups[0][0];
+  const NodeId dst = f.topo.host_groups[3][0];
+  const LinkId direct = direct_link(f.topo, f.topo.tors[0], f.topo.tors[3]);
+
+  // A 30% gray failure on the direct lightpath: clean two-hop detours
+  // beat it, so every flow deflects.
+  losses.loss[direct] = 0.3;
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const auto path = walk(f.topo.graph, oracle, src, dst, flow);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_NE(path[1], f.topo.tors[0]);
+    EXPECT_NE(path[1], f.topo.tors[3]);
+  }
+  // Healed: straight back to the direct lightpath.
+  losses.loss.clear();
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 2u);
+}
+
+TEST(EcmpOracle, TracksTheSoftFailThreshold) {
+  const MeshFixture f(6, 2);
+  EcmpOracle oracle(*f.routing);
+  FakeLossView losses;
+  oracle.attach_loss_view(&losses);
+  const NodeId src = f.topo.host_groups[0][0];
+  const NodeId dst = f.topo.host_groups[3][0];
+  losses.loss[direct_link(f.topo, f.topo.tors[0], f.topo.tors[3])] = 0.01;
+
+  // 1% loss sits below the default 2% soft-fail threshold: stay direct.
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 2u);
+  // Tighten the threshold and the same loss becomes a soft failure.
+  oracle.set_soft_fail_threshold(0.001);
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 3u);
+  EXPECT_THROW(oracle.set_soft_fail_threshold(-0.1), std::invalid_argument);
+}
+
+TEST(EcmpOracle, StaysDirectWhenEveryDetourIsWorse) {
+  const MeshFixture f(6, 2);
+  EcmpOracle oracle(*f.routing);
+  FakeLossView losses;
+  oracle.attach_loss_view(&losses);
+  const NodeId src = f.topo.host_groups[0][0];
+  const NodeId dst = f.topo.host_groups[3][0];
+  // The direct lightpath is gray (30%), but every other lightpath of
+  // the mesh is worse (25% per leg = ~44% per two-hop detour).
+  for (const auto& link : f.topo.graph.links()) losses.loss[link.id] = 0.25;
+  losses.loss[direct_link(f.topo, f.topo.tors[0], f.topo.tors[3])] = 0.3;
+  EXPECT_EQ(walk(f.topo.graph, oracle, src, dst, 7).size(), 2u);
+}
+
+TEST(AdaptiveVlbOracle, HealsLossyDirectPathOverTwoHopDetour) {
+  const MeshFixture f(6, 2);
+  AdaptiveVlbOracle oracle(*f.routing, f.topo.quartz_rings);
+  FakeLossView losses;
+  oracle.attach_loss_view(&losses);
+  const LinkId direct = direct_link(f.topo, f.topo.tors[0], f.topo.tors[3]);
+  losses.loss[direct] = 0.5;
+  for (std::uint64_t flow = 0; flow < 16; ++flow) {
+    const auto path =
+        walk(f.topo.graph, oracle, f.topo.host_groups[0][0], f.topo.host_groups[3][0], flow);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_NE(direct_link(f.topo, path[0], path[1]), direct);
+    EXPECT_NE(direct_link(f.topo, path[1], path[2]), direct);
+  }
+}
+
 TEST(SpanningTreeOracle, RoutesAlongTree) {
   topo::TwoTierParams p;
   p.tors = 4;

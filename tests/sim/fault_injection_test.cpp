@@ -289,6 +289,193 @@ TEST(PoissonFaultParams, FromAvailabilityMatchesSteadyStateModel) {
   EXPECT_EQ(p.stop, seconds(2));
 }
 
+TEST(FaultScheduler, OverlappingCutWindowsDoNotResurrectTheLink) {
+  // Regression: two scripted cut windows overlap on one link.  The
+  // first window's repair used to bring the link back up while the
+  // second window still held it down; the down-state is now
+  // reference-counted, so only the LAST overlapping repair revives it.
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);
+  FaultScheduler faults(net);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+
+  faults.schedule_cut(milliseconds(10), {direct}, milliseconds(100));
+  faults.schedule_cut(milliseconds(50), {direct}, milliseconds(150));
+
+  std::vector<std::pair<TimePs, bool>> observed;
+  for (const TimePs when :
+       {milliseconds(20), milliseconds(60), milliseconds(120), milliseconds(160)}) {
+    net.at(when, [&net, &observed, direct] { observed.emplace_back(net.now(), net.link_up(direct)); });
+  }
+  net.run_until(milliseconds(200));
+
+  ASSERT_EQ(observed.size(), 4u);
+  EXPECT_FALSE(observed[0].second);  // first window active
+  EXPECT_FALSE(observed[1].second);  // both windows active
+  EXPECT_FALSE(observed[2].second);  // first repaired, second still holds it down
+  EXPECT_TRUE(observed[3].second);   // last repair revives it
+  // The scheduler counted both windows, the network flipped state once.
+  EXPECT_EQ(faults.cuts(), 2u);
+  EXPECT_EQ(faults.repairs(), 2u);
+  EXPECT_EQ(net.link_failures(), 1u);
+  EXPECT_EQ(net.link_repairs(), 1u);
+}
+
+TEST(FaultScheduler, NeverRepairedCutKeepsTrafficOnDetours) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = milliseconds(1);
+  Network net(t, oracle, config);
+  oracle.attach_failure_view(&net.failure_view());
+
+  const auto severed = topo::severed_links(t, {{0, 0}});
+  const topo::Link& victim = t.graph.link(severed.front());
+  const topo::NodeId src = host_of(t, victim.a);
+  const topo::NodeId dst = host_of(t, victim.b);
+
+  std::vector<std::pair<TimePs, int>> delivered;
+  const int task = net.new_task(
+      [&](const Packet& p, TimePs) { delivered.emplace_back(net.now(), p.hops); });
+  for (int i = 0; i < 200; ++i) {
+    net.at(milliseconds(1) * i, [&net, src, dst, task] {
+      net.send(src, dst, bytes(400), task, 99);
+    });
+  }
+  FaultScheduler faults(net);
+  faults.schedule_cut(milliseconds(10), severed);  // repair_at omitted: never
+  net.run_until(milliseconds(300));
+
+  // The dead set stays elevated forever and routing never returns to
+  // the direct lightpath.
+  EXPECT_TRUE(net.failure_view().is_dead(severed.front()));
+  EXPECT_EQ(net.failure_view().dead_count(), severed.size());
+  EXPECT_EQ(faults.cuts(), severed.size());
+  EXPECT_EQ(faults.repairs(), 0u);
+  ASSERT_FALSE(delivered.empty());
+  int baseline_hops = -1;
+  for (const auto& [when, hops] : delivered) {
+    if (when < milliseconds(10)) {
+      if (baseline_hops < 0) baseline_hops = hops;
+      EXPECT_EQ(hops, baseline_hops);
+    } else if (when > milliseconds(12)) {
+      EXPECT_EQ(hops, baseline_hops + 1);  // detour, until the end of time
+    }
+  }
+  EXPECT_EQ(baseline_hops, 2);
+}
+
+TEST(FaultScheduler, TransceiverAgingCorruptsPacketsOnlyWhileActive) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);  // no failure view: traffic stays on the gray link
+  FaultScheduler faults(net);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+  const topo::NodeId src = host_of(t, t.tors[0]);
+  const topo::NodeId dst = host_of(t, t.tors[1]);
+
+  const int task = net.new_task({});
+  for (int i = 0; i < 3'000; ++i) {
+    net.at(microseconds(10) * i, [&net, src, dst, task] {
+      net.send(src, dst, bytes(400), task, 99);
+    });
+  }
+  faults.schedule_transceiver_aging(milliseconds(5), direct, 0.5, milliseconds(20));
+  std::uint64_t corrupted_at_restore = 0;
+  net.at(milliseconds(20), [&] {
+    corrupted_at_restore = net.packets_dropped(DropReason::kCorrupted);
+    EXPECT_DOUBLE_EQ(net.link_loss_rate(direct), 0.0);  // restored
+  });
+  net.run_until(milliseconds(40));
+
+  // Roughly half the ~1500 packets inside the gray window were eaten…
+  const std::uint64_t corrupted = net.packets_dropped(DropReason::kCorrupted);
+  EXPECT_GT(corrupted, 500u);
+  EXPECT_LT(corrupted, 1'000u);
+  // …and none outside it.
+  EXPECT_EQ(corrupted, corrupted_at_restore);
+  // The link never went down: gray failures are invisible to the
+  // binary liveness machinery but exact in the per-reason accounting.
+  EXPECT_TRUE(net.link_up(direct));
+  EXPECT_EQ(net.link_failures(), 0u);
+  EXPECT_EQ(net.packets_dropped(DropReason::kLinkDown), 0u);
+  EXPECT_EQ(net.packets_delivered() + corrupted, 3'000u);
+  EXPECT_EQ(net.task_drops(task), corrupted);
+  EXPECT_EQ(faults.degradations(), 1u);
+  EXPECT_EQ(faults.restorations(), 1u);
+}
+
+TEST(FaultScheduler, StackedDegradationsCombineAndUnwindIndependently) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);
+  FaultScheduler faults(net);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+
+  // Amplifier (0.5) and transceiver (0.2) overlap on the same link:
+  // combined drop probability is 1 - (1-0.5)(1-0.2) = 0.6.
+  faults.schedule_transceiver_aging(milliseconds(1), direct, 0.5, milliseconds(30));
+  faults.schedule_transceiver_aging(milliseconds(10), direct, 0.2, milliseconds(20));
+  std::vector<double> loss;
+  for (const TimePs when : {milliseconds(5), milliseconds(15), milliseconds(25), milliseconds(35)}) {
+    net.at(when, [&net, &loss, direct] { loss.push_back(net.link_loss_rate(direct)); });
+  }
+  net.run_until(milliseconds(40));
+
+  ASSERT_EQ(loss.size(), 4u);
+  EXPECT_DOUBLE_EQ(loss[0], 0.5);
+  EXPECT_DOUBLE_EQ(loss[1], 0.6);
+  EXPECT_DOUBLE_EQ(loss[2], 0.5);  // inner window lifted, outer remains
+  EXPECT_DOUBLE_EQ(loss[3], 0.0);
+  EXPECT_EQ(faults.degradations(), 2u);
+  EXPECT_EQ(faults.restorations(), 2u);
+  EXPECT_EQ(net.link_health(direct), routing::LinkHealth::kHealthy);
+}
+
+TEST(FaultScheduler, RejectsBadComponentFaultInputs) {
+  const auto t = eight_ring();
+  routing::EcmpRouting routing(t.graph);
+  routing::EcmpOracle oracle(routing);
+  Network net(t, oracle);
+  FaultScheduler faults(net);
+  const topo::LinkId direct = direct_link(t, t.tors[0], t.tors[1]);
+
+  EXPECT_THROW(faults.schedule_cut(-1, {direct}), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_cut(0, {topo::LinkId(999'999)}), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_transceiver_aging(0, direct, 0.0), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_transceiver_aging(0, direct, 1.5), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_transceiver_aging(seconds(1), direct, 0.5, seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW(faults.schedule_flapping(0, direct, 0, microseconds(1), 3), std::invalid_argument);
+  EXPECT_THROW(faults.schedule_flapping(0, direct, microseconds(1), microseconds(1), 0),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_link_loss(direct, -0.1), std::invalid_argument);
+  EXPECT_THROW(net.set_link_loss(direct, 1.1), std::invalid_argument);
+}
+
+TEST(PoissonFaultParams, FromAvailabilityRejectsDegenerateInputs) {
+  core::AvailabilityParams availability;
+  availability.cuts_per_km_per_year = 0.0;
+  EXPECT_THROW(PoissonFaultParams::from_availability(availability, 0, seconds(1)),
+               std::invalid_argument);
+  availability = {};
+  availability.span_km = -1.0;
+  EXPECT_THROW(PoissonFaultParams::from_availability(availability, 0, seconds(1)),
+               std::invalid_argument);
+  availability = {};
+  availability.mttr_hours = 0.0;
+  EXPECT_THROW(PoissonFaultParams::from_availability(availability, 0, seconds(1)),
+               std::invalid_argument);
+  availability = {};
+  EXPECT_THROW(PoissonFaultParams::from_availability(availability, seconds(1), seconds(1)),
+               std::invalid_argument);
+}
+
 TEST(FaultScheduler, RejectsBadTimelines) {
   const auto t = eight_ring();
   routing::EcmpRouting routing(t.graph);

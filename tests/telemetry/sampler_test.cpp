@@ -166,5 +166,106 @@ TEST(FaultTimeline, ObservesLiveNetworkFailures) {
   EXPECT_EQ(timeline.to_rows().size(), 4u);
 }
 
+TEST(PeriodicSampler, CountsCorruptedDropsSeparately) {
+  auto f = Fixture::single_switch();
+  sim::Network net(f.topo, *f.oracle);
+  PeriodicSampler sampler;
+  net.add_sink(&sampler);
+  net.set_link_loss(0, 0.5);  // host 0's uplink goes gray
+  const int task = net.new_task({});
+  for (int i = 0; i < 200; ++i) {
+    net.send(f.topo.hosts[0], f.topo.hosts[1], bytes(400), task, 1);
+  }
+  net.run_until(milliseconds(1));
+
+  const auto buckets = sampler.summaries();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t corrupted = 0;
+  for (const auto& b : buckets) corrupted += b.corrupted_drops;
+  EXPECT_EQ(corrupted, net.packets_dropped(sim::DropReason::kCorrupted));
+  EXPECT_GT(corrupted, 0u);
+
+  std::ostringstream os;
+  sampler.write_csv(os);
+  EXPECT_NE(os.str().find("corrupted_drops"), std::string::npos);
+}
+
+TEST(FaultTimeline, RecordsTheGrayFailureDetectionStory) {
+  using routing::LinkHealth;
+  FaultTimeline timeline;
+  // Degradation strikes; probes measure it; the monitor flags lossy
+  // 800 us later; repair and the all-clear follow.
+  timeline.on_link_degraded(3, 0.4, milliseconds(10));
+  timeline.on_probe(3, false, milliseconds(10) + microseconds(300));
+  timeline.on_probe(3, true, milliseconds(10) + microseconds(600));
+  timeline.on_health_transition(3, LinkHealth::kHealthy, LinkHealth::kLossy,
+                                milliseconds(10) + microseconds(800));
+  timeline.on_link_degraded(3, 0.0, milliseconds(20));
+  timeline.on_health_transition(3, LinkHealth::kLossy, LinkHealth::kHealthy, milliseconds(21));
+
+  EXPECT_EQ(timeline.degrades(), 1u);
+  EXPECT_EQ(timeline.restores(), 1u);
+  EXPECT_EQ(timeline.lossy_detections(), 1u);
+  EXPECT_EQ(timeline.probes(), 2u);
+  EXPECT_EQ(timeline.probe_losses(), 1u);
+  EXPECT_DOUBLE_EQ(timeline.mean_detection_lag_us(), 800.0);
+
+  ASSERT_EQ(timeline.events().size(), 4u);  // probes are counters, not events
+  EXPECT_EQ(timeline.events()[0].kind, FaultTimeline::Kind::kDegraded);
+  EXPECT_DOUBLE_EQ(timeline.events()[0].value, 0.4);
+  EXPECT_EQ(timeline.events()[1].kind, FaultTimeline::Kind::kLossyDetected);
+  EXPECT_EQ(timeline.events()[2].kind, FaultTimeline::Kind::kRestored);
+  EXPECT_EQ(timeline.events()[3].kind, FaultTimeline::Kind::kLossyCleared);
+  EXPECT_STREQ(FaultTimeline::kind_name(FaultTimeline::Kind::kLossyDetected), "lossy_detected");
+}
+
+TEST(FaultTimeline, DeadHealthTransitionsReuseDetectionAccounting) {
+  using routing::LinkHealth;
+  FaultTimeline timeline;
+  timeline.on_link_state(2, /*up=*/false, milliseconds(5));
+  timeline.on_health_transition(2, LinkHealth::kHealthy, LinkHealth::kDead,
+                                milliseconds(5) + microseconds(30));
+  timeline.on_flap_damped(2, milliseconds(9), milliseconds(6));
+  timeline.on_link_state(2, /*up=*/true, milliseconds(7));
+  timeline.on_health_transition(2, LinkHealth::kDead, LinkHealth::kHealthy, milliseconds(9));
+
+  EXPECT_EQ(timeline.cuts(), 1u);
+  EXPECT_EQ(timeline.repairs(), 1u);
+  EXPECT_EQ(timeline.detections(), 2u);  // probe deaths land in the same lag books
+  EXPECT_EQ(timeline.damped(), 1u);
+  ASSERT_EQ(timeline.events().size(), 5u);
+  EXPECT_EQ(timeline.events()[1].kind, FaultTimeline::Kind::kDetectedDead);
+  EXPECT_EQ(timeline.events()[2].kind, FaultTimeline::Kind::kDamped);
+  EXPECT_DOUBLE_EQ(timeline.events()[2].value, to_microseconds(milliseconds(9)));
+  EXPECT_EQ(timeline.events()[4].kind, FaultTimeline::Kind::kDetectedLive);
+
+  // Damp rows carry the suppressed-until value in the export.
+  const auto rows = timeline.to_rows();
+  ASSERT_EQ(rows.size(), 5u);
+  bool damp_row_has_value = false;
+  for (const auto& [key, value] : rows[2]) damp_row_has_value |= key == "value";
+  EXPECT_TRUE(damp_row_has_value);
+}
+
+TEST(FaultTimeline, ObservesGrayEventsThroughTheNetworkFanOut) {
+  auto f = Fixture::single_switch();
+  sim::Network net(f.topo, *f.oracle);
+  FaultTimeline timeline;
+  net.add_sink(&timeline);
+  net.set_link_loss(0, 0.25);
+  net.emit_probe(0, false, microseconds(10));
+  net.emit_health_transition(0, routing::LinkHealth::kHealthy, routing::LinkHealth::kLossy,
+                             microseconds(20));
+  net.emit_flap_damped(0, microseconds(500), microseconds(30));
+  net.set_link_loss(0, 0.0);
+
+  EXPECT_EQ(timeline.degrades(), 1u);
+  EXPECT_EQ(timeline.restores(), 1u);
+  EXPECT_EQ(timeline.lossy_detections(), 1u);
+  EXPECT_EQ(timeline.probes(), 1u);
+  EXPECT_EQ(timeline.probe_losses(), 1u);
+  EXPECT_EQ(timeline.damped(), 1u);
+}
+
 }  // namespace
 }  // namespace quartz::telemetry
