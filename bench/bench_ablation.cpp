@@ -14,6 +14,7 @@
 #include "flow/bisection.hpp"
 #include "routing/oracle.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 #include "sim/workloads.hpp"
 #include "topo/builders.hpp"
 
@@ -21,18 +22,26 @@ namespace {
 
 using namespace quartz;
 
+sim::SweepRunner make_runner(std::uint64_t root_seed) {
+  return sim::SweepRunner({bench::Report::instance().jobs(), root_seed});
+}
+
 void report_vlb_sweep() {
   bench::print_banner("Ablation (a)", "VLB split k under the Fig. 20 hotspot, 50 Gb/s offered");
   Table table({"k (detoured fraction)", "mean latency (us)", "p99 (us)", "drops"});
-  for (double k : {0.0, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0}) {
+  const std::vector<double> ks{0.0, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0};
+  const auto results = make_runner(20).run(ks, [](double k) {
     sim::PathologicalParams params;
     params.aggregate_gbps = 50;
     params.vlb_fraction = k;
     params.duration = milliseconds(4);
-    const auto r = sim::run_pathological(
+    return sim::run_pathological(
         k == 0.0 ? sim::CoreKind::kQuartzEcmp : sim::CoreKind::kQuartzVlb, params);
+  });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const auto& r = results[i];
     char kk[8], m[20], p[20];
-    std::snprintf(kk, sizeof(kk), "%.1f", k);
+    std::snprintf(kk, sizeof(kk), "%.1f", ks[i]);
     std::snprintf(m, sizeof(m), "%.2f", r.mean_latency_us);
     std::snprintf(p, sizeof(p), "%.2f", r.p99_latency_us);
     table.add_row({kk, m, p, std::to_string(r.packets_dropped)});
@@ -47,19 +56,26 @@ void report_vlb_sweep() {
 void report_spanning_tree() {
   bench::print_banner("Ablation (b)", "L2 spanning tree vs ECMP on an 8-switch Quartz mesh");
 
-  topo::QuartzRingParams ring;
-  ring.switches = 8;
-  ring.hosts_per_switch = 4;
-  const topo::BuiltTopology t = topo::quartz_ring(ring);
-  routing::EcmpRouting routing(t.graph);
-  const routing::EcmpOracle ecmp(routing);
-  const routing::SpanningTreeOracle stp(t.graph, t.tors[0]);
-
-  Table table({"forwarding", "mean latency (us)", "p99 (us)", "packets"});
-  for (const auto& [name, oracle] :
-       std::vector<std::pair<std::string, const routing::RoutingOracle*>>{
-           {"ECMP (direct lightpaths)", &ecmp}, {"L2 spanning tree", &stp}}) {
-    sim::Network net(t, *oracle);
+  // Each forwarding variant builds its own topology and Network inside
+  // the point function: Network is confined to the thread that creates
+  // it, so nothing simulation-bearing may be captured by the lambda.
+  struct DuelResult {
+    double mean_us = 0;
+    double p99_us = 0;
+    std::size_t packets = 0;
+  };
+  const std::vector<bool> variants{false, true};  // false = ECMP, true = STP
+  const auto duel = make_runner(5).run(variants, [](bool use_stp) {
+    topo::QuartzRingParams ring;
+    ring.switches = 8;
+    ring.hosts_per_switch = 4;
+    const topo::BuiltTopology t = topo::quartz_ring(ring);
+    routing::EcmpRouting routing(t.graph);
+    const routing::EcmpOracle ecmp(routing);
+    const routing::SpanningTreeOracle stp(t.graph, t.tors[0]);
+    const routing::RoutingOracle& oracle =
+        use_stp ? static_cast<const routing::RoutingOracle&>(stp) : ecmp;
+    sim::Network net(t, oracle);
     SampleSet samples;
     const int task = net.new_task(
         [&samples](const sim::Packet&, TimePs l) { samples.add(to_microseconds(l)); });
@@ -74,10 +90,16 @@ void report_spanning_tree() {
           net, t.hosts[i], t.hosts[(i + 5) % t.hosts.size()], task, flow, rng.fork()));
     }
     net.run_until(milliseconds(11));
+    return DuelResult{samples.mean(), samples.percentile(99), samples.count()};
+  });
+
+  Table table({"forwarding", "mean latency (us)", "p99 (us)", "packets"});
+  const std::vector<std::string> names{"ECMP (direct lightpaths)", "L2 spanning tree"};
+  for (std::size_t i = 0; i < variants.size(); ++i) {
     char m[16], p[16];
-    std::snprintf(m, sizeof(m), "%.2f", samples.mean());
-    std::snprintf(p, sizeof(p), "%.2f", samples.percentile(99));
-    table.add_row({name, m, p, std::to_string(samples.count())});
+    std::snprintf(m, sizeof(m), "%.2f", duel[i].mean_us);
+    std::snprintf(p, sizeof(p), "%.2f", duel[i].p99_us);
+    table.add_row({names[i], m, p, std::to_string(duel[i].packets)});
   }
   bench::Report::instance().add_table("l2_vs_ecmp", table);
   bench::print_note(
@@ -90,11 +112,16 @@ void report_ring_scaling() {
   bench::print_banner("Ablation (c)", "Ring-size scaling of the optical bill of materials");
   Table table({"switches", "server ports", "channels", "physical rings",
                "transceivers/switch", "amplifiers (rule)", "oversubscription"});
-  for (int m : {4, 8, 12, 16, 20, 24, 28, 33, 35}) {
+  const std::vector<int> ring_sizes{4, 8, 12, 16, 20, 24, 28, 33, 35};
+  const auto designs = make_runner(3).run(ring_sizes, [](int m) {
     core::DesignParams params;
     params.switches = m;
     params.server_ports_per_switch = std::min(32, 64 - (m - 1));
-    const core::QuartzDesign design = core::plan_design(params);
+    return core::plan_design(params);
+  });
+  for (std::size_t i = 0; i < ring_sizes.size(); ++i) {
+    const int m = ring_sizes[i];
+    const core::QuartzDesign& design = designs[i];
     if (!design.feasible) continue;
     char os[8];
     std::snprintf(os, sizeof(os), "%.1f", design.oversubscription());
@@ -117,24 +144,29 @@ void report_ring_scaling() {
 void report_oversubscription() {
   bench::print_banner("Ablation (d)", "The n:k oversubscription dial (16 racks, flow model)");
   Table table({"hosts/rack (n)", "n:k ratio", "permutation", "incast", "rack shuffle"});
-  for (int n : {8, 15, 24, 32, 45}) {
+  struct OversubRow {
+    double permutation, incast, shuffle;
+  };
+  const std::vector<int> host_counts{8, 15, 24, 32, 45};
+  const auto rows = make_runner(4).run(host_counts, [](int n) {
     flow::BisectionParams params;
     params.racks = 16;
     params.hosts_per_rack = n;
+    auto throughput = [&params](flow::ThroughputPattern pattern) {
+      return flow::run_bisection(flow::FabricUnderTest::kQuartz, pattern, params)
+          .normalized_throughput;
+    };
+    return OversubRow{throughput(flow::ThroughputPattern::kPermutation),
+                      throughput(flow::ThroughputPattern::kIncast),
+                      throughput(flow::ThroughputPattern::kRackShuffle)};
+  });
+  for (std::size_t at = 0; at < host_counts.size(); ++at) {
+    const int n = host_counts[at];
     char ratio[8], p[8], i[8], s[8];
     std::snprintf(ratio, sizeof(ratio), "%.1f", static_cast<double>(n) / 15.0);
-    std::snprintf(p, sizeof(p), "%.2f",
-                  flow::run_bisection(flow::FabricUnderTest::kQuartz,
-                                      flow::ThroughputPattern::kPermutation, params)
-                      .normalized_throughput);
-    std::snprintf(i, sizeof(i), "%.2f",
-                  flow::run_bisection(flow::FabricUnderTest::kQuartz,
-                                      flow::ThroughputPattern::kIncast, params)
-                      .normalized_throughput);
-    std::snprintf(s, sizeof(s), "%.2f",
-                  flow::run_bisection(flow::FabricUnderTest::kQuartz,
-                                      flow::ThroughputPattern::kRackShuffle, params)
-                      .normalized_throughput);
+    std::snprintf(p, sizeof(p), "%.2f", rows[at].permutation);
+    std::snprintf(i, sizeof(i), "%.2f", rows[at].incast);
+    std::snprintf(s, sizeof(s), "%.2f", rows[at].shuffle);
     table.add_row({std::to_string(n), ratio, p, i, s});
   }
   bench::Report::instance().add_table("oversubscription", table);
@@ -171,38 +203,48 @@ void report_upgrade_path() {
 void report_fct() {
   bench::print_banner("Ablation (f)", "Flow completion time: bulk transfers across fabrics");
   Table table({"flow size", "three-tier tree FCT (us)", "quartz edge+core FCT (us)", "speedup"});
-  for (std::int64_t kb : {16, 64, 256, 1024}) {
-    double fct[2] = {0, 0};
-    int idx = 0;
+  struct FctPoint {
+    std::int64_t kb;
+    sim::Fabric fabric;
+  };
+  const std::vector<std::int64_t> kbs{16, 64, 256, 1024};
+  std::vector<FctPoint> points;
+  for (std::int64_t kb : kbs) {
     for (auto fabric : {sim::Fabric::kThreeTierTree, sim::Fabric::kQuartzInEdgeAndCore}) {
-      sim::BuiltFabric built = sim::build_fabric(fabric);
-      sim::Network net(built.topo, *built.oracle);
-      // A cross-pod transfer with background permutation noise.
-      const int noise_task = net.new_task({});
-      Rng rng(9);
-      std::vector<std::unique_ptr<sim::PoissonFlow>> noise;
-      sim::FlowParams flow;
-      flow.rate = megabits_per_second(500);
-      flow.stop = milliseconds(50);
-      for (std::size_t i = 0; i < built.topo.hosts.size(); i += 2) {
-        noise.push_back(std::make_unique<sim::PoissonFlow>(
-            net, built.topo.hosts[i],
-            built.topo.hosts[(i + 17) % built.topo.hosts.size()], noise_task, flow,
-            rng.fork()));
-      }
-      sim::TransferParams transfer;
-      transfer.total_bytes = kb * 1024;
-      transfer.start = milliseconds(1);
-      sim::FlowTransfer bulk(net, built.topo.host_groups.front().front(),
-                             built.topo.host_groups.back().back(), transfer, 77);
-      net.run_until(milliseconds(50));
-      fct[idx++] = bulk.done() ? to_microseconds(bulk.completion_time()) : -1.0;
+      points.push_back({kb, fabric});
     }
+  }
+  const auto fcts = make_runner(9).run(points, [](const FctPoint& pt) {
+    sim::BuiltFabric built = sim::build_fabric(pt.fabric);
+    sim::Network net(built.topo, *built.oracle);
+    // A cross-pod transfer with background permutation noise.
+    const int noise_task = net.new_task({});
+    Rng rng(9);
+    std::vector<std::unique_ptr<sim::PoissonFlow>> noise;
+    sim::FlowParams flow;
+    flow.rate = megabits_per_second(500);
+    flow.stop = milliseconds(50);
+    for (std::size_t i = 0; i < built.topo.hosts.size(); i += 2) {
+      noise.push_back(std::make_unique<sim::PoissonFlow>(
+          net, built.topo.hosts[i], built.topo.hosts[(i + 17) % built.topo.hosts.size()],
+          noise_task, flow, rng.fork()));
+    }
+    sim::TransferParams transfer;
+    transfer.total_bytes = pt.kb * 1024;
+    transfer.start = milliseconds(1);
+    sim::FlowTransfer bulk(net, built.topo.host_groups.front().front(),
+                           built.topo.host_groups.back().back(), transfer, 77);
+    net.run_until(milliseconds(50));
+    return bulk.done() ? to_microseconds(bulk.completion_time()) : -1.0;
+  });
+  for (std::size_t i = 0; i < kbs.size(); ++i) {
+    const double tree_fct = fcts[2 * i];
+    const double quartz_fct = fcts[2 * i + 1];
     char t[16], q[16], sp[16];
-    std::snprintf(t, sizeof(t), "%.1f", fct[0]);
-    std::snprintf(q, sizeof(q), "%.1f", fct[1]);
-    std::snprintf(sp, sizeof(sp), "%.2fx", fct[0] / fct[1]);
-    table.add_row({std::to_string(kb) + " KB", t, q, sp});
+    std::snprintf(t, sizeof(t), "%.1f", tree_fct);
+    std::snprintf(q, sizeof(q), "%.1f", quartz_fct);
+    std::snprintf(sp, sizeof(sp), "%.2fx", tree_fct / quartz_fct);
+    table.add_row({std::to_string(kbs[i]) + " KB", t, q, sp});
   }
   bench::Report::instance().add_table("flow_completion_time", table);
   bench::print_note(
@@ -214,11 +256,15 @@ void report_fct() {
 void report_availability() {
   bench::print_banner("Ablation (g)", "Steady-state availability (0.5 cuts/km/yr, 8h MTTR)");
   Table table({"rings", "bandwidth availability", "partition minutes/year"});
-  for (int rings = 1; rings <= 4; ++rings) {
+  const std::vector<int> ring_counts{1, 2, 3, 4};
+  const auto avail_results = make_runner(6).run(ring_counts, [](int rings) {
     core::AvailabilityParams params;
     params.physical_rings = rings;
     params.trials = 100'000;
-    const auto r = core::analyze_availability(params);
+    return core::analyze_availability(params);
+  });
+  for (int rings = 1; rings <= 4; ++rings) {
+    const auto& r = avail_results[static_cast<std::size_t>(rings - 1)];
     char avail[16], part[16];
     std::snprintf(avail, sizeof(avail), "%.5f%%", 100.0 * r.mean_bandwidth_availability);
     std::snprintf(part, sizeof(part), "%.3f", r.partition_minutes_per_year);
@@ -240,21 +286,33 @@ void report_scale_sensitivity() {
     int tors_per_pod;
     int hosts_per_tor;
   };
-  for (const Scale scale : {Scale{2, 4, 8}, Scale{4, 2, 8}, Scale{2, 4, 16}, Scale{4, 4, 8}}) {
+  struct ScalePoint {
+    Scale scale;
+    sim::Fabric fabric;
+  };
+  const std::vector<Scale> scales{{2, 4, 8}, {4, 2, 8}, {2, 4, 16}, {4, 4, 8}};
+  std::vector<ScalePoint> points;
+  for (const Scale scale : scales) {
+    for (auto fabric : {sim::Fabric::kThreeTierTree, sim::Fabric::kQuartzInEdgeAndCore}) {
+      points.push_back({scale, fabric});
+    }
+  }
+  const auto means = make_runner(17).run(points, [](const ScalePoint& pt) {
     sim::FabricConfig config;
-    config.pods = scale.pods;
-    config.tors_per_pod = scale.tors_per_pod;
-    config.hosts_per_tor = scale.hosts_per_tor;
+    config.pods = pt.scale.pods;
+    config.tors_per_pod = pt.scale.tors_per_pod;
+    config.hosts_per_tor = pt.scale.hosts_per_tor;
     config.jellyfish_hosts_per_switch =
-        scale.pods * scale.tors_per_pod * scale.hosts_per_tor / 16;
+        pt.scale.pods * pt.scale.tors_per_pod * pt.scale.hosts_per_tor / 16;
     sim::TaskExperimentParams params;
     params.tasks = 4;
     params.duration = milliseconds(8);
-    const double tree =
-        sim::run_task_experiment(sim::Fabric::kThreeTierTree, config, params).mean_latency_us;
-    const double quartz =
-        sim::run_task_experiment(sim::Fabric::kQuartzInEdgeAndCore, config, params)
-            .mean_latency_us;
+    return sim::run_task_experiment(pt.fabric, config, params).mean_latency_us;
+  });
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const Scale& scale = scales[i];
+    const double tree = means[2 * i];
+    const double quartz = means[2 * i + 1];
     char t[16], q[16], red[16];
     std::snprintf(t, sizeof(t), "%.2f", tree);
     std::snprintf(q, sizeof(q), "%.2f", quartz);

@@ -23,6 +23,7 @@
 #include "sim/fault_injection.hpp"
 #include "sim/network.hpp"
 #include "sim/probes.hpp"
+#include "sim/sweep.hpp"
 #include "sim/workloads.hpp"
 #include "telemetry/sampler.hpp"
 #include "topo/builders.hpp"
@@ -284,6 +285,19 @@ DuelOutcome run_duel(bool monitored, std::uint32_t dead_after_misses,
   return out;
 }
 
+/// Run the fixed-delay baseline and the monitored variant of one duel
+/// as a two-point sweep (each builds its own Network, so the pair can
+/// ride separate --jobs workers).  Returns {fixed, monitored}.
+std::vector<DuelOutcome> run_duel_pair(
+    std::uint32_t dead_after_misses,
+    const std::function<void(sim::FaultScheduler&, topo::LinkId)>& inject) {
+  const std::vector<bool> monitored{false, true};
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 42});
+  return runner.run(monitored, [&](bool use_monitor) {
+    return run_duel(use_monitor, dead_after_misses, inject);
+  });
+}
+
 void add_duel_rows(const char* section, const char* scenario, const char* detector,
                    const DuelOutcome& o) {
   bench::Report::instance().add_row(
@@ -320,8 +334,9 @@ void report_gray_failure() {
     faults.schedule_transceiver_aging(milliseconds(5), victim, drop_p, milliseconds(120));
   };
   // 10-miss death so partial loss reads as lossy rather than dead.
-  const DuelOutcome fixed = run_duel(false, 10, inject);
-  const DuelOutcome mon = run_duel(true, 10, inject);
+  const std::vector<DuelOutcome> duel = run_duel_pair(10, inject);
+  const DuelOutcome& fixed = duel[0];
+  const DuelOutcome& mon = duel[1];
 
   Table table({"detector", "delivered", "dropped", "corrupted drops", "lossy detections"});
   table.add_row({"fixed-delay (loss-blind)", std::to_string(fixed.delivered),
@@ -357,8 +372,9 @@ void report_flap_damping() {
   const auto inject = [](sim::FaultScheduler& faults, topo::LinkId victim) {
     faults.schedule_flapping(milliseconds(5), victim, microseconds(300), microseconds(200), 100);
   };
-  const DuelOutcome fixed = run_duel(false, 3, inject);
-  const DuelOutcome damped = run_duel(true, 3, inject);
+  const std::vector<DuelOutcome> duel = run_duel_pair(3, inject);
+  const DuelOutcome& fixed = duel[0];
+  const DuelOutcome& damped = duel[1];
 
   Table table({"detector", "delivered", "dropped", "monitor deaths", "damped recoveries"});
   table.add_row({"fixed-delay (undamped)", std::to_string(fixed.delivered),

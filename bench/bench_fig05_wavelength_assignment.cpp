@@ -3,6 +3,7 @@
 #include "report.hpp"
 
 #include "common/table.hpp"
+#include "sim/sweep.hpp"
 #include "wavelength/assign.hpp"
 
 namespace {
@@ -17,27 +18,43 @@ void report() {
 
   Table table({"ring size", "lower bound", "greedy (longest-first)", "naive first-fit",
                "optimal (B&B)", "certified"});
-  Rng naive_rng(7);
-  for (int m = 2; m <= 41; ++m) {
-    const int lb = channel_lower_bound(m);
-    const int greedy = greedy_assign(m).channels_used;
+  struct Point {
+    int lb = 0;
+    int greedy = 0;
+    int naive = 0;
+    std::string exact = "-";
+    std::string certified = "-";
+  };
+  std::vector<int> sizes;
+  for (int m = 2; m <= 41; ++m) sizes.push_back(m);
+  // Each ring size is one sweep point; the naive baseline's shuffle
+  // stream is seeded per point (not shared across the loop), which is
+  // what lets the sweep parallelize without changing per-point results.
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 7});
+  const std::vector<Point> rows = runner.run(sizes, [](int m, sim::SweepContext ctx) {
+    Point p;
+    p.lb = channel_lower_bound(m);
+    p.greedy = greedy_assign(m).channels_used;
     // Average the order-agnostic baseline over a few shuffles.
+    Rng naive_rng(ctx.seed);
     int naive_total = 0;
     for (int trial = 0; trial < 5; ++trial) {
       naive_total += greedy_assign_unordered(m, naive_rng).channels_used;
     }
-    const int naive = (naive_total + 2) / 5;
-    std::string exact = "-";
-    std::string certified = "-";
+    p.naive = (naive_total + 2) / 5;
     if (m <= kExactLimit) {
       // Odd rings certify at the load lower bound almost instantly;
       // even rings need deep infeasibility proofs (the NP-complete
       // part), so cap their budget and fall back to greedy.
       const ExactResult r = exact_assign(m, 5'000'000);
-      exact = std::to_string(r.assignment.channels_used);
-      certified = r.proved_optimal ? "yes" : "no";
+      p.exact = std::to_string(r.assignment.channels_used);
+      p.certified = r.proved_optimal ? "yes" : "no";
     }
-    table.add(m, lb, greedy, naive, exact, certified);
+    return p;
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Point& p = rows[i];
+    table.add(sizes[i], p.lb, p.greedy, p.naive, p.exact, p.certified);
   }
   bench::Report::instance().add_table("channels_vs_ring_size", table);
 

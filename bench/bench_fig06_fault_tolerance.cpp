@@ -4,6 +4,7 @@
 
 #include "core/fault.hpp"
 #include "common/table.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -13,18 +14,32 @@ using namespace quartz::core;
 void report() {
   bench::Report::instance().open("fig06", "Fault tolerance of multi-ring Quartz (33 switches)");
 
+  struct Point {
+    int rings;
+    int fails;
+  };
+  std::vector<Point> points;
+  for (int rings = 1; rings <= 4; ++rings) {
+    for (int fails = 1; fails <= 4; ++fails) points.push_back({rings, fails});
+  }
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 33});
+  const std::vector<FaultResult> results = runner.run(points, [](const Point& p) {
+    FaultParams params;
+    params.switches = 33;
+    params.physical_rings = p.rings;
+    params.failed_links = p.fails;
+    params.trials = 20'000;
+    return analyze_faults(params);
+  });
+
   Table loss({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
   Table part({"rings", "1 failure", "2 failures", "3 failures", "4 failures"});
+  std::size_t at = 0;
   for (int rings = 1; rings <= 4; ++rings) {
     std::vector<std::string> loss_row{std::to_string(rings)};
     std::vector<std::string> part_row{std::to_string(rings)};
     for (int fails = 1; fails <= 4; ++fails) {
-      FaultParams params;
-      params.switches = 33;
-      params.physical_rings = rings;
-      params.failed_links = fails;
-      params.trials = 20'000;
-      const FaultResult r = analyze_faults(params);
+      const FaultResult& r = results[at++];
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * r.mean_bandwidth_loss);
       loss_row.push_back(buf);

@@ -4,6 +4,7 @@
 
 #include "common/table.hpp"
 #include "flow/bisection.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -17,17 +18,32 @@ void report() {
       FabricUnderTest::kFullBisection, FabricUnderTest::kQuartz,
       FabricUnderTest::kQuartzDirectOnly, FabricUnderTest::kHalfBisection,
       FabricUnderTest::kQuarterBisection};
+  const std::vector<ThroughputPattern> patterns = {ThroughputPattern::kPermutation,
+                                                   ThroughputPattern::kIncast,
+                                                   ThroughputPattern::kRackShuffle};
+
+  struct Point {
+    ThroughputPattern pattern;
+    FabricUnderTest fabric;
+  };
+  std::vector<Point> points;
+  for (auto pattern : patterns) {
+    for (auto fabric : fabrics) points.push_back({pattern, fabric});
+  }
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 16});
+  const std::vector<double> throughputs = runner.run(points, [](const Point& p) {
+    BisectionParams params;  // 16 racks x 16 hosts, n = k
+    return run_bisection(p.fabric, p.pattern, params).normalized_throughput;
+  });
 
   Table table({"pattern", "full bisection", "quartz", "quartz direct-only", "1/2 bisection",
                "1/4 bisection"});
-  BisectionParams params;  // 16 racks x 16 hosts, n = k
-  for (auto pattern : {ThroughputPattern::kPermutation, ThroughputPattern::kIncast,
-                       ThroughputPattern::kRackShuffle}) {
+  std::size_t at = 0;
+  for (auto pattern : patterns) {
     std::vector<std::string> row{throughput_pattern_name(pattern)};
-    for (auto fabric : fabrics) {
+    for (std::size_t f = 0; f < fabrics.size(); ++f) {
       char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.2f",
-                    run_bisection(fabric, pattern, params).normalized_throughput);
+      std::snprintf(buf, sizeof(buf), "%.2f", throughputs[at++]);
       row.push_back(buf);
     }
     table.add_row(row);

@@ -5,6 +5,7 @@
 
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -14,27 +15,39 @@ using namespace quartz::sim;
 void report() {
   bench::Report::instance().open("fig14", "Impact of cross-traffic on different topologies");
 
-  CrossTrafficParams base;
-  base.rpc_calls = 2'000;
-  const double tree_baseline =
-      run_cross_traffic(PrototypeFabric::kTwoTierTree, base).mean_rtt_us;
-  const double quartz_baseline =
-      run_cross_traffic(PrototypeFabric::kQuartz, base).mean_rtt_us;
+  const std::vector<double> sweep_mbps{0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0};
+  struct Point {
+    PrototypeFabric fabric;
+    double mbps;
+  };
+  std::vector<Point> points;
+  for (double mbps : sweep_mbps) {
+    points.push_back({PrototypeFabric::kTwoTierTree, mbps});
+    points.push_back({PrototypeFabric::kQuartz, mbps});
+  }
+  SweepRunner runner({bench::Report::instance().jobs(), 11});
+  const std::vector<CrossTrafficResult> results = runner.run(points, [](const Point& p) {
+    CrossTrafficParams params;
+    params.rpc_calls = 2'000;
+    params.cross_mbps = p.mbps;
+    return run_cross_traffic(p.fabric, params);
+  });
+  // The 0 Mb/s row doubles as each fabric's normalization baseline.
+  const double tree_baseline = results[0].mean_rtt_us;
+  const double quartz_baseline = results[1].mean_rtt_us;
 
   Table table({"cross-traffic (Mb/s per source)", "tree RTT (us)", "tree normalized",
                "quartz RTT (us)", "quartz normalized", "tree 95% CI (us)"});
-  for (double mbps : {0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0}) {
-    CrossTrafficParams params = base;
-    params.cross_mbps = mbps;
-    const auto tree = run_cross_traffic(PrototypeFabric::kTwoTierTree, params);
-    const auto quartz = run_cross_traffic(PrototypeFabric::kQuartz, params);
+  for (std::size_t i = 0; i < sweep_mbps.size(); ++i) {
+    const CrossTrafficResult& tree = results[2 * i];
+    const CrossTrafficResult& quartz = results[2 * i + 1];
     char t[16], tn[16], q[16], qn[16], ci[16];
     std::snprintf(t, sizeof(t), "%.1f", tree.mean_rtt_us);
     std::snprintf(tn, sizeof(tn), "%.2f", tree.mean_rtt_us / tree_baseline);
     std::snprintf(q, sizeof(q), "%.1f", quartz.mean_rtt_us);
     std::snprintf(qn, sizeof(qn), "%.2f", quartz.mean_rtt_us / quartz_baseline);
     std::snprintf(ci, sizeof(ci), "%.2f", tree.ci95_us);
-    table.add_row({std::to_string(static_cast<int>(mbps)), t, tn, q, qn, ci});
+    table.add_row({std::to_string(static_cast<int>(sweep_mbps[i])), t, tn, q, qn, ci});
   }
   bench::Report::instance().add_table("rpc_rtt_vs_cross_traffic", table);
   bench::print_note(

@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -22,21 +23,38 @@ const std::vector<Fabric> kFabrics = {
     Fabric::kThreeTierTree, Fabric::kJellyfish, Fabric::kQuartzInCore, Fabric::kQuartzInEdge,
     Fabric::kQuartzInEdgeAndCore};
 
+/// Every sweep in this binary shards its (tasks x fabric) grid across
+/// --jobs worker threads; each point runs on its own engine, so the
+/// table is byte-identical for every jobs value.
+SweepRunner sweep_runner() { return SweepRunner({bench::Report::instance().jobs(), 7}); }
+
 void run_pattern(Pattern pattern, int max_tasks, const std::string& section) {
   std::vector<std::string> header{"tasks"};
   for (Fabric f : kFabrics) header.push_back(fabric_name(f));
   Table table(header);
 
+  struct Point {
+    int tasks;
+    Fabric fabric;
+  };
+  std::vector<Point> points;
+  for (int tasks = 1; tasks <= max_tasks; ++tasks) {
+    for (Fabric fabric : kFabrics) points.push_back({tasks, fabric});
+  }
+  const std::vector<double> means = sweep_runner().run(points, [pattern](const Point& p) {
+    TaskExperimentParams params;
+    params.pattern = pattern;
+    params.tasks = p.tasks;
+    params.duration = milliseconds(10);
+    return run_task_experiment(p.fabric, {}, params).mean_latency_us;
+  });
+
+  std::size_t at = 0;
   for (int tasks = 1; tasks <= max_tasks; ++tasks) {
     std::vector<std::string> row{std::to_string(tasks)};
-    for (Fabric fabric : kFabrics) {
-      TaskExperimentParams params;
-      params.pattern = pattern;
-      params.tasks = tasks;
-      params.duration = milliseconds(10);
-      const auto r = run_task_experiment(fabric, {}, params);
+    for (std::size_t f = 0; f < kFabrics.size(); ++f) {
       char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.2f", r.mean_latency_us);
+      std::snprintf(buf, sizeof(buf), "%.2f", means[at++]);
       row.push_back(buf);
     }
     table.add_row(row);
@@ -49,13 +67,18 @@ void run_decomposition() {
   std::printf("\nlatency decomposition, 4 scatter tasks (mean us per packet)\n");
   Table table({"fabric", "host", "queueing", "serialization", "switching", "propagation",
                "sum", "measured mean"});
-  for (Fabric fabric : kFabrics) {
-    TaskExperimentParams params;
-    params.pattern = Pattern::kScatter;
-    params.tasks = 4;
-    params.duration = milliseconds(10);
-    params.telemetry.trace = true;
-    const auto r = run_task_experiment(fabric, {}, params);
+  const std::vector<TaskExperimentResult> results =
+      sweep_runner().run(kFabrics, [](Fabric fabric) {
+        TaskExperimentParams params;
+        params.pattern = Pattern::kScatter;
+        params.tasks = 4;
+        params.duration = milliseconds(10);
+        params.telemetry.trace = true;
+        return run_task_experiment(fabric, {}, params);
+      });
+  for (std::size_t i = 0; i < kFabrics.size(); ++i) {
+    const Fabric fabric = kFabrics[i];
+    const TaskExperimentResult& r = results[i];
     const auto& d = r.decomposition;
     char cells[7][24];
     std::snprintf(cells[0], sizeof(cells[0]), "%.3f", d.host_us);

@@ -4,6 +4,7 @@
 
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -14,22 +15,38 @@ const std::vector<Fabric> kFabrics = {Fabric::kThreeTierTree, Fabric::kJellyfish
                                       Fabric::kQuartzInJellyfish,
                                       Fabric::kQuartzInEdgeAndCore};
 
+/// --jobs shards each (tasks x fabric) grid; one engine per worker,
+/// byte-identical tables for every jobs value.
+SweepRunner sweep_runner() { return SweepRunner({bench::Report::instance().jobs(), 7}); }
+
 void run_pattern(Pattern pattern, int max_tasks, const std::string& section) {
   std::vector<std::string> header{"tasks"};
   for (Fabric f : kFabrics) header.push_back(fabric_name(f));
   Table table(header);
 
+  struct Point {
+    int tasks;
+    Fabric fabric;
+  };
+  std::vector<Point> points;
+  for (int tasks = 1; tasks <= max_tasks; ++tasks) {
+    for (Fabric fabric : kFabrics) points.push_back({tasks, fabric});
+  }
+  const std::vector<double> means = sweep_runner().run(points, [pattern](const Point& p) {
+    TaskExperimentParams params;
+    params.pattern = pattern;
+    params.tasks = p.tasks;
+    params.localized = true;
+    params.duration = milliseconds(10);
+    return run_task_experiment(p.fabric, {}, params).mean_latency_us;
+  });
+
+  std::size_t at = 0;
   for (int tasks = 1; tasks <= max_tasks; ++tasks) {
     std::vector<std::string> row{std::to_string(tasks)};
-    for (Fabric fabric : kFabrics) {
-      TaskExperimentParams params;
-      params.pattern = pattern;
-      params.tasks = tasks;
-      params.localized = true;
-      params.duration = milliseconds(10);
-      const auto r = run_task_experiment(fabric, {}, params);
+    for (std::size_t f = 0; f < kFabrics.size(); ++f) {
       char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.2f", r.mean_latency_us);
+      std::snprintf(buf, sizeof(buf), "%.2f", means[at++]);
       row.push_back(buf);
     }
     table.add_row(row);
@@ -44,16 +61,22 @@ void run_pattern(Pattern pattern, int max_tasks, const std::string& section) {
 // one configuration both ways and report the deltas (the artifact lets
 // CI assert they stay under 2%; determinism makes them exactly zero).
 void run_overhead_check() {
-  TaskExperimentParams params;
-  params.pattern = Pattern::kScatter;
-  params.tasks = 3;
-  params.localized = true;
-  params.duration = milliseconds(10);
-  const auto plain = run_task_experiment(Fabric::kQuartzInJellyfish, {}, params);
-
-  params.telemetry.trace = true;
-  params.telemetry.sample_bucket = milliseconds(1);
-  const auto traced = run_task_experiment(Fabric::kQuartzInJellyfish, {}, params);
+  const std::vector<bool> variants{false, true};
+  const std::vector<TaskExperimentResult> results =
+      sweep_runner().run(variants, [](bool with_telemetry) {
+        TaskExperimentParams params;
+        params.pattern = Pattern::kScatter;
+        params.tasks = 3;
+        params.localized = true;
+        params.duration = milliseconds(10);
+        if (with_telemetry) {
+          params.telemetry.trace = true;
+          params.telemetry.sample_bucket = milliseconds(1);
+        }
+        return run_task_experiment(Fabric::kQuartzInJellyfish, {}, params);
+      });
+  const TaskExperimentResult& plain = results[0];
+  const TaskExperimentResult& traced = results[1];
 
   const auto rel = [](double a, double b) { return b == 0 ? 0.0 : (a - b) / b; };
   std::printf("\ntelemetry overhead check (quartz in jellyfish, 3 tasks):\n");

@@ -4,6 +4,7 @@
 
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -13,16 +14,33 @@ using namespace quartz::sim;
 void report() {
   bench::Report::instance().open("fig20", "Average latency, pathological traffic pattern");
 
+  const std::vector<double> loads{10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0};
+  const std::vector<CoreKind> kinds{CoreKind::kNonBlockingSwitch, CoreKind::kQuartzEcmp,
+                                    CoreKind::kQuartzVlb, CoreKind::kQuartzAdaptive};
+  struct Point {
+    double gbps;
+    CoreKind kind;
+  };
+  std::vector<Point> points;
+  for (double gbps : loads) {
+    for (CoreKind kind : kinds) points.push_back({gbps, kind});
+  }
+  SweepRunner runner({bench::Report::instance().jobs(), 13});
+  const std::vector<PathologicalResult> results = runner.run(points, [](const Point& p) {
+    PathologicalParams params;
+    params.aggregate_gbps = p.gbps;
+    params.duration = milliseconds(5);
+    return run_pathological(p.kind, params);
+  });
+
   Table table({"offered load (Gb/s)", "non-blocking switch (us)", "quartz ECMP (us)",
                "quartz VLB k=0.8 (us)", "quartz adaptive VLB (us)", "ECMP drops"});
-  for (double gbps : {10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0}) {
-    PathologicalParams params;
-    params.aggregate_gbps = gbps;
-    params.duration = milliseconds(5);
-    const auto nb = run_pathological(CoreKind::kNonBlockingSwitch, params);
-    const auto ecmp = run_pathological(CoreKind::kQuartzEcmp, params);
-    const auto vlb = run_pathological(CoreKind::kQuartzVlb, params);
-    const auto adaptive = run_pathological(CoreKind::kQuartzAdaptive, params);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double gbps = loads[i];
+    const PathologicalResult& nb = results[4 * i];
+    const PathologicalResult& ecmp = results[4 * i + 1];
+    const PathologicalResult& vlb = results[4 * i + 2];
+    const PathologicalResult& adaptive = results[4 * i + 3];
     char n[16], e[24], v[16], a[16];
     std::snprintf(n, sizeof(n), "%.2f", nb.mean_latency_us);
     if (ecmp.saturated) {

@@ -5,6 +5,7 @@
 #include "common/table.hpp"
 #include "optical/budget.hpp"
 #include "sim/latency_model.hpp"
+#include "sim/sweep.hpp"
 #include "topo/switch_models.hpp"
 
 namespace {
@@ -69,6 +70,29 @@ void report() {
       "paper's rule of thumb because an express channel crosses two AWGs "
       "per hop; both plans are reported and the cost model uses the "
       "paper's rule for Table 8 fidelity");
+
+  // Sweep the amplifier plan across every buildable ring size (sharded
+  // by --jobs; one point per size, byte-identical for any jobs value).
+  std::vector<std::size_t> sizes;
+  for (std::size_t m = 4; m <= 35; ++m) sizes.push_back(m);
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 24});
+  const auto plans = runner.run(sizes, [](std::size_t m) {
+    optical::RingBudgetParams params;
+    params.ring_size = m;
+    return optical::plan_ring_amplifiers(params);
+  });
+  bench::print_banner("Section 3.3 sweep", "Amplifier plan vs ring size (4-35 switches)");
+  Table sweep({"ring size", "amplifiers (exact)", "amplifiers (rule)", "attenuated drops",
+               "feasible", "cost ($)"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& p = plans[i];
+    char cost[16];
+    std::snprintf(cost, sizeof(cost), "%.0f", p.amplifier_cost_usd);
+    sweep.add_row({std::to_string(sizes[i]), std::to_string(p.amplifier_count()),
+                   std::to_string(optical::paper_rule_amplifier_count(sizes[i])),
+                   std::to_string(p.attenuator_nodes.size()), p.feasible ? "yes" : "no", cost});
+  }
+  bench::Report::instance().add_table("amplifier_plan_sweep", sweep);
 }
 
 void BM_AmplifierPlanning(benchmark::State& state) {

@@ -4,6 +4,7 @@
 #include "report.hpp"
 
 #include "common/table.hpp"
+#include "sim/sweep.hpp"
 #include "topo/properties.hpp"
 
 namespace {
@@ -55,11 +56,17 @@ void report() {
     rows.push_back({"mesh (quartz)", quartz_ring(p)});
   }
 
+  // analyze() runs an exact max-flow per topology — the expensive part —
+  // so each structure is one sweep point.
+  sim::SweepRunner runner({bench::Report::instance().jobs(), 9});
+  const std::vector<TopologyProperties> props_by_row =
+      runner.run(rows, [](const Row& row) { return analyze(row.topo); });
+
   Table table({"structure", "zero-load latency", "switch hops", "server hops", "switches",
                "hosts", "wiring complexity", "path diversity"});
-  for (const auto& row : rows) {
-    const TopologyProperties props = analyze(row.topo);
-    table.add_row({row.name, format_time(props.zero_load_latency),
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TopologyProperties& props = props_by_row[i];
+    table.add_row({rows[i].name, format_time(props.zero_load_latency),
                    std::to_string(props.switch_hops), std::to_string(props.server_hops),
                    std::to_string(props.switch_count), std::to_string(props.host_count),
                    std::to_string(props.wiring_complexity),

@@ -14,6 +14,10 @@
 // Flags (consumed before google-benchmark sees argv):
 //   --report-dir=<dir>   where BENCH_<id>.json is written (default ".")
 //   --no-report          skip writing the JSON artifact
+//   --jobs=<n>           worker threads for the binary's sweep loops
+//                        (sim::SweepRunner; 0 = all hardware threads,
+//                        default 1).  Results are byte-identical for
+//                        every value — jobs only changes wall-clock.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -69,6 +73,14 @@ class Report {
           std::fprintf(stderr, "--report-dir needs a value\n");
           return false;
         }
+      } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        char* end = nullptr;
+        const long value = std::strtol(arg + 7, &end, 10);
+        if (end == arg + 7 || *end != '\0' || value < 0) {
+          std::fprintf(stderr, "--jobs needs a non-negative integer\n");
+          return false;
+        }
+        jobs_ = static_cast<int>(value);
       } else {
         argv[out++] = argv[i];
       }
@@ -76,6 +88,10 @@ class Report {
     *argc = out;
     return true;
   }
+
+  /// Worker threads for the binary's sweep loops (--jobs; 0 = all
+  /// hardware threads).  Feed this to sim::SweepOptions::jobs.
+  int jobs() const { return jobs_; }
 
   /// Print the banner and name the artifact (BENCH_<id>.json).
   void open(const std::string& id, const std::string& title) {
@@ -226,6 +242,7 @@ class Report {
   }
 
   bool enabled_ = true;
+  int jobs_ = 1;
   std::string directory_ = ".";
   std::string program_;
   std::string id_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <functional>
 
@@ -124,7 +125,7 @@ DuelResult run_health_duel(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace quartz;
   const Flags flags = Flags::parse(argc, argv);
   for (const auto& key : flags.unknown_keys({"switches", "trials", "metrics-out", "gray", "flap"})) {
@@ -363,4 +364,15 @@ int main(int argc, char** argv) {
     std::printf("metrics: %s\n", path.c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Examples never throw on bad argv: surface the parse error and the
+  // usage text instead of an abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

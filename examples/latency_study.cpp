@@ -7,6 +7,7 @@
 //   $ ./latency_study --trace                # adds the per-component breakdown
 //   $ ./latency_study --metrics-out=m.csv    # dumps the metric registry
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
 #include "sim/workloads.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -33,15 +35,20 @@ std::string fmt(double v) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown_keys(
-      {"tasks", "duration-ms", "trace", "sample-every", "metrics-out", "help"});
+      {"tasks", "duration-ms", "trace", "sample-every", "metrics-out", "jobs", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     std::printf(
         "usage: %s [--tasks=N] [--duration-ms=D] [--trace] [--sample-every=N]\n"
-        "          [--metrics-out=FILE]\n",
+        "          [--metrics-out=FILE] [--jobs=N]\n"
+        "\n"
+        "  --jobs=N  worker threads for the pattern x fabric sweep (0 = all\n"
+        "            hardware threads); results are byte-identical for every\n"
+        "            value.  --metrics-out needs --jobs=1 (the registry is\n"
+        "            thread-confined).\n",
         argv[0]);
     return unknown.empty() ? 0 : 1;
   }
@@ -60,11 +67,17 @@ int main(int argc, char** argv) {
   const int tasks = static_cast<int>(flags.get_int("tasks", positional_tasks));
   const std::int64_t duration_ms = flags.get_int("duration-ms", 10);
   const bool trace = flags.get_bool("trace");
-  if (tasks < 1 || duration_ms < 1 || flags.get_int("sample-every", 1) < 1) {
+  const int jobs = static_cast<int>(flags.get_int("jobs", 1));
+  if (tasks < 1 || duration_ms < 1 || flags.get_int("sample-every", 1) < 1 || jobs < 0) {
     std::printf("--tasks, --duration-ms and --sample-every must be positive\n");
     return 1;
   }
   telemetry::MetricRegistry metrics(flags.has("metrics-out"));
+  if (metrics.enabled() && sim::resolve_jobs(jobs) > 1) {
+    // A MetricRegistry is thread-confined; sweep workers cannot share it.
+    std::printf("--metrics-out requires --jobs=1\n");
+    return 1;
+  }
 
   std::printf("Latency study: %d concurrent tasks per pattern, 64-host fabrics\n\n", tasks);
 
@@ -91,17 +104,36 @@ int main(int argc, char** argv) {
                "reduction"});
   Table breakdown({"pattern", "fabric", "host (us)", "queueing (us)", "serialization (us)",
                    "switching (us)", "propagation (us)", "total (us)"});
-  for (Pattern pattern : {Pattern::kScatter, Pattern::kGather, Pattern::kScatterGather}) {
+  const std::vector<Pattern> patterns{Pattern::kScatter, Pattern::kGather,
+                                      Pattern::kScatterGather};
+  struct Cell {
+    Pattern pattern;
+    Fabric fabric;
+  };
+  std::vector<Cell> cells;
+  for (Pattern pattern : patterns) {
+    for (Fabric fabric : {Fabric::kThreeTierTree, Fabric::kQuartzInEdgeAndCore}) {
+      cells.push_back({pattern, fabric});
+    }
+  }
+  const std::uint32_t sample_every =
+      static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
+  telemetry::MetricRegistry* registry = metrics.enabled() ? &metrics : nullptr;
+  sim::SweepRunner runner({jobs, 1});
+  const auto results = runner.run(cells, [&](const Cell& cell) {
     TaskExperimentParams params;
-    params.pattern = pattern;
+    params.pattern = cell.pattern;
     params.tasks = tasks;
     params.duration = milliseconds(duration_ms);
     params.telemetry.trace = trace;
-    params.telemetry.trace_sample_every =
-        static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
-    params.telemetry.metrics = metrics.enabled() ? &metrics : nullptr;
-    const auto tree = run_task_experiment(Fabric::kThreeTierTree, {}, params);
-    const auto quartz = run_task_experiment(Fabric::kQuartzInEdgeAndCore, {}, params);
+    params.telemetry.trace_sample_every = sample_every;
+    params.telemetry.metrics = registry;  // nonnull only when jobs == 1
+    return run_task_experiment(cell.fabric, {}, params);
+  });
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const Pattern pattern = patterns[i];
+    const auto& tree = results[2 * i];
+    const auto& quartz = results[2 * i + 1];
     char red[16];
     std::snprintf(red, sizeof(red), "%.0f%%",
                   100.0 * (1.0 - quartz.mean_latency_us / tree.mean_latency_us));
@@ -142,4 +174,15 @@ int main(int argc, char** argv) {
     std::printf("metrics: %s\n", path.c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Examples never throw on bad argv: surface the parse error and the
+  // usage text instead of an abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -6,6 +6,7 @@
 //   $ ./simulate --fabric=three-tier --pattern=gather --tasks=8 --csv
 //   $ ./simulate --list
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -39,15 +40,21 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s [--fabric=NAME] [--pattern=NAME] [--tasks=N] [--fanout=N]\n"
       "          [--rate-mbps=R] [--duration-ms=D] [--seed=S] [--localized]\n"
-      "          [--vlb=K] [--csv] [--list]\n"
-      "          [--trace] [--sample-every=N] [--metrics-out=FILE]\n",
+      "          [--vlb=K] [--csv] [--list] [--replicas=N] [--jobs=N]\n"
+      "          [--trace] [--sample-every=N] [--metrics-out=FILE]\n"
+      "\n"
+      "  --replicas=N  run N independent repetitions (seeds derived from\n"
+      "                --seed) and report across-replica statistics\n"
+      "  --jobs=N      worker threads for the replica sweep (0 = all\n"
+      "                hardware threads); results are byte-identical for\n"
+      "                every value\n",
       argv0);
   return 1;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
 
   if (flags.get_bool("list")) {
@@ -60,7 +67,7 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_keys(
       {"fabric", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed", "csv",
-       "localized", "vlb", "list", "trace", "sample-every", "metrics-out"});
+       "localized", "vlb", "list", "trace", "sample-every", "metrics-out", "replicas", "jobs"});
   if (!unknown.empty()) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
@@ -112,11 +119,63 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  const int replicas = static_cast<int>(flags.get_int("replicas", 1));
+  const int jobs = static_cast<int>(flags.get_int("jobs", 1));
+  if (replicas < 1 || jobs < 0) {
+    std::printf("--replicas must be positive, --jobs non-negative\n");
+    return usage(argv[0]);
+  }
+
   telemetry::MetricRegistry metrics(flags.has("metrics-out"));
   params.telemetry.trace = flags.get_bool("trace");
   params.telemetry.trace_sample_every =
       static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
   params.telemetry.metrics = metrics.enabled() ? &metrics : nullptr;
+  if (params.telemetry.metrics != nullptr && replicas > 1 && resolve_jobs(jobs) > 1) {
+    // A MetricRegistry is thread-confined; replica workers cannot share it.
+    std::printf("--metrics-out requires --jobs=1 when --replicas > 1\n");
+    return usage(argv[0]);
+  }
+
+  if (replicas > 1) {
+    SweepOptions sweep;
+    sweep.jobs = jobs;
+    sweep.root_seed = config.seed;
+    const ReplicaSweepResult sweep_result =
+        run_task_replicas(fabric, config, params, replicas, sweep);
+    if (flags.get_bool("csv")) {
+      std::printf(
+          "fabric,pattern,tasks,localized,replicas,mean_us,mean_stddev_us,p99_us,packets,"
+          "drops\n");
+      std::printf("%s,%s,%d,%d,%d,%.4f,%.4f,%.4f,%llu,%llu\n", fabric_name.c_str(),
+                  pattern_name.c_str(), params.tasks, params.localized ? 1 : 0, replicas,
+                  sweep_result.mean_latency_us.mean(), sweep_result.mean_latency_us.stddev(),
+                  sweep_result.p99_latency_us.mean(),
+                  static_cast<unsigned long long>(sweep_result.packets_measured),
+                  static_cast<unsigned long long>(sweep_result.packets_dropped));
+    } else {
+      std::printf("%s / %s, %d task(s)%s, %d replicas (%d job%s):\n", fabric_name.c_str(),
+                  pattern_name.c_str(), params.tasks, params.localized ? " (localized)" : "",
+                  replicas, resolve_jobs(jobs), resolve_jobs(jobs) == 1 ? "" : "s");
+      std::printf("  mean %.2f us (+/- %.2f us across replicas)   p99 %.2f us\n",
+                  sweep_result.mean_latency_us.mean(), sweep_result.mean_latency_us.stddev(),
+                  sweep_result.p99_latency_us.mean());
+      std::printf("  %llu packets measured, %llu dropped\n",
+                  static_cast<unsigned long long>(sweep_result.packets_measured),
+                  static_cast<unsigned long long>(sweep_result.packets_dropped));
+    }
+    if (metrics.enabled()) {
+      const std::string path = flags.get("metrics-out");
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      metrics.write_csv(out);
+      std::printf("metrics: %s\n", path.c_str());
+    }
+    return 0;
+  }
 
   const TaskExperimentResult result = run_task_experiment(fabric, config, params);
 
@@ -161,4 +220,15 @@ int main(int argc, char** argv) {
     std::printf("metrics: %s\n", path.c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Examples never throw on bad argv: surface the parse error and the
+  // usage text instead of an abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -12,6 +12,7 @@
 #include "sim/fault_injection.hpp"
 #include "sim/network.hpp"
 #include "sim/probes.hpp"
+#include "sim/sweep.hpp"
 #include "topo/builders.hpp"
 #include "topo/failures.hpp"
 
@@ -283,16 +284,20 @@ StormReport run_storm(const StormParams& params) {
   return report;
 }
 
-std::vector<StormReport> run_sweep(const StormParams& base, int storms) {
+std::vector<StormReport> run_sweep(const StormParams& base, int storms, int jobs) {
   QUARTZ_REQUIRE(storms > 0, "a sweep needs at least one storm");
-  std::vector<StormReport> reports;
-  reports.reserve(static_cast<std::size_t>(storms));
+  // Seeds stay base.seed + i (not SweepRunner's derived seeds) so a
+  // nightly failure reproduces with the exact seed it printed, as
+  // before the sweep went parallel.
+  std::vector<StormParams> points;
+  points.reserve(static_cast<std::size_t>(storms));
   for (int i = 0; i < storms; ++i) {
     StormParams params = base;
     params.seed = base.seed + static_cast<std::uint64_t>(i);
-    reports.push_back(run_storm(params));
+    points.push_back(params);
   }
-  return reports;
+  sim::SweepRunner runner(sim::SweepOptions{jobs, base.seed});
+  return runner.run(points, [](const StormParams& params) { return run_storm(params); });
 }
 
 }  // namespace quartz::chaos

@@ -273,6 +273,31 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
   return result;
 }
 
+ReplicaSweepResult run_task_replicas(Fabric fabric, const FabricConfig& config,
+                                     const TaskExperimentParams& params, int replicas,
+                                     const SweepOptions& sweep) {
+  QUARTZ_REQUIRE(replicas > 0, "need at least one replica");
+  QUARTZ_REQUIRE(params.telemetry.metrics == nullptr || resolve_jobs(sweep.jobs) == 1,
+                 "a MetricRegistry is thread-confined; drop it or run with jobs = 1");
+  std::vector<int> points(static_cast<std::size_t>(replicas));
+  SweepRunner runner(sweep);
+  ReplicaSweepResult out;
+  // The fabric is shared state across replicas only by value: each
+  // point builds its own copy, so workers never touch a common graph.
+  out.replicas = runner.run(points, [&](const int&, SweepContext ctx) {
+    TaskExperimentParams p = params;
+    p.seed = ctx.seed;
+    return run_task_experiment(fabric, config, p);
+  });
+  for (const TaskExperimentResult& r : out.replicas) {
+    out.mean_latency_us.add(r.mean_latency_us);
+    out.p99_latency_us.add(r.p99_latency_us);
+    out.packets_measured += r.packets_measured;
+    out.packets_dropped += r.packets_dropped;
+  }
+  return out;
+}
+
 CrossTrafficResult run_cross_traffic(PrototypeFabric fabric, const CrossTrafficParams& params) {
   // The §6 prototype: four 48-port 1 Gb/s managed switches, three hosts
   // per switch here (so S1 can source all cross-traffic), rewirable as

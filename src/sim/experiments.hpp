@@ -16,8 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "routing/oracle.hpp"
 #include "sim/network.hpp"
+#include "sim/sweep.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -130,6 +132,31 @@ struct TaskExperimentResult {
 
 TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& config,
                                          const TaskExperimentParams& params);
+
+// ---------------------------------------------------------------------------
+// Replica sweeps — independent repetitions of one experiment, sharded
+// across a SweepRunner worker pool.  Each replica runs on its own
+// engine with a seed derived from the sweep's root seed, so the merged
+// result is byte-identical for every thread count.
+
+struct ReplicaSweepResult {
+  /// Per-replica results, in replica order (independent of jobs).
+  std::vector<TaskExperimentResult> replicas;
+  /// Across-replica accumulators (RunningStats::merge semantics).
+  RunningStats mean_latency_us;
+  RunningStats p99_latency_us;
+  std::uint64_t packets_measured = 0;
+  std::uint64_t packets_dropped = 0;
+};
+
+/// Run `replicas` independent repetitions of the experiment; the
+/// fabric is identical across replicas, replica r's traffic seed is
+/// derive_seed(sweep.root_seed, r).  Telemetry carrying raw pointers
+/// (TaskTelemetryOptions::metrics) is rejected when jobs > 1 — a
+/// registry is thread-confined with the network that feeds it.
+ReplicaSweepResult run_task_replicas(Fabric fabric, const FabricConfig& config,
+                                     const TaskExperimentParams& params, int replicas,
+                                     const SweepOptions& sweep = {});
 
 // ---------------------------------------------------------------------------
 // Fig. 14 — prototype cross-traffic experiment

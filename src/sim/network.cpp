@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -18,10 +19,15 @@ Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& 
       link_seq_(topo.graph.link_count(), 0),
       link_loss_(topo.graph.link_count(), 0.0),
       loss_rng_(config.corruption_seed),
-      failure_view_(topo.graph.link_count()) {}
+      failure_view_(topo.graph.link_count()) {
+  events_.set_handler(this);
+}
 
 void Network::add_sink(TelemetrySink* sink) {
   QUARTZ_REQUIRE(sink != nullptr, "null telemetry sink");
+  // Sinks are thread-confined with the network that feeds them: they
+  // only ever see events from the owning thread, so they need no locks.
+  assert_owning_thread();
   sinks_.push_back(sink);
 }
 
@@ -39,11 +45,8 @@ void Network::fail_link(topo::LinkId link) {
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   // The routing plane learns one detection delay later — unless the
   // link's state changed again in the meantime.
-  events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
-    if (link_seq_[static_cast<std::size_t>(link)] != seq) return;
-    failure_view_.set_dead(link, true);
-    for (TelemetrySink* sink : sinks_) sink->on_link_detected(link, /*dead=*/true, now());
-  });
+  events_.schedule_fault(now() + config_.failure_detection_delay,
+                         FaultEvent{link, seq, /*dead=*/true});
 }
 
 void Network::repair_link(topo::LinkId link) {
@@ -54,11 +57,14 @@ void Network::repair_link(topo::LinkId link) {
   ++link_repairs_;
   for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/true, now());
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
-  events_.schedule(now() + config_.failure_detection_delay, [this, link, seq] {
-    if (link_seq_[static_cast<std::size_t>(link)] != seq) return;
-    failure_view_.set_dead(link, false);
-    for (TelemetrySink* sink : sinks_) sink->on_link_detected(link, /*dead=*/false, now());
-  });
+  events_.schedule_fault(now() + config_.failure_detection_delay,
+                         FaultEvent{link, seq, /*dead=*/false});
+}
+
+void Network::on_fault_event(const FaultEvent& event) {
+  if (link_seq_[static_cast<std::size_t>(event.link)] != event.link_seq) return;
+  failure_view_.set_dead(event.link, event.dead);
+  for (TelemetrySink* sink : sinks_) sink->on_link_detected(event.link, event.dead, now());
 }
 
 bool Network::link_up(topo::LinkId link) const {
@@ -142,6 +148,7 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
                  "packets travel host to host");
   QUARTZ_REQUIRE(src != dst, "src and dst must differ");
   QUARTZ_REQUIRE(size > 0, "empty packet");
+  assert_owning_thread();
 
   Packet packet;
   packet.id = next_packet_id_++;
@@ -156,9 +163,49 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
 
   const TimePs ready = now() + config_.host_send_overhead;
   for (TelemetrySink* sink : sinks_) sink->on_send(packet, ready);
-  events_.schedule(ready, [this, packet, src, ready]() mutable {
-    transmit(packet, src, ready, /*min_finish=*/0);
-  });
+  PacketEvent event;
+  event.packet = packet;
+  event.node = src;
+  event.t0 = ready;
+  event.t1 = 0;  // min_finish
+  events_.schedule_packet(ready, EventType::kHeaderDecision, event);
+}
+
+void Network::on_packet_event(EventType type, PacketEvent& event) {
+  switch (type) {
+    case EventType::kHeaderDecision:
+      transmit(std::move(event.packet), event.node, event.t0, event.t1);
+      return;
+    case EventType::kTransmitComplete: {
+      // A packet queued on or propagating over a link that failed under
+      // it is lost (the sequence number moved on).
+      if (link_seq_[static_cast<std::size_t>(event.link)] != event.link_seq) {
+        drop(event.packet, DropReason::kLinkDown);
+        return;
+      }
+      // Gray failure: the link is up but corrupts packets independently
+      // with its drop probability (BER made packet-level).
+      const double loss = link_loss_[static_cast<std::size_t>(event.link)];
+      if (loss > 0.0 && loss_rng_.next_double() < loss) {
+        drop(event.packet, DropReason::kCorrupted);
+        return;
+      }
+      arrive(std::move(event.packet), event.node, event.t0, event.t1);
+      return;
+    }
+    case EventType::kDelivery: {
+      ++packets_delivered_;
+      const TimePs delivered = event.t0;
+      for (TelemetrySink* sink : sinks_) {
+        sink->on_delivery(event.packet, delivered, delivered - event.packet.created);
+      }
+      const auto& handler = handlers_[static_cast<std::size_t>(event.packet.task)];
+      if (handler) handler(event.packet, delivered - event.packet.created);
+      return;
+    }
+    default:
+      QUARTZ_CHECK(false, "unexpected packet event type");
+  }
 }
 
 void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit) {
@@ -168,14 +215,11 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
 
   if (node == packet.key.dst) {
     const TimePs delivered = last_bit + config_.host_recv_overhead;
-    events_.schedule(delivered, [this, packet, delivered]() {
-      ++packets_delivered_;
-      for (TelemetrySink* sink : sinks_) {
-        sink->on_delivery(packet, delivered, delivered - packet.created);
-      }
-      const auto& handler = handlers_[static_cast<std::size_t>(packet.task)];
-      if (handler) handler(packet, delivered - packet.created);
-    });
+    PacketEvent event;
+    event.packet = std::move(packet);
+    event.node = node;
+    event.t0 = delivered;
+    events_.schedule_packet(delivered, EventType::kDelivery, event);
     return;
   }
 
@@ -200,9 +244,12 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
   for (TelemetrySink* sink : sinks_) {
     sink->on_forward(packet, node, kind, first_bit, last_bit, decision);
   }
-  events_.schedule(decision, [this, packet, node, decision, min_finish]() mutable {
-    transmit(packet, node, decision, min_finish);
-  });
+  PacketEvent event;
+  event.packet = std::move(packet);
+  event.node = node;
+  event.t0 = decision;
+  event.t1 = min_finish;
+  events_.schedule_packet(decision, EventType::kHeaderDecision, event);
 }
 
 void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs min_finish) {
@@ -240,24 +287,17 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   const topo::NodeId peer = link.other(node);
   const TimePs first_bit = start + link.propagation;
   const TimePs last_bit = finish + link.propagation;
-  // A packet queued on or propagating over a link that fails before its
-  // head arrives is lost (the sequence number will have moved on).
-  const std::uint32_t seq = link_seq_[static_cast<std::size_t>(link_id)];
-  events_.schedule(first_bit,
-                   [this, packet, peer, first_bit, last_bit, link_id, seq]() mutable {
-    if (link_seq_[static_cast<std::size_t>(link_id)] != seq) {
-      drop(packet, DropReason::kLinkDown);
-      return;
-    }
-    // Gray failure: the link is up but corrupts packets independently
-    // with its drop probability (BER made packet-level).
-    const double loss = link_loss_[static_cast<std::size_t>(link_id)];
-    if (loss > 0.0 && loss_rng_.next_double() < loss) {
-      drop(packet, DropReason::kCorrupted);
-      return;
-    }
-    arrive(std::move(packet), peer, first_bit, last_bit);
-  });
+  // The in-flight packet carries the link state it observed at
+  // transmission; the fail/loss checks happen when the head lands
+  // (on_packet_event, kTransmitComplete).
+  PacketEvent event;
+  event.packet = std::move(packet);
+  event.node = peer;
+  event.link = link_id;
+  event.link_seq = link_seq_[static_cast<std::size_t>(link_id)];
+  event.t0 = first_bit;
+  event.t1 = last_bit;
+  events_.schedule_packet(first_bit, EventType::kTransmitComplete, event);
 }
 
 }  // namespace quartz::sim

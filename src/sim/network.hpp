@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -74,7 +75,13 @@ using DropHandler = std::function<void(const Packet&, DropReason)>;
 /// route-conformance checks; adds a branch per hop, nothing more.
 using ArrivalHook = std::function<void(const Packet&, topo::NodeId node, TimePs first_bit)>;
 
-class Network : public routing::LoadProbe, public routing::Clock {
+/// A Network (and the EventQueue engine inside it, and every telemetry
+/// sink attached to it) is THREAD-CONFINED: it must be driven by the
+/// thread that constructed it.  SweepRunner gives each worker its own
+/// engine, so sinks never need locks; this contract is asserted at the
+/// driving entry points (send / run_until / add_sink).  See
+/// docs/performance.md.
+class Network : public routing::LoadProbe, public routing::Clock, private EventHandler {
  public:
   Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& oracle,
           SimConfig config = {});
@@ -101,12 +108,16 @@ class Network : public routing::LoadProbe, public routing::Clock {
   /// each registered hook fires on every arrival, so independent
   /// observers never displace one another.
   void add_arrival_hook(ArrivalHook hook) { arrival_hooks_.push_back(std::move(hook)); }
-  void set_arrival_hook(ArrivalHook hook) { add_arrival_hook(std::move(hook)); }
+  [[deprecated("use add_arrival_hook")]] void set_arrival_hook(ArrivalHook hook) {
+    add_arrival_hook(std::move(hook));
+  }
 
   /// Add a hook observing every drop (with its reason).  Accumulates
   /// like add_arrival_hook.
   void add_drop_hook(DropHandler hook) { drop_hooks_.push_back(std::move(hook)); }
-  void set_drop_hook(DropHandler hook) { add_drop_hook(std::move(hook)); }
+  [[deprecated("use add_drop_hook")]] void set_drop_hook(DropHandler hook) {
+    add_drop_hook(std::move(hook));
+  }
 
   /// Inject a packet now.  `flow_id` identifies the flow for ECMP/VLB
   /// hashing (packets of one flow share a path); `tag` is carried
@@ -114,7 +125,21 @@ class Network : public routing::LoadProbe, public routing::Clock {
   void send(topo::NodeId src, topo::NodeId dst, Bits size, int task, std::uint64_t flow_id,
             std::uint64_t tag = 0);
 
-  void run_until(TimePs end) { events_.run_until(end); }
+  void run_until(TimePs end) {
+    assert_owning_thread();
+    events_.run_until(end);
+  }
+
+  /// Schedule a typed probe event (the ProbePlane's zero-allocation
+  /// path; the event carries its own handler).
+  void schedule_probe(TimePs when, const ProbeEvent& event) {
+    events_.schedule_probe(when, event);
+  }
+
+  /// Events the engine has dispatched so far (all types).
+  std::uint64_t events_processed() const { return events_.events_run(); }
+  /// The engine itself, for pool/heap introspection in tests and bench.
+  const EventQueue& engine() const { return events_; }
 
   // --- live fault injection (§3.5 made dynamic) ------------------------------
   //
@@ -185,6 +210,10 @@ class Network : public routing::LoadProbe, public routing::Clock {
   const topo::BuiltTopology& topology() const { return *topo_; }
 
  private:
+  // EventHandler: the engine hands popped typed events back here.
+  void on_packet_event(EventType type, PacketEvent& event) override;
+  void on_fault_event(const FaultEvent& event) override;
+
   /// Packet fully/partially arrived at `node`: deliver, or forward.
   void arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit);
 
@@ -194,6 +223,13 @@ class Network : public routing::LoadProbe, public routing::Clock {
 
   /// Account a drop (global, per-reason, per-task) and fire the hook.
   void drop(const Packet& packet, DropReason reason);
+
+  /// Thread-confinement contract: the constructing thread drives the
+  /// whole simulation (engine, sinks, hooks).
+  void assert_owning_thread() const {
+    QUARTZ_CHECK(std::this_thread::get_id() == owner_,
+                 "Network is thread-confined: drive it from the thread that built it");
+  }
 
   const topo::BuiltTopology* topo_;
   const routing::RoutingOracle* oracle_;
@@ -227,6 +263,7 @@ class Network : public routing::LoadProbe, public routing::Clock {
   std::uint64_t dropped_by_reason_[telemetry::kDropReasonCount] = {};
   std::uint64_t link_failures_ = 0;
   std::uint64_t link_repairs_ = 0;
+  std::thread::id owner_ = std::this_thread::get_id();
 };
 
 }  // namespace quartz::sim

@@ -34,8 +34,24 @@ void ProbePlane::start(std::vector<topo::LinkId> links) {
         link >= 0 && static_cast<std::size_t>(link) < network_.graph().link_count(),
         "unknown link");
     const TimePs offset = options_.interval * static_cast<TimePs>(i) / n;
-    network_.at(options_.start + offset, [this, link] { fire(link); });
+    ProbeEvent first;
+    first.handler = this;
+    first.link = link;
+    first.kind = ProbeEvent::Kind::kFire;
+    network_.schedule_probe(options_.start + offset, first);
   }
+}
+
+void ProbePlane::on_probe_event(const ProbeEvent& event) {
+  if (event.kind == ProbeEvent::Kind::kFire) {
+    fire(event.link);
+    return;
+  }
+  // kResult: the probe lands; it must also find the link up on arrival.
+  const bool delivered = event.launched && !event.corrupted && network_.link_up(event.link);
+  const TimePs now = network_.now();
+  monitor_.record_probe(event.link, delivered, now);
+  network_.emit_probe(event.link, delivered, now);
 }
 
 void ProbePlane::fire(topo::LinkId link) {
@@ -45,18 +61,20 @@ void ProbePlane::fire(topo::LinkId link) {
   // The probe's fate is sealed bit by bit: it must find the link up at
   // launch, survive the gray-failure coin flip, and the link must still
   // be up when it lands one propagation later.
-  const bool launched = network_.link_up(link);
-  const bool corrupted =
-      launched && network_.link_loss_rate(link) > 0.0 &&
+  ProbeEvent result;
+  result.handler = this;
+  result.link = link;
+  result.kind = ProbeEvent::Kind::kResult;
+  result.launched = network_.link_up(link);
+  result.corrupted =
+      result.launched && network_.link_loss_rate(link) > 0.0 &&
       rng_.next_double() < network_.link_loss_rate(link);
-  const TimePs arrival = sent_at + network_.graph().link(link).propagation;
-  network_.at(arrival, [this, link, launched, corrupted] {
-    const bool delivered = launched && !corrupted && network_.link_up(link);
-    const TimePs now = network_.now();
-    monitor_.record_probe(link, delivered, now);
-    network_.emit_probe(link, delivered, now);
-  });
-  network_.at(sent_at + options_.interval, [this, link] { fire(link); });
+  network_.schedule_probe(sent_at + network_.graph().link(link).propagation, result);
+  ProbeEvent next;
+  next.handler = this;
+  next.link = link;
+  next.kind = ProbeEvent::Kind::kFire;
+  network_.schedule_probe(sent_at + options_.interval, next);
 }
 
 }  // namespace quartz::sim

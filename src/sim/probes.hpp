@@ -25,7 +25,10 @@
 
 namespace quartz::sim {
 
-class ProbePlane {
+/// Probes ride the engine's typed kProbe events (fire / result), so a
+/// saturated probe sweep costs zero allocations per probe once the
+/// engine's pools are warm.
+class ProbePlane : public ProbeHandler {
  public:
   struct Options {
     /// Probe cadence per link.
@@ -57,6 +60,9 @@ class ProbePlane {
   const Options& options() const { return options_; }
 
  private:
+  /// ProbeHandler: the engine hands kFire/kResult events back here.
+  void on_probe_event(const ProbeEvent& event) override;
+
   void fire(topo::LinkId link);
 
   Network& network_;

@@ -8,6 +8,9 @@
 // Environment knobs (for CI and for reproducing nightly failures):
 //   QUARTZ_CHAOS_SEED    base seed of the sweep (default 1)
 //   QUARTZ_CHAOS_STORMS  storms per detection mode (default 10)
+//   QUARTZ_CHAOS_JOBS    sweep worker threads (default 1; 0 = all
+//                        hardware threads — reports are byte-identical
+//                        for every value, jobs only changes wall-clock)
 //
 // Every storm is a pure function of its seed: rerun with the seed a
 // failing nightly printed and it reproduces bit for bit.
@@ -29,7 +32,8 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 }
 
 void expect_sweep_passes(const StormParams& base, int storms) {
-  const std::vector<StormReport> reports = run_sweep(base, storms);
+  const int jobs = static_cast<int>(env_u64("QUARTZ_CHAOS_JOBS", 1));
+  const std::vector<StormReport> reports = run_sweep(base, storms, jobs);
   ASSERT_EQ(reports.size(), static_cast<std::size_t>(storms));
   for (const StormReport& r : reports) {
     std::cout << r.summary() << '\n';

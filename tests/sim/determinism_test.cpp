@@ -1,0 +1,144 @@
+// Satellite regression for the engine refactor: the typed pooled event
+// queue must keep simulations bit-reproducible — the same seed replays
+// the exact same delivery and drop stream, and the Fig. 18 experiment
+// returns bit-identical statistics run to run.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/oracle.hpp"
+#include "sim/experiments.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/network.hpp"
+#include "sim/workloads.hpp"
+#include "telemetry/sink.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::sim {
+namespace {
+
+std::string hex_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+/// FNV-1a digest of the full delivery and drop streams: any change in
+/// which packet arrives when (or is dropped why) changes the digest.
+class DigestSink : public telemetry::TelemetrySink {
+ public:
+  void on_delivery(const Packet& packet, TimePs delivered, TimePs latency) override {
+    mix(delivery_digest, packet.id);
+    mix(delivery_digest, static_cast<std::uint64_t>(delivered));
+    mix(delivery_digest, static_cast<std::uint64_t>(latency));
+    ++deliveries;
+  }
+  void on_drop(const Packet& packet, telemetry::DropReason reason, TimePs when) override {
+    mix(drop_digest, packet.id);
+    mix(drop_digest, static_cast<std::uint64_t>(reason));
+    mix(drop_digest, static_cast<std::uint64_t>(when));
+    ++drops;
+  }
+
+  std::uint64_t delivery_digest = 14695981039346656037ull;
+  std::uint64_t drop_digest = 14695981039346656037ull;
+  std::uint64_t deliveries = 0;
+  std::uint64_t drops = 0;
+
+ private:
+  static void mix(std::uint64_t& digest, std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest ^= (value >> (8 * byte)) & 0xFF;
+      digest *= 1099511628211ull;
+    }
+  }
+};
+
+struct DigestResult {
+  std::uint64_t delivery_digest;
+  std::uint64_t drop_digest;
+  std::uint64_t deliveries;
+  std::uint64_t drops;
+};
+
+/// A Fig. 18-shaped run on a live mesh: localized all-to-all Poisson
+/// traffic on an 8-switch ring with a fiber cut and repair mid-run, so
+/// the digest covers deliveries, link-down drops, and fault detection.
+DigestResult run_digest(std::uint64_t seed) {
+  topo::QuartzRingParams ring;
+  ring.switches = 8;
+  ring.hosts_per_switch = 2;
+  const topo::BuiltTopology topo = topo::quartz_ring(ring);
+  routing::EcmpRouting routing(topo.graph);
+  routing::EcmpOracle oracle(routing);
+  SimConfig config;
+  config.failure_detection_delay = milliseconds(1);
+  Network net(topo, oracle, config);
+  oracle.attach_failure_view(&net.failure_view());
+
+  DigestSink digest;
+  net.add_sink(&digest);
+
+  const int task = net.new_task([](const Packet&, TimePs) {});
+  Rng rng(seed);
+  std::vector<std::unique_ptr<PoissonFlow>> flows;
+  FlowParams flow;
+  flow.rate = megabits_per_second(50);
+  flow.stop = milliseconds(20);
+  for (const topo::NodeId src : topo.hosts) {
+    for (const topo::NodeId dst : topo.hosts) {
+      if (src == dst) continue;
+      flows.push_back(std::make_unique<PoissonFlow>(net, src, dst, task, flow, rng.fork()));
+    }
+  }
+
+  FaultScheduler faults(net);
+  faults.schedule_fiber_cut(milliseconds(5), {0, 0}, milliseconds(12));
+  net.run_until(milliseconds(22));
+
+  return {digest.delivery_digest, digest.drop_digest, digest.deliveries, digest.drops};
+}
+
+TEST(Determinism, DeliveryAndDropDigestsReplayExactly) {
+  const DigestResult first = run_digest(7);
+  const DigestResult second = run_digest(7);
+  EXPECT_GT(first.deliveries, 0u);
+  EXPECT_GT(first.drops, 0u);  // the cut must actually bite
+  EXPECT_EQ(first.delivery_digest, second.delivery_digest);
+  EXPECT_EQ(first.drop_digest, second.drop_digest);
+  EXPECT_EQ(first.deliveries, second.deliveries);
+  EXPECT_EQ(first.drops, second.drops);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const DigestResult first = run_digest(7);
+  const DigestResult other = run_digest(8);
+  EXPECT_NE(first.delivery_digest, other.delivery_digest);
+}
+
+TEST(Determinism, Fig18ExperimentBitReproducible) {
+  TaskExperimentParams params;
+  params.localized = true;  // Fig. 18: one local task plus cross-traffic
+  params.tasks = 3;
+  params.duration = milliseconds(4);
+  params.seed = 7;
+  const TaskExperimentResult a = run_task_experiment(Fabric::kQuartzInEdgeAndCore, {}, params);
+  const TaskExperimentResult b = run_task_experiment(Fabric::kQuartzInEdgeAndCore, {}, params);
+  EXPECT_GT(a.packets_measured, 0u);
+  EXPECT_EQ(hex_bits(a.mean_latency_us), hex_bits(b.mean_latency_us));
+  EXPECT_EQ(hex_bits(a.p99_latency_us), hex_bits(b.p99_latency_us));
+  EXPECT_EQ(hex_bits(a.ci95_us), hex_bits(b.ci95_us));
+  EXPECT_EQ(hex_bits(a.mean_queueing_us), hex_bits(b.mean_queueing_us));
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+}
+
+}  // namespace
+}  // namespace quartz::sim

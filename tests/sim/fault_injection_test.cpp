@@ -55,7 +55,7 @@ TEST(FaultInjection, TransmitOntoDeadLinkIsDroppedAndCounted) {
 
   int hook_drops = 0;
   DropReason hook_reason = DropReason::kQueueOverflow;
-  net.set_drop_hook([&](const Packet&, DropReason reason) {
+  net.add_drop_hook([&](const Packet&, DropReason reason) {
     ++hook_drops;
     hook_reason = reason;
   });
@@ -172,7 +172,7 @@ TEST(FaultInjection, ScriptedCutShowsLossOnlyInsideDetectionWindow) {
   std::vector<TimePs> dropped;
   const int task = net.new_task(
       [&](const Packet& p, TimePs) { delivered.emplace_back(net.now(), p.hops); });
-  net.set_drop_hook([&](const Packet&, DropReason reason) {
+  net.add_drop_hook([&](const Packet&, DropReason reason) {
     EXPECT_EQ(reason, DropReason::kLinkDown);
     dropped.push_back(net.now());
   });
