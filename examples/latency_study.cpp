@@ -38,19 +38,26 @@ std::string fmt(double v) {
 int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown = flags.unknown_keys(
-      {"tasks", "duration-ms", "trace", "sample-every", "metrics-out", "jobs", "help"});
+      {"tasks", "duration-ms", "trace", "sample-every", "metrics-out", "jobs", "fib", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     std::printf(
         "usage: %s [--tasks=N] [--duration-ms=D] [--trace] [--sample-every=N]\n"
-        "          [--metrics-out=FILE] [--jobs=N]\n"
+        "          [--metrics-out=FILE] [--jobs=N] [--fib=on|off]\n"
         "\n"
         "  --jobs=N  worker threads for the pattern x fabric sweep (0 = all\n"
         "            hardware threads); results are byte-identical for every\n"
         "            value.  --metrics-out needs --jobs=1 (the registry is\n"
-        "            thread-confined).\n",
+        "            thread-confined).\n"
+        "  --fib=on|off  route through the compiled FIB (default on); results\n"
+        "            are bit-identical either way, only speed differs.\n",
         argv[0]);
     return unknown.empty() ? 0 : 1;
+  }
+  const std::string fib_mode = flags.get("fib", "on");
+  if (fib_mode != "on" && fib_mode != "off") {
+    std::printf("--fib must be 'on' or 'off', got '%s'\n", fib_mode.c_str());
+    return 1;
   }
   // Positional task count kept for compatibility with the old argv form.
   int positional_tasks = 4;
@@ -128,7 +135,9 @@ int run(int argc, char** argv) {
     params.telemetry.trace = trace;
     params.telemetry.trace_sample_every = sample_every;
     params.telemetry.metrics = registry;  // nonnull only when jobs == 1
-    return run_task_experiment(cell.fabric, {}, params);
+    FabricConfig fabric_config;
+    fabric_config.use_fib = fib_mode == "on";
+    return run_task_experiment(cell.fabric, fabric_config, params);
   });
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     const Pattern pattern = patterns[i];

@@ -40,9 +40,11 @@ int usage(const char* argv0) {
   std::printf(
       "usage: %s [--fabric=NAME] [--pattern=NAME] [--tasks=N] [--fanout=N]\n"
       "          [--rate-mbps=R] [--duration-ms=D] [--seed=S] [--localized]\n"
-      "          [--vlb=K] [--csv] [--list] [--replicas=N] [--jobs=N]\n"
-      "          [--trace] [--sample-every=N] [--metrics-out=FILE]\n"
+      "          [--vlb=K] [--fib=on|off] [--csv] [--list] [--replicas=N]\n"
+      "          [--jobs=N] [--trace] [--sample-every=N] [--metrics-out=FILE]\n"
       "\n"
+      "  --fib=on|off  route through the compiled FIB (default on); results\n"
+      "                are bit-identical either way, only speed differs\n"
       "  --replicas=N  run N independent repetitions (seeds derived from\n"
       "                --seed) and report across-replica statistics\n"
       "  --jobs=N      worker threads for the replica sweep (0 = all\n"
@@ -67,7 +69,8 @@ int run(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_keys(
       {"fabric", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed", "csv",
-       "localized", "vlb", "list", "trace", "sample-every", "metrics-out", "replicas", "jobs"});
+       "localized", "vlb", "fib", "list", "trace", "sample-every", "metrics-out", "replicas",
+       "jobs"});
   if (!unknown.empty()) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
@@ -103,6 +106,12 @@ int run(int argc, char** argv) {
   FabricConfig config;
   config.vlb_fraction = flags.get_double("vlb", 0.0);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string fib_mode = flags.get("fib", "on");
+  if (fib_mode != "on" && fib_mode != "off") {
+    std::printf("--fib must be 'on' or 'off', got '%s'\n", fib_mode.c_str());
+    return usage(argv[0]);
+  }
+  config.use_fib = fib_mode == "on";
 
   TaskExperimentParams params;
   params.pattern = pattern;

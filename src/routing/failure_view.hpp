@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topo/graph.hpp"
@@ -42,6 +43,21 @@ class LossView {
   virtual ~LossView() = default;
   /// Observed loss probability of a link in [0, 1]; 0 = clean.
   virtual double loss_rate(topo::LinkId link) const = 0;
+
+  /// Monotone counter bumped whenever any loss_rate() answer may have
+  /// changed.  The compiled FIB compares it (together with the
+  /// FailureView epoch) against the epoch its entries were compiled at,
+  /// so stale routes fall back to the oracle and recompile lazily.
+  /// Deliberately non-virtual: reading it is on the per-packet path.
+  std::uint64_t epoch() const { return epoch_; }
+
+ protected:
+  /// Implementations call this on every estimate change (HealthMonitor:
+  /// any probe that moves an EWMA).
+  void bump_epoch() { ++epoch_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
 };
 
 class FailureView {
@@ -50,10 +66,17 @@ class FailureView {
   explicit FailureView(std::size_t links) { resize(links); }
 
   /// (Re)size to the topology's link count; all links start alive.
-  void resize(std::size_t links) { dead_.assign(links, 0); }
+  void resize(std::size_t links) {
+    dead_.assign(links, 0);
+    ++epoch_;
+  }
 
   void set_dead(topo::LinkId link, bool dead) {
-    dead_.at(static_cast<std::size_t>(link)) = dead ? 1 : 0;
+    char& slot = dead_.at(static_cast<std::size_t>(link));
+    const char next = dead ? 1 : 0;
+    if (slot == next) return;  // no knowledge change, no invalidation
+    slot = next;
+    ++epoch_;
   }
 
   /// True once a failure has been detected (and not yet repaired, as
@@ -70,8 +93,13 @@ class FailureView {
     return n;
   }
 
+  /// Monotone counter bumped on every actual liveness-knowledge change
+  /// (a set_dead that flips a bit, or a resize).  See LossView::epoch.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   std::vector<char> dead_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace quartz::routing

@@ -1,0 +1,95 @@
+#include "routing/fib.hpp"
+
+#include "common/check.hpp"
+
+namespace quartz::routing {
+
+Fib::Fib(const EcmpRouting& routing, const RoutingOracle& oracle)
+    : routing_(&routing), oracle_(&oracle), group_count_(routing.group_count()) {
+  entries_.resize(routing.graph().node_count() * group_count_);
+}
+
+topo::LinkId Fib::slow(topo::NodeId node, FlowKey& key) {
+  ++stats_.slow_path;
+  return oracle_->next_link(node, key);
+}
+
+void Fib::compile(topo::NodeId node, std::int32_t group, Entry& entry) {
+  scratch_.reset();
+  oracle_->compile_entry(node, group, scratch_);
+  entry.action = scratch_.action_;
+  entry.clear_own_via = scratch_.clear_own_via_;
+  entry.link = scratch_.link_;
+  entry.fraction = scratch_.fraction_;
+  entry.count = 0;
+  entry.offset = 0;
+  if (scratch_.action_ == FibCompiler::Action::kEcmpHash) {
+    QUARTZ_CHECK(scratch_.candidates_.size() <= UINT16_MAX, "candidate span too wide");
+    entry.offset = static_cast<std::uint32_t>(candidate_arena_.size());
+    entry.count = static_cast<std::uint16_t>(scratch_.candidates_.size());
+    candidate_arena_.insert(candidate_arena_.end(), scratch_.candidates_.begin(),
+                            scratch_.candidates_.end());
+  } else if (scratch_.action_ == FibCompiler::Action::kVlbRoll) {
+    QUARTZ_CHECK(scratch_.detours_.size() <= UINT16_MAX, "detour span too wide");
+    entry.offset = static_cast<std::uint32_t>(detour_arena_.size());
+    entry.count = static_cast<std::uint16_t>(scratch_.detours_.size());
+    detour_arena_.insert(detour_arena_.end(), scratch_.detours_.begin(), scratch_.detours_.end());
+  }
+}
+
+topo::LinkId Fib::next_link(topo::NodeId node, FlowKey& key) {
+  const std::uint64_t epoch = oracle_->state_epoch();
+  if (epoch != table_epoch_) {
+    // The routing plane learned something: flush the arenas (entries
+    // go stale by epoch mismatch and recompile on first use).
+    table_epoch_ = epoch;
+    candidate_arena_.clear();
+    detour_arena_.clear();
+    ++stats_.invalidations;
+  }
+
+  const std::int32_t group = routing_->group_of(key.dst);
+  Entry& entry =
+      entries_[static_cast<std::size_t>(node) * group_count_ + static_cast<std::size_t>(group)];
+  if (entry.epoch != epoch) {
+    ++stats_.misses;
+    compile(node, group, entry);
+    entry.epoch = epoch;
+  } else {
+    ++stats_.hits;
+  }
+
+  if (key.via != topo::kInvalidNode) {
+    if (!entry.clear_own_via) return slow(node, key);
+    if (key.via == node) key.via = topo::kInvalidNode;
+  }
+
+  switch (entry.action) {
+    case FibCompiler::Action::kSlow:
+      return slow(node, key);
+    case FibCompiler::Action::kDirect:
+      return entry.link;
+    case FibCompiler::Action::kEcmpHash:
+      return candidate_arena_[entry.offset + hash_select(key.flow_hash,
+                                                         static_cast<std::uint64_t>(node),
+                                                         entry.count)];
+    case FibCompiler::Action::kHostPort:
+      return routing_->host_link(key.dst);
+    case FibCompiler::Action::kVlbRoll: {
+      if (!key.vlb_done) {
+        key.vlb_done = true;
+        if (entry.count > 0 && flow_uniform(key.flow_hash) < entry.fraction) {
+          const FibCompiler::Detour& pick =
+              detour_arena_[entry.offset +
+                            hash_select(key.flow_hash, 0x564C4232ull, entry.count)];  // "VLB2"
+          key.via = pick.via;
+          return pick.leg1;
+        }
+      }
+      return entry.link;
+    }
+  }
+  return slow(node, key);
+}
+
+}  // namespace quartz::routing

@@ -1,0 +1,93 @@
+// Fixed-capacity flowlet memory.
+//
+// AdaptiveVlbOracle keys flowlet state on (ingress switch, flow hash).
+// An unordered_map would grow without bound for the life of a run (one
+// entry per flow ever seen) and pay a hash + possible allocation per
+// decision.  This table is a power-of-two open-addressed array with a
+// short probe window: a lookup is at most kProbeDepth slot reads, a
+// miss claims an empty or expired slot in the window, and when the
+// window is completely full of live flowlets the least-recently-seen
+// one is evicted deterministically.  Reusing an expired slot is
+// behaviour-identical to the unbounded map: a stale map entry would
+// have failed the flowlet-freshness test and been overwritten anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "topo/graph.hpp"
+
+namespace quartz::routing {
+
+class FlowletTable {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kProbeDepth = 8;
+
+  struct Slot {
+    std::uint64_t key = 0;
+    TimePs last_seen = 0;  ///< 0 = brand-new flowlet (never decided)
+    topo::NodeId via = topo::kInvalidNode;  ///< chosen intermediate (invalid = direct)
+    bool used = false;
+  };
+
+  explicit FlowletTable(std::size_t capacity = kDefaultCapacity) {
+    QUARTZ_REQUIRE(capacity >= kProbeDepth, "flowlet table smaller than its probe window");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// The slot holding `key`'s flowlet state, claiming one when absent.
+  /// A claimed slot is reset to the brand-new state (last_seen = 0, no
+  /// via), exactly what a fresh map entry would read as.  Slots whose
+  /// flowlet has expired (`now - last_seen > timeout`) are fair game
+  /// for reuse; with the probe window full of live flowlets the
+  /// least-recently-seen is evicted.
+  Slot& acquire(std::uint64_t key, TimePs now, TimePs timeout) {
+    const std::size_t start = static_cast<std::size_t>(key & mask_);
+    Slot* claim = nullptr;
+    Slot* evict = nullptr;
+    for (std::size_t i = 0; i < kProbeDepth; ++i) {
+      Slot& slot = slots_[(start + i) & mask_];
+      if (!slot.used) {
+        if (claim == nullptr) claim = &slot;
+        continue;
+      }
+      if (slot.key == key) return slot;
+      if (claim == nullptr && now - slot.last_seen > timeout) claim = &slot;
+      if (evict == nullptr || slot.last_seen < evict->last_seen) evict = &slot;
+    }
+    if (claim == nullptr) {
+      claim = evict;
+      ++evictions_;
+    }
+    if (!claim->used) {
+      claim->used = true;
+      ++occupied_;
+    }
+    claim->key = key;
+    claim->via = topo::kInvalidNode;
+    claim->last_seen = 0;
+    return *claim;
+  }
+
+  /// Capacity is fixed at construction: occupancy can never exceed it
+  /// no matter how many distinct flows a run carries.
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t occupied() const { return occupied_; }
+  /// Live flowlets displaced because a probe window was full.
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::size_t occupied_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace quartz::routing

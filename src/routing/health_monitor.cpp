@@ -27,9 +27,13 @@ void HealthMonitor::transition(topo::LinkId link, LinkState& state, LinkHealth t
   if (to == LinkHealth::kDead) {
     ++deaths_;
     view_.set_dead(link, true);
+    // loss_rate() snaps to 1.0 for a dead link, so the LossView epoch
+    // must move even for oracles that attached only the loss side.
+    bump_epoch();
   } else if (from == LinkHealth::kDead) {
     ++revivals_;
     view_.set_dead(link, false);
+    bump_epoch();
   }
   if (transition_hook_) transition_hook_(link, from, to, now);
 }
@@ -38,8 +42,14 @@ void HealthMonitor::record_probe(topo::LinkId link, bool delivered, TimePs now) 
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < states_.size(), "unknown link");
   LinkState& state = states_[static_cast<std::size_t>(link)];
   ++probes_;
+  const double ewma_before = state.ewma;
   state.ewma = config_.ewma_alpha * (delivered ? 0.0 : 1.0) +
                (1.0 - config_.ewma_alpha) * state.ewma;
+  // Any EWMA movement can change a soft-fail comparison in an oracle
+  // (the oracle threshold need not match lossy_enter), so it must
+  // invalidate compiled FIB entries.  Probes are orders of magnitude
+  // rarer than packets; the resulting recompiles are cheap.
+  if (state.ewma != ewma_before) bump_epoch();
   if (delivered) {
     ++state.acks;
     state.misses = 0;

@@ -3,22 +3,10 @@
 #include <deque>
 
 #include "common/check.hpp"
+#include "routing/fib.hpp"
 
 namespace quartz::routing {
 namespace {
-
-std::uint64_t pair_key(topo::NodeId a, topo::NodeId b) {
-  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
-  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
-  return (hi << 32) | lo;
-}
-
-/// Uniform [0,1) value derived from a flow hash (independent of the
-/// per-switch path-selection stream).
-double flow_uniform(std::uint64_t flow_hash) {
-  const std::uint64_t salted = mix_hash(flow_hash ^ 0x564C4221ull);  // "VLB!"
-  return static_cast<double>(salted >> 11) * 0x1.0p-53;
-}
 
 /// Hash-pick among the equal-cost links not known dead; falls back to
 /// the full set when every candidate is dead (`any_alive` reports
@@ -42,16 +30,37 @@ topo::LinkId select_alive(std::span<const topo::LinkId> links, const FailureView
   return links[hash_select(flow_hash, salt, links.size())];
 }
 
+/// A destination to compile a group entry against: any member other
+/// than the node itself (the shared span is identical across members).
+/// kInvalidNode when the group is just the node.
+topo::NodeId representative_dst(const EcmpRouting& routing, std::int32_t group,
+                                topo::NodeId node) {
+  for (const topo::NodeId dst : routing.group_members(group)) {
+    if (dst != node) return dst;
+  }
+  return topo::kInvalidNode;
+}
+
 }  // namespace
 
-void EcmpOracle::set_soft_fail_threshold(double loss) {
+double flow_uniform(std::uint64_t flow_hash) {
+  const std::uint64_t salted = mix_hash(flow_hash ^ 0x564C4221ull);  // "VLB!"
+  return static_cast<double>(salted >> 11) * 0x1.0p-53;
+}
+
+void RoutingOracle::set_soft_fail_threshold(double loss) {
   QUARTZ_REQUIRE(loss >= 0.0 && loss < 1.0, "soft-fail threshold must be in [0,1)");
   soft_fail_threshold_ = loss;
+  bump_version();
+}
+
+void RoutingOracle::compile_entry(topo::NodeId, std::int32_t, FibCompiler& out) const {
+  out.emit_slow();
 }
 
 double EcmpOracle::loss_of(topo::LinkId link) const {
-  if (view_ != nullptr && view_->is_dead(link)) return 1.0;
-  return loss_view_ == nullptr ? 0.0 : loss_view_->loss_rate(link);
+  if (link_dead(link)) return 1.0;
+  return link_loss(link);
 }
 
 topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
@@ -61,10 +70,10 @@ topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
   const auto links = routing_->next_links(node, key.dst);
   QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
   bool any_alive = true;
-  const topo::LinkId chosen =
-      select_alive(links, view_, key.flow_hash, static_cast<std::uint64_t>(node), &any_alive);
+  const topo::LinkId chosen = select_alive(links, failure_view(), key.flow_hash,
+                                           static_cast<std::uint64_t>(node), &any_alive);
   const double direct_loss = any_alive ? loss_of(chosen) : 1.0;
-  if (direct_loss <= soft_fail_threshold_) return chosen;
+  if (direct_loss <= soft_fail_threshold()) return chosen;
 
   // Every equal-cost next hop is known dead — or the choice is a gray
   // failure losing more than the soft-fail threshold: deflect one hop
@@ -78,12 +87,12 @@ topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
   int best = -1;
   double best_loss = direct_loss;
   for (const auto& adj : graph.neighbors(node)) {
-    if ((view_ != nullptr && view_->is_dead(adj.link)) || !graph.is_switch(adj.peer)) continue;
+    if (link_dead(adj.link) || !graph.is_switch(adj.peer)) continue;
     const int d = routing_->distance(adj.peer, key.dst);
     if (d < 0 || (here >= 0 && d > here)) continue;  // never deflect backward
     double exit_loss = 1.0;  // best (lowest-loss) live exit at the peer
     for (const topo::LinkId l : routing_->next_links(adj.peer, key.dst)) {
-      if (view_ != nullptr && view_->is_dead(l)) continue;
+      if (link_dead(l)) continue;
       exit_loss = std::min(exit_loss, loss_of(l));
     }
     if (exit_loss >= 1.0) continue;  // peer has no live exit
@@ -107,43 +116,73 @@ topo::LinkId EcmpOracle::next_link(topo::NodeId node, FlowKey& key) const {
   return pick.second;
 }
 
+void EcmpOracle::compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const {
+  const EcmpRouting& routing = *routing_;
+  if (node == routing.group_switch(group)) {
+    // Shared ToR delivering to its own hosts: fast only when every
+    // member's port is alive and clean, otherwise the deflection scan
+    // may engage for some destinations.
+    for (const topo::NodeId dst : routing.group_members(group)) {
+      const topo::LinkId port = routing.host_link(dst);
+      if (link_dead(port) || link_loss(port) > soft_fail_threshold()) return out.emit_slow();
+    }
+    out.set_clear_own_via();
+    return out.emit_host_port();
+  }
+  const topo::NodeId dst = representative_dst(routing, group, node);
+  if (dst == topo::kInvalidNode) return out.emit_slow();
+  const auto links = routing.next_links(node, dst);
+  if (links.empty()) return out.emit_slow();
+  std::vector<topo::LinkId> alive;
+  alive.reserve(links.size());
+  for (const topo::LinkId l : links) {
+    if (!link_dead(l)) alive.push_back(l);
+  }
+  // All dead, or some alive candidate over the loss threshold: the
+  // per-flow deflection scan decides — stay slow.
+  if (alive.empty()) return out.emit_slow();
+  for (const topo::LinkId l : alive) {
+    if (link_loss(l) > soft_fail_threshold()) return out.emit_slow();
+  }
+  out.set_clear_own_via();
+  out.emit_ecmp(std::move(alive));
+}
+
 MeshAwareOracle::MeshAwareOracle(const EcmpRouting& routing,
                                  const std::vector<std::vector<topo::NodeId>>& rings)
     : routing_(&routing), rings_(rings) {
   const topo::Graph& graph = routing.graph();
+  const std::size_t n = graph.node_count();
+  ring_index_.assign(n, -1);
+  mesh_pos_.assign(n, -1);
   for (std::size_t r = 0; r < rings_.size(); ++r) {
-    for (topo::NodeId sw : rings_[r]) ring_of_[sw] = static_cast<int>(r);
-  }
-  for (const auto& link : graph.links()) {
-    const auto a = ring_of_.find(link.a);
-    const auto b = ring_of_.find(link.b);
-    if (a != ring_of_.end() && b != ring_of_.end() && a->second == b->second) {
-      // First lightpath between the pair wins; parallel channels map to
-      // the same logical mesh edge for routing purposes.
-      mesh_links_.emplace(pair_key(link.a, link.b), link.id);
+    for (const topo::NodeId sw : rings_[r]) {
+      ring_index_[static_cast<std::size_t>(sw)] = static_cast<int>(r);
+      if (mesh_pos_[static_cast<std::size_t>(sw)] < 0) {
+        mesh_pos_[static_cast<std::size_t>(sw)] = static_cast<std::int32_t>(mesh_slots_++);
+      }
     }
   }
-}
-
-void MeshAwareOracle::set_soft_fail_threshold(double loss) {
-  QUARTZ_REQUIRE(loss >= 0.0 && loss < 1.0, "soft-fail threshold must be in [0,1)");
-  soft_fail_threshold_ = loss;
-}
-
-topo::LinkId MeshAwareOracle::mesh_link(topo::NodeId a, topo::NodeId b) const {
-  const auto it = mesh_links_.find(pair_key(a, b));
-  return it == mesh_links_.end() ? topo::kInvalidLink : it->second;
-}
-
-int MeshAwareOracle::ring_of(topo::NodeId node) const {
-  const auto it = ring_of_.find(node);
-  return it == ring_of_.end() ? -1 : it->second;
+  mesh_matrix_.assign(mesh_slots_ * mesh_slots_, topo::kInvalidLink);
+  for (const auto& link : graph.links()) {
+    const int ra = ring_of(link.a);
+    if (ra < 0 || ra != ring_of(link.b)) continue;
+    const auto pa = static_cast<std::size_t>(mesh_pos_[static_cast<std::size_t>(link.a)]);
+    const auto pb = static_cast<std::size_t>(mesh_pos_[static_cast<std::size_t>(link.b)]);
+    // First lightpath between the pair wins; parallel channels map to
+    // the same logical mesh edge for routing purposes.
+    if (mesh_matrix_[pa * mesh_slots_ + pb] == topo::kInvalidLink) {
+      mesh_matrix_[pa * mesh_slots_ + pb] = link.id;
+      mesh_matrix_[pb * mesh_slots_ + pa] = link.id;
+    }
+  }
 }
 
 topo::LinkId MeshAwareOracle::ecmp_choice(topo::NodeId node, const FlowKey& key) const {
   const auto links = routing_->next_links(node, key.dst);
   QUARTZ_CHECK(!links.empty(), "no route from node toward destination");
-  return select_alive(links, view_, key.flow_hash, static_cast<std::uint64_t>(node), nullptr);
+  return select_alive(links, failure_view(), key.flow_hash, static_cast<std::uint64_t>(node),
+                      nullptr);
 }
 
 topo::LinkId MeshAwareOracle::follow_via(topo::NodeId node, FlowKey& key) const {
@@ -167,7 +206,7 @@ topo::LinkId MeshAwareOracle::heal_choice(topo::NodeId node, FlowKey& key,
                                           topo::LinkId chosen) const {
   const bool direct_dead = link_dead(chosen);
   const double direct_loss = direct_dead ? 1.0 : link_loss(chosen);
-  if (!direct_dead && direct_loss <= soft_fail_threshold_) return chosen;
+  if (!direct_dead && direct_loss <= soft_fail_threshold()) return chosen;
   const int r = ring_of(node);
   if (r < 0) return chosen;
   const topo::NodeId exit = routing().graph().link(chosen).other(node);
@@ -177,7 +216,7 @@ topo::LinkId MeshAwareOracle::heal_choice(topo::NodeId node, FlowKey& key,
   // staying on the direct lightpath (a dead direct counts as loss 1).
   std::vector<std::pair<topo::NodeId, topo::LinkId>> alive;
   double best_loss = direct_loss;
-  for (topo::NodeId w : ring(r)) {
+  for (const topo::NodeId w : ring(r)) {
     if (w == node || w == exit) continue;
     const topo::LinkId leg1 = mesh_link(node, w);
     const topo::LinkId leg2 = mesh_link(w, exit);
@@ -198,6 +237,26 @@ topo::LinkId MeshAwareOracle::heal_choice(topo::NodeId node, FlowKey& key,
   key.via = pick.first;
   key.vlb_done = true;  // the healing detour consumes the detour budget
   return pick.second;
+}
+
+MeshAwareOracle::CandidateSet MeshAwareOracle::analyze_candidates(
+    topo::NodeId node, std::span<const topo::LinkId> links) const {
+  CandidateSet out;
+  out.links.reserve(links.size());
+  for (const topo::LinkId l : links) {
+    if (!link_dead(l)) out.links.push_back(l);
+  }
+  if (out.links.empty()) {
+    out.fallback = true;
+    out.links.assign(links.begin(), links.end());
+  }
+  const int r = ring_of(node);
+  const topo::Graph& graph = routing().graph();
+  for (const topo::LinkId l : out.links) {
+    if (link_loss(l) > soft_fail_threshold()) out.clean = false;
+    if (r >= 0 && ring_of(graph.link(l).other(node)) == r) ++out.mesh_exits;
+  }
+  return out;
 }
 
 VlbOracle::VlbOracle(const EcmpRouting& routing,
@@ -229,7 +288,7 @@ topo::LinkId VlbOracle::next_link(topo::NodeId node, FlowKey& key) const {
           // are known dead.
           std::vector<topo::NodeId> candidates;
           candidates.reserve(members.size());
-          for (topo::NodeId w : members) {
+          for (const topo::NodeId w : members) {
             if (w == node || w == next_hop) continue;
             const topo::LinkId leg1 = mesh_link(node, w);
             QUARTZ_CHECK(leg1 != topo::kInvalidLink, "ring is not fully meshed");
@@ -250,9 +309,53 @@ topo::LinkId VlbOracle::next_link(topo::NodeId node, FlowKey& key) const {
   return heal_choice(node, key, chosen);
 }
 
+void VlbOracle::compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const {
+  const EcmpRouting& routing = this->routing();
+  if (node == routing.group_switch(group)) {
+    // Delivering ToR: the host port is never a mesh hop, so neither the
+    // VLB roll nor healing engages — unconditionally fast.
+    return out.emit_host_port();
+  }
+  const topo::NodeId dst = representative_dst(routing, group, node);
+  if (dst == topo::kInvalidNode) return out.emit_slow();
+  const auto links = routing.next_links(node, dst);
+  if (links.empty()) return out.emit_slow();
+  CandidateSet set = analyze_candidates(node, links);
+  const int r = ring_of(node);
+  if (r < 0 || set.mesh_exits == 0) {
+    // No candidate enters this node's mesh: the roll cannot trigger and
+    // healing returns the choice unchanged (dead or lossy included) —
+    // the plain hash pick is exact.
+    return out.emit_ecmp(std::move(set.links));
+  }
+  if (!set.fallback && set.clean && set.links.size() == 1 && set.mesh_exits == 1) {
+    // Unique alive, clean mesh exit: compile the mesh-ingress roll.
+    const topo::LinkId direct = set.links[0];
+    const topo::NodeId next_hop = routing.graph().link(direct).other(node);
+    const auto& members = ring(r);
+    std::vector<FibCompiler::Detour> detours;
+    if (members.size() > 2) {
+      detours.reserve(members.size());
+      for (const topo::NodeId w : members) {
+        if (w == node || w == next_hop) continue;
+        const topo::LinkId leg1 = mesh_link(node, w);
+        QUARTZ_CHECK(leg1 != topo::kInvalidLink, "ring is not fully meshed");
+        const topo::LinkId leg2 = mesh_link(w, next_hop);
+        if (link_dead(leg1) || (leg2 != topo::kInvalidLink && link_dead(leg2))) continue;
+        detours.push_back({w, leg1});
+      }
+    }
+    return out.emit_vlb_roll(direct, members.size() > 2 ? fraction_ : 0.0, std::move(detours));
+  }
+  // Dead or lossy mesh exits (healing engages per flow) or several
+  // alive mesh exits (the detour set depends on the flow's hash pick).
+  out.emit_slow();
+}
+
 PinnedDetourOracle::PinnedDetourOracle(const EcmpRouting& routing,
                                        const std::vector<std::vector<topo::NodeId>>& rings)
-    : MeshAwareOracle(routing, rings) {}
+    : MeshAwareOracle(routing, rings),
+      pin_to_dst_(routing.graph().node_count(), 0) {}
 
 void PinnedDetourOracle::pin(topo::NodeId src_host, topo::NodeId dst_host,
                              topo::NodeId via_switch) {
@@ -260,6 +363,8 @@ void PinnedDetourOracle::pin(topo::NodeId src_host, topo::NodeId dst_host,
   const std::uint64_t key =
       (static_cast<std::uint64_t>(src_host) << 32) | static_cast<std::uint32_t>(dst_host);
   pinned_[key] = via_switch;
+  pin_to_dst_.at(static_cast<std::size_t>(dst_host)) = 1;
+  bump_version();
 }
 
 topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) const {
@@ -285,6 +390,30 @@ topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) cons
     }
   }
   return heal_choice(node, key, ecmp_choice(node, key));
+}
+
+void PinnedDetourOracle::compile_entry(topo::NodeId node, std::int32_t group,
+                                       FibCompiler& out) const {
+  const EcmpRouting& routing = this->routing();
+  // Any pin toward any member makes the decision depend on key.src (and
+  // on vlb state): the whole group stays slow, at every node.
+  for (const topo::NodeId dst : routing.group_members(group)) {
+    if (has_pin_to(dst)) return out.emit_slow();
+  }
+  if (node == routing.group_switch(group)) return out.emit_host_port();
+  const topo::NodeId dst = representative_dst(routing, group, node);
+  if (dst == topo::kInvalidNode) return out.emit_slow();
+  const auto links = routing.next_links(node, dst);
+  if (links.empty()) return out.emit_slow();
+  CandidateSet set = analyze_candidates(node, links);
+  // Fast when healing provably returns the hash pick unchanged: the
+  // node is outside any ring, every candidate is alive and clean, or
+  // the (dead/lossy) candidates all exit the mesh where healing
+  // declines to act.
+  if (ring_of(node) < 0 || (!set.fallback && set.clean) || set.mesh_exits == 0) {
+    return out.emit_ecmp(std::move(set.links));
+  }
+  out.emit_slow();
 }
 
 AdaptiveVlbOracle::AdaptiveVlbOracle(const EcmpRouting& routing,
@@ -315,12 +444,12 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
 
   // Flowlet stickiness: within the timeout, repeat the previous choice.
   const bool flowlets_on = flowlet_timeout_ > 0 && clock_ != nullptr;
-  FlowletState* state = nullptr;
+  FlowletTable::Slot* state = nullptr;
   if (flowlets_on) {
     const std::uint64_t flowlet_key =
         mix_hash(key.flow_hash ^ (static_cast<std::uint64_t>(node) << 40));
-    state = &flowlets_[flowlet_key];
     const TimePs now = clock_->sim_now();
+    state = &flowlets_.acquire(flowlet_key, now, flowlet_timeout_);
     const bool fresh = state->last_seen != 0 && now - state->last_seen <= flowlet_timeout_;
     state->last_seen = now;
     if (fresh) {
@@ -354,7 +483,7 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
   topo::LinkId best_link = chosen;
   TimePs best_delay = queue_delay_of(node, chosen);
   topo::NodeId best_via = topo::kInvalidNode;
-  for (topo::NodeId w : ring(r)) {
+  for (const topo::NodeId w : ring(r)) {
     if (w == node || w == next_hop) continue;
     const topo::LinkId first = mesh_link(node, w);
     if (first == topo::kInvalidLink || link_dead(first)) continue;
@@ -373,6 +502,35 @@ topo::LinkId AdaptiveVlbOracle::next_link(topo::NodeId node, FlowKey& key) const
     return best_link;
   }
   return decide_direct();
+}
+
+void AdaptiveVlbOracle::compile_entry(topo::NodeId node, std::int32_t group,
+                                      FibCompiler& out) const {
+  const EcmpRouting& routing = this->routing();
+  if (node == routing.group_switch(group)) {
+    // Host port: never a mesh hop, so neither healing nor the adaptive
+    // detour engages, whatever its health — unconditionally fast.
+    return out.emit_host_port();
+  }
+  const topo::NodeId dst = representative_dst(routing, group, node);
+  if (dst == topo::kInvalidNode) return out.emit_slow();
+  const auto links = routing.next_links(node, dst);
+  if (links.empty()) return out.emit_slow();
+  CandidateSet set = analyze_candidates(node, links);
+  if (set.fallback) {
+    // All dead: the (dead) pick is soft-failed and heals, which is a
+    // no-op only when no candidate re-enters the mesh.
+    if (set.mesh_exits == 0) return out.emit_ecmp(std::move(set.links));
+    return out.emit_slow();
+  }
+  if (!set.clean) return out.emit_slow();  // soft-failed candidates heal per flow
+  if (probe_ == nullptr || ring_of(node) < 0 || set.mesh_exits == 0) {
+    // Degenerate ECMP: no probe, or no mesh hop to adapt over.
+    return out.emit_ecmp(std::move(set.links));
+  }
+  // Queue-adaptive (and possibly flowlet-sticky) mesh ingress: the
+  // decision depends on instantaneous load — inherently slow-path.
+  out.emit_slow();
 }
 
 SpanningTreeOracle::SpanningTreeOracle(const topo::Graph& graph, topo::NodeId root)

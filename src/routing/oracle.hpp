@@ -10,17 +10,31 @@
 //    spreading hotspot rack-to-rack traffic over n-2 extra paths; and
 //  * SpanningTreeOracle — classic L2 Ethernet forwarding along one
 //    spanning tree, the naive baseline §3.4 argues against.
+//
+// Oracles are also *compilers*: compile_entry flattens the decision
+// for a (node, destination-group) pair into a routing::Fib entry
+// whenever the decision is provably flow-history-free under the
+// currently known failure/loss state, and state_epoch() tells the FIB
+// when that knowledge has changed (see routing/fib.hpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "routing/ecmp.hpp"
 #include "routing/failure_view.hpp"
+#include "routing/flowlet_table.hpp"
 #include "topo/builders.hpp"
 
 namespace quartz::routing {
+
+class FibCompiler;
+
+/// Observed loss above this treats a link as soft-failed: oracles with
+/// a LossView deflect around it when a detour's combined loss is lower.
+inline constexpr double kSoftFailLossThreshold = 0.02;
 
 class RoutingOracle {
  public:
@@ -29,72 +43,53 @@ class RoutingOracle {
   /// Next link for a packet currently at `node`.  `key` carries the
   /// packet's flow identity and mutable VLB state.
   virtual topo::LinkId next_link(topo::NodeId node, FlowKey& key) const = 0;
-};
 
-/// Observed loss above this treats a link as soft-failed: oracles with
-/// a LossView deflect around it when a detour's combined loss is lower.
-inline constexpr double kSoftFailLossThreshold = 0.02;
+  /// Share the routing plane's failure knowledge; detected-dead links
+  /// are excluded from equal-cost sets and flows fall back to two-hop
+  /// detours over the surviving mesh (§3.5 self-healing).
+  void attach_failure_view(const FailureView* view) {
+    view_ = view;
+    bump_version();
+  }
 
-class EcmpOracle : public RoutingOracle {
- public:
-  explicit EcmpOracle(const EcmpRouting& routing) : routing_(&routing) {}
+  /// Share the routing plane's loss estimates (HealthMonitor): a chosen
+  /// link whose observed loss exceeds the soft-fail threshold is
+  /// deflected around when a detour's combined loss beats it (gray
+  /// failures degrade gracefully instead of cliff-dropping).
+  void attach_loss_view(const LossView* view) {
+    loss_view_ = view;
+    bump_version();
+  }
 
-  /// Once attached, detected-dead links are excluded from the
-  /// equal-cost set; when every equal-cost next hop is dead the packet
-  /// deflects one hop to a neighbouring switch that still has a live
-  /// shortest-path link toward the destination (the two-hop detour over
-  /// the surviving mesh, §3.5).
-  void attach_failure_view(const FailureView* view) { view_ = view; }
-
-  /// Once attached, a chosen link whose observed loss exceeds the
-  /// soft-fail threshold is treated like the all-dead case: the packet
-  /// deflects one hop when the deflection's combined loss beats the
-  /// direct lightpath's (gray failures degrade gracefully instead of
-  /// cliff-dropping).
-  void attach_loss_view(const LossView* view) { loss_view_ = view; }
   /// Throws std::invalid_argument unless `loss` is in [0, 1).
   void set_soft_fail_threshold(double loss);
 
-  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+  /// Monotone counter covering everything next_link's answers can
+  /// depend on: the attached views' epochs plus a local version bumped
+  /// by every oracle reconfiguration (attach, threshold, pins, probe).
+  /// The compiled FIB tags each entry with the epoch it was compiled
+  /// at and recompiles lazily on mismatch.  Starts above zero so a
+  /// never-compiled entry (epoch 0) can never read as current.
+  std::uint64_t state_epoch() const {
+    return local_version_ + (view_ != nullptr ? view_->epoch() : 0) +
+           (loss_view_ != nullptr ? loss_view_->epoch() : 0);
+  }
 
- private:
-  double loss_of(topo::LinkId link) const;
-
-  const EcmpRouting* routing_;
-  const FailureView* view_ = nullptr;
-  const LossView* loss_view_ = nullptr;
-  double soft_fail_threshold_ = kSoftFailLossThreshold;
-};
-
-/// Shared machinery for oracles that know the Quartz ring structure:
-/// ring membership and the direct lightpath between ring peers.
-class MeshAwareOracle : public RoutingOracle {
- public:
-  MeshAwareOracle(const EcmpRouting& routing,
-                  const std::vector<std::vector<topo::NodeId>>& rings);
-
-  /// Share the routing plane's failure knowledge; detected-dead
-  /// lightpaths are excluded and flows fall back to two-hop detours
-  /// over the surviving mesh (§3.5 self-healing).
-  void attach_failure_view(const FailureView* view) { view_ = view; }
-
-  /// Share the routing plane's loss estimates (HealthMonitor): a direct
-  /// lightpath whose observed loss exceeds the soft-fail threshold is
-  /// deflected over the two-hop detour with the lowest combined loss,
-  /// when that beats staying direct.
-  void attach_loss_view(const LossView* view) { loss_view_ = view; }
-  /// Throws std::invalid_argument unless `loss` is in [0, 1).
-  void set_soft_fail_threshold(double loss);
+  /// Compile the decision for packets at `node` heading to any host of
+  /// destination `group` (see EcmpRouting::group_of).  The default
+  /// emits the slow path — delegate every packet back to next_link —
+  /// which is always correct; overrides emit fast actions only when
+  /// the decision provably depends on nothing but (node, group,
+  /// flow_hash) under the current failure/loss knowledge.
+  virtual void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const;
 
  protected:
-  /// Mesh link between two members of the same ring; kInvalidLink if none.
-  topo::LinkId mesh_link(topo::NodeId a, topo::NodeId b) const;
-  /// Ring index containing the switch, or -1.
-  int ring_of(topo::NodeId node) const;
-  const std::vector<topo::NodeId>& ring(int index) const {
-    return rings_[static_cast<std::size_t>(index)];
-  }
-  const EcmpRouting& routing() const { return *routing_; }
+  /// Any mutation that can change next_link answers must call this so
+  /// compiled FIB entries go stale.
+  void bump_version() { ++local_version_; }
+
+  const FailureView* failure_view() const { return view_; }
+  double soft_fail_threshold() const { return soft_fail_threshold_; }
   /// Known-dead according to the attached view (false when detached).
   bool link_dead(topo::LinkId link) const { return view_ != nullptr && view_->is_dead(link); }
   /// Observed loss of a link (0 when no loss view is attached).
@@ -106,6 +101,61 @@ class MeshAwareOracle : public RoutingOracle {
   bool link_soft_failed(topo::LinkId link) const {
     return link_dead(link) || link_loss(link) > soft_fail_threshold_;
   }
+
+ private:
+  const FailureView* view_ = nullptr;
+  const LossView* loss_view_ = nullptr;
+  double soft_fail_threshold_ = kSoftFailLossThreshold;
+  std::uint64_t local_version_ = 1;
+};
+
+class EcmpOracle : public RoutingOracle {
+ public:
+  explicit EcmpOracle(const EcmpRouting& routing) : routing_(&routing) {}
+
+  /// Once a FailureView is attached, detected-dead links are excluded
+  /// from the equal-cost set; when every equal-cost next hop is dead
+  /// the packet deflects one hop to a neighbouring switch that still
+  /// has a live shortest-path link toward the destination (the two-hop
+  /// detour over the surviving mesh, §3.5).  A LossView adds the same
+  /// deflection for gray links losing more than the threshold.
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+  void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
+
+ private:
+  double loss_of(topo::LinkId link) const;
+
+  const EcmpRouting* routing_;
+};
+
+/// Shared machinery for oracles that know the Quartz ring structure:
+/// ring membership and the direct lightpath between ring peers.  Both
+/// are flat arrays indexed by node id / dense mesh-slot pair — they
+/// sit on the per-packet path.
+class MeshAwareOracle : public RoutingOracle {
+ public:
+  MeshAwareOracle(const EcmpRouting& routing,
+                  const std::vector<std::vector<topo::NodeId>>& rings);
+
+ protected:
+  /// Mesh link between two members of the same ring; kInvalidLink if none.
+  topo::LinkId mesh_link(topo::NodeId a, topo::NodeId b) const {
+    const std::int32_t pa = mesh_slot(a);
+    const std::int32_t pb = mesh_slot(b);
+    if (pa < 0 || pb < 0) return topo::kInvalidLink;
+    return mesh_matrix_[static_cast<std::size_t>(pa) * mesh_slots_ + static_cast<std::size_t>(pb)];
+  }
+  /// Ring index containing the switch, or -1.
+  int ring_of(topo::NodeId node) const {
+    return node >= 0 && static_cast<std::size_t>(node) < ring_index_.size()
+               ? ring_index_[static_cast<std::size_t>(node)]
+               : -1;
+  }
+  const std::vector<topo::NodeId>& ring(int index) const {
+    return rings_[static_cast<std::size_t>(index)];
+  }
+  const EcmpRouting& routing() const { return *routing_; }
   /// ECMP link choice for this flow at this node, preferring links not
   /// known to be dead.
   topo::LinkId ecmp_choice(topo::NodeId node, const FlowKey& key) const;
@@ -120,14 +170,31 @@ class MeshAwareOracle : public RoutingOracle {
   /// `chosen` unchanged.  Consumes the flow's detour budget.
   topo::LinkId heal_choice(topo::NodeId node, FlowKey& key, topo::LinkId chosen) const;
 
+  /// Compile-time view of an equal-cost span: the set select_alive
+  /// would draw from (alive candidates, or the full span when all are
+  /// dead), whether every member is clean of loss, and how many exit
+  /// into this node's own ring (where healing/VLB can engage).
+  struct CandidateSet {
+    std::vector<topo::LinkId> links;
+    bool fallback = false;  ///< every candidate dead; links = full span
+    bool clean = true;      ///< all of `links` at or below the threshold
+    int mesh_exits = 0;     ///< members of `links` whose far end shares node's ring
+  };
+  CandidateSet analyze_candidates(topo::NodeId node, std::span<const topo::LinkId> links) const;
+
  private:
+  std::int32_t mesh_slot(topo::NodeId node) const {
+    return node >= 0 && static_cast<std::size_t>(node) < mesh_pos_.size()
+               ? mesh_pos_[static_cast<std::size_t>(node)]
+               : -1;
+  }
+
   const EcmpRouting* routing_;
-  const FailureView* view_ = nullptr;
-  const LossView* loss_view_ = nullptr;
-  double soft_fail_threshold_ = kSoftFailLossThreshold;
   std::vector<std::vector<topo::NodeId>> rings_;
-  std::unordered_map<topo::NodeId, int> ring_of_;
-  std::unordered_map<std::uint64_t, topo::LinkId> mesh_links_;
+  std::vector<int> ring_index_;          ///< node id -> ring index (-1 outside)
+  std::vector<std::int32_t> mesh_pos_;   ///< node id -> dense mesh slot (-1)
+  std::size_t mesh_slots_ = 0;
+  std::vector<topo::LinkId> mesh_matrix_;  ///< slot x slot -> direct lightpath
 };
 
 class VlbOracle : public MeshAwareOracle {
@@ -139,6 +206,7 @@ class VlbOracle : public MeshAwareOracle {
             double fraction);
 
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+  void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
 
   double fraction() const { return fraction_; }
 
@@ -159,9 +227,18 @@ class PinnedDetourOracle : public MeshAwareOracle {
   void pin(topo::NodeId src_host, topo::NodeId dst_host, topo::NodeId via_switch);
 
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+  void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
 
  private:
+  bool has_pin_to(topo::NodeId dst) const {
+    return dst >= 0 && static_cast<std::size_t>(dst) < pin_to_dst_.size() &&
+           pin_to_dst_[static_cast<std::size_t>(dst)] != 0;
+  }
+
   std::unordered_map<std::uint64_t, topo::NodeId> pinned_;
+  /// Whether any source pins a detour toward this host — pinned
+  /// destinations keep the whole group on the slow path.
+  std::vector<char> pin_to_dst_;
 };
 
 /// Probe of a link direction's instantaneous output-queue delay; the
@@ -184,7 +261,9 @@ class LoadProbe {
 /// flowlet boundaries (idle gaps longer than the timeout) or when the
 /// sticky path's queue itself blows past the threshold — the
 /// CONGA-style compromise that avoids pinning flows to a saturating
-/// link.  Flowlet state is keyed on (ingress switch, flow hash).
+/// link.  Flowlet state is keyed on (ingress switch, flow hash) and
+/// lives in a fixed-capacity FlowletTable, so memory stays constant no
+/// matter how many flows a run carries.
 class AdaptiveVlbOracle : public MeshAwareOracle {
  public:
   AdaptiveVlbOracle(const EcmpRouting& routing,
@@ -193,31 +272,39 @@ class AdaptiveVlbOracle : public MeshAwareOracle {
 
   /// Must be called with the simulator before traffic starts; without a
   /// probe the oracle degenerates to pure ECMP.
-  void attach_probe(const LoadProbe* probe) { probe_ = probe; }
+  void attach_probe(const LoadProbe* probe) {
+    probe_ = probe;
+    bump_version();
+  }
 
   /// Also needed for flowlet mode (the clock source).
-  void attach_clock(const class Clock* clock) { clock_ = clock; }
+  void attach_clock(const class Clock* clock) {
+    clock_ = clock;
+    bump_version();
+  }
 
   /// Positive timeout enables flowlet stickiness.
-  void set_flowlet_timeout(TimePs timeout) { flowlet_timeout_ = timeout; }
+  void set_flowlet_timeout(TimePs timeout) {
+    flowlet_timeout_ = timeout;
+    bump_version();
+  }
 
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+  void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
+
+  /// The bounded per-(ingress, flow) flowlet memory (for tests/bench).
+  const FlowletTable& flowlet_table() const { return flowlets_; }
 
  private:
-  struct FlowletState {
-    topo::NodeId via = topo::kInvalidNode;  ///< chosen intermediate (invalid = direct)
-    TimePs last_seen = 0;
-  };
-
   TimePs queue_delay_of(topo::NodeId from, topo::LinkId link) const;
 
   const LoadProbe* probe_ = nullptr;
   const Clock* clock_ = nullptr;
   TimePs detour_threshold_;
   TimePs flowlet_timeout_ = 0;
-  /// Per-(ingress, flow) flowlet memory; mutable because next_link is
-  /// logically const to callers (it does not change routing policy).
-  mutable std::unordered_map<std::uint64_t, FlowletState> flowlets_;
+  /// Mutable because next_link is logically const to callers (it does
+  /// not change routing policy).
+  mutable FlowletTable flowlets_;
 };
 
 /// Wall-clock source for flowlet expiry (the simulator implements it).
@@ -241,5 +328,9 @@ class SpanningTreeOracle : public RoutingOracle {
   std::vector<topo::LinkId> parent_link_;
   std::vector<int> depth_;
 };
+
+/// Uniform [0,1) value derived from a flow hash (independent of the
+/// per-switch path-selection stream); drives the VLB detour roll.
+double flow_uniform(std::uint64_t flow_hash);
 
 }  // namespace quartz::routing

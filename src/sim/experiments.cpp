@@ -131,6 +131,9 @@ BuiltFabric build_fabric(Fabric fabric, const FabricConfig& config) {
   } else {
     built.oracle = std::make_unique<routing::EcmpOracle>(*built.routing);
   }
+  if (config.use_fib) {
+    built.fib = std::make_unique<routing::Fib>(*built.routing, *built.oracle);
+  }
   return built;
 }
 
@@ -139,6 +142,7 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
   QUARTZ_REQUIRE(params.tasks >= 1, "need at least one task");
   BuiltFabric built = build_fabric(fabric, config);
   Network network(built.topo, *built.oracle);
+  if (built.fib != nullptr) network.set_fib(built.fib.get());
   Rng rng(params.seed);
 
   // Optional observers; attaching them never perturbs the event stream.
@@ -266,6 +270,13 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
     reg.counter("sim.drops.queue_overflow")
         .inc(network.packets_dropped(DropReason::kQueueOverflow));
     reg.counter("sim.drops.link_down").inc(network.packets_dropped(DropReason::kLinkDown));
+    if (built.fib != nullptr) {
+      const routing::Fib::Stats& fib = built.fib->stats();
+      reg.counter("sim.fib.hits").inc(fib.hits);
+      reg.counter("sim.fib.misses").inc(fib.misses);
+      reg.counter("sim.fib.slow_path").inc(fib.slow_path);
+      reg.counter("sim.fib.invalidations").inc(fib.invalidations);
+    }
     reg.gauge("sim.duration_ms").set(to_microseconds(params.duration) / 1000.0);
     telemetry::LatencyRecorder& lat = reg.latency("task.latency_us");
     for (double s : all.samples()) lat.add_us(s);

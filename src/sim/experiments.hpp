@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "routing/fib.hpp"
 #include "routing/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/sweep.hpp"
@@ -54,15 +55,20 @@ struct FabricConfig {
   /// Fraction of mesh traffic VLB detours over two-hop paths; 0 = pure
   /// ECMP (the paper found the two indistinguishable for Fig. 17-18).
   double vlb_fraction = 0.0;
+  /// Route through the compiled FIB (routing/fib.hpp).  Decisions are
+  /// bit-identical with the FIB off; only the per-packet cost changes.
+  bool use_fib = true;
   std::uint64_t seed = 1;
 };
 
-/// A fabric plus its routing state, ready to simulate.  The routing and
-/// oracle objects must outlive any Network bound to them.
+/// A fabric plus its routing state, ready to simulate.  The routing,
+/// oracle and fib objects must outlive any Network bound to them.
 struct BuiltFabric {
   topo::BuiltTopology topo;
   std::unique_ptr<routing::EcmpRouting> routing;
   std::unique_ptr<routing::RoutingOracle> oracle;
+  /// Present when FabricConfig::use_fib; pass to Network::set_fib.
+  std::unique_ptr<routing::Fib> fib;
 };
 
 BuiltFabric build_fabric(Fabric fabric, const FabricConfig& config = {});

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "routing/fib.hpp"
 
 namespace quartz::sim {
 
@@ -254,7 +255,8 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
 
 void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs min_finish) {
   const topo::Graph& graph = topo_->graph;
-  const topo::LinkId link_id = oracle_->next_link(node, packet.key);
+  const topo::LinkId link_id =
+      fib_ != nullptr ? fib_->next_link(node, packet.key) : oracle_->next_link(node, packet.key);
   const topo::Link& link = graph.link(link_id);
   QUARTZ_CHECK(link.a == node || link.b == node, "oracle returned a detached link");
 

@@ -29,6 +29,10 @@
 #include "telemetry/sink.hpp"
 #include "topo/builders.hpp"
 
+namespace quartz::routing {
+class Fib;
+}  // namespace quartz::routing
+
 namespace quartz::sim {
 
 struct SimConfig {
@@ -183,6 +187,13 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   /// The routing plane's delayed knowledge of liveness; attach this to
   /// failure-aware oracles before traffic starts.
   const routing::FailureView& failure_view() const { return failure_view_; }
+
+  /// Route through a compiled FIB fronting the construction-time oracle
+  /// (nullptr reverts to direct oracle calls).  The FIB must wrap the
+  /// same oracle and must outlive the simulation; decisions are
+  /// bit-identical either way — only the per-packet cost changes.
+  void set_fib(routing::Fib* fib) { fib_ = fib; }
+  const routing::Fib* fib() const { return fib_; }
   std::uint64_t link_failures() const { return link_failures_; }
   std::uint64_t link_repairs() const { return link_repairs_; }
 
@@ -233,6 +244,7 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
 
   const topo::BuiltTopology* topo_;
   const routing::RoutingOracle* oracle_;
+  routing::Fib* fib_ = nullptr;
   SimConfig config_;
   EventQueue events_;
   /// busy-until per (link, direction); direction 0 is a->b.
