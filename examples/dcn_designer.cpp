@@ -4,11 +4,13 @@
 // the recommended Quartz option.
 //
 //   $ ./dcn_designer 10000 high
+//   $ ./dcn_designer --servers=10000 --utilization=high
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/configurator.hpp"
 #include "core/cost.hpp"
@@ -42,14 +44,27 @@ void print_bom(const CostBreakdown& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int servers = argc > 1 ? std::atoi(argv[1]) : 10'000;
-  const bool high = argc > 2 && std::strcmp(argv[2], "high") == 0;
-  const Utilization utilization = high ? Utilization::kHigh : Utilization::kLow;
-
-  if (servers < 1) {
-    std::printf("usage: %s <servers> [low|high]\n", argv[0]);
+  const Flags flags = Flags::parse(argc, argv);
+  const auto usage = [argv] {
+    std::fprintf(stderr, "usage: %s <servers> [low|high]\n"
+                         "       %s [--servers=N] [--utilization=low|high]\n",
+                 argv[0], argv[0]);
     return 1;
+  };
+  for (const auto& key : flags.unknown_keys({"servers", "utilization"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+    return usage();
   }
+  const auto& positional = flags.positional();
+  if (positional.size() > 2) return usage();
+  int servers = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 10'000;
+  servers = static_cast<int>(flags.get_int("servers", servers));
+  std::string level = positional.size() > 1 ? positional[1] : "low";
+  level = flags.get("utilization", level);
+  if (level != "low" && level != "high") return usage();
+  const Utilization utilization = level == "high" ? Utilization::kHigh : Utilization::kLow;
+
+  if (servers < 1) return usage();
 
   std::printf("DCN designer: %d servers, %s utilization\n", servers,
               utilization_name(utilization).c_str());

@@ -2,16 +2,35 @@
 // on a CWDM ring (Figs. 11-13), running the Thrift-style RPC under
 // Nuttcp-style cross-traffic and comparing against the same switches
 // rewired as a 2-tier tree (the Fig. 14 experiment).
+//
+//   $ ./prototype_testbed [--calls=N]
 #include <cstdio>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "optical/budget.hpp"
 #include "optical/grid.hpp"
 #include "sim/experiments.hpp"
 #include "wavelength/assign.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quartz;
+
+  const Flags flags = Flags::parse(argc, argv);
+  for (const auto& key : flags.unknown_keys({"calls"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+    std::fprintf(stderr, "usage: %s [--calls=N]\n", argv[0]);
+    return 1;
+  }
+  if (!flags.positional().empty()) {
+    std::fprintf(stderr, "usage: %s [--calls=N]\n", argv[0]);
+    return 1;
+  }
+  const int calls = static_cast<int>(flags.get_int("calls", 1'000));
+  if (calls < 1) {
+    std::fprintf(stderr, "--calls must be >= 1\n");
+    return 1;
+  }
 
   std::printf("Quartz prototype testbed (section 6)\n");
   std::printf("================================\n\n");
@@ -44,7 +63,7 @@ int main() {
   for (double mbps : {0.0, 50.0, 100.0, 150.0, 200.0}) {
     sim::CrossTrafficParams params;
     params.cross_mbps = mbps;
-    params.rpc_calls = 1'000;
+    params.rpc_calls = calls;
     const auto tree = sim::run_cross_traffic(sim::PrototypeFabric::kTwoTierTree, params);
     const auto quartz = sim::run_cross_traffic(sim::PrototypeFabric::kQuartz, params);
     if (mbps == 0.0) {
@@ -58,7 +77,7 @@ int main() {
     std::snprintf(qn, sizeof(qn), "%.2f", quartz.mean_rtt_us / quartz_base);
     table.add_row({std::to_string(static_cast<int>(mbps)), t, q, tn, qn});
   }
-  std::printf("RPC under cross-traffic (10,000-call runs in the paper; 1,000 here):\n%s",
+  std::printf("RPC under cross-traffic (10,000-call runs in the paper; %d here):\n%s", calls,
               table.to_text().c_str());
   std::printf(
       "\nconclusion: the tree's shared agg->S3 link queues behind the bursts;\n"

@@ -1,0 +1,176 @@
+// Overload-safe serving on a live Quartz ring.
+//
+// Keeps a small fabric alive on the event engine and streams an
+// open-loop arrival process at it while three defenses guard the SLO:
+// closed-loop admission (concurrency probed to the goodput knee,
+// priority classes shed on sustained p99 breach), retry budgets with
+// deadline propagation, and a make-before-break regroom reacting to a
+// mid-run demand shift.
+//
+//   $ ./quartz_serve                          # defended run, hot shift at 2 ms
+//   $ ./quartz_serve --arrivals=650000        # push well past the knee
+//   $ ./quartz_serve --duel                   # replay the same arrivals undefended
+//   $ ./quartz_serve --blackhole              # gray-fail one lightpath mid-run
+//   $ ./quartz_serve --no-regroom --no-admission --no-retry-budget
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "serve/serve_loop.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using namespace quartz;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--switches=N>=4] [--hosts=N>=1] [--arrivals=REQ_PER_SEC]\n"
+      "          [--duration-ms=N] [--hot=FRACTION] [--shift-ms=N] [--seed=N]\n"
+      "          [--no-admission] [--no-retry-budget] [--no-regroom]\n"
+      "          [--blackhole] [--duel] [--metrics-out=FILE]\n"
+      "  --blackhole  silently blackhole one mesh lightpath mid-run (gray failure)\n"
+      "  --duel       replay the defended run's arrivals against an undefended loop\n",
+      argv0);
+  return 1;
+}
+
+void print_report(const char* label, const serve::ServeReport& r) {
+  std::printf("\n%s:\n", label);
+  Table table({"counter", "value"});
+  table.add_row({"arrivals", std::to_string(r.arrivals)});
+  table.add_row({"admitted", std::to_string(r.admitted)});
+  table.add_row({"shed (class / limit)",
+                 std::to_string(r.shed_class) + " / " + std::to_string(r.shed_limit)});
+  table.add_row({"completed in deadline", std::to_string(r.in_deadline)});
+  table.add_row({"late", std::to_string(r.late)});
+  table.add_row({"failed", std::to_string(r.failed)});
+  table.add_row({"retries (denied / hopeless)",
+                 std::to_string(r.retries) + " (" + std::to_string(r.budget_denied) + " / " +
+                     std::to_string(r.hopeless_dropped) + ")"});
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", r.goodput_per_sec);
+  table.add_row({"goodput (req/s)", buffer});
+  std::snprintf(buffer, sizeof(buffer), "%.1f / %.1f / %.1f", r.p50_us, r.p99_us, r.p999_us);
+  table.add_row({"latency p50/p99/p99.9 (us)", buffer});
+  std::snprintf(buffer, sizeof(buffer), "%.3f", r.retry_amplification);
+  table.add_row({"retry amplification", buffer});
+  table.add_row({"SLO windows breached",
+                 std::to_string(r.windows_breached) + " of " + std::to_string(r.windows_closed)});
+  table.add_row({"admission limit (final / knee)",
+                 std::to_string(r.final_limit) + " / " + std::to_string(r.knee_limit)});
+  table.add_row({"regrooms (pins applied / rejected)",
+                 std::to_string(r.reconfigurations) + " (" + std::to_string(r.pins_applied) +
+                     " / " + std::to_string(r.pins_rejected) + ")"});
+  table.add_row({"conservation", r.conservation_ok ? "ok" : "VIOLATED"});
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  for (const auto& key :
+       flags.unknown_keys({"switches", "hosts", "arrivals", "duration-ms", "hot", "shift-ms",
+                           "seed", "no-admission", "no-retry-budget", "no-regroom", "blackhole",
+                           "duel", "metrics-out"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+    return usage(argv[0]);
+  }
+  if (!flags.positional().empty()) return usage(argv[0]);
+
+  serve::ServeConfig config;
+  config.ring.switches = static_cast<int>(flags.get_int("switches", 4));
+  config.ring.hosts_per_switch = static_cast<int>(flags.get_int("hosts", 2));
+  if (config.ring.switches < 4 || config.ring.hosts_per_switch < 1) return usage(argv[0]);
+  config.ring.mesh_rate = gigabits_per_second(1);
+  config.ring.links.host_rate = gigabits_per_second(1);
+  if (flags.get_int("duration-ms", 10) < 1) return usage(argv[0]);
+  config.duration = milliseconds(flags.get_int("duration-ms", 10));
+  config.drain = milliseconds(8);
+  config.arrivals_per_sec = flags.get_double("arrivals", 450'000.0);
+  if (config.arrivals_per_sec <= 0.0) return usage(argv[0]);
+  config.reply_size = bytes(100);
+  config.timeout = microseconds(1500);
+  config.max_retries = 2;
+  config.classes = {{"gold", 0.2, milliseconds(2)},
+                    {"silver", 0.3, milliseconds(2)},
+                    {"bronze", 0.5, milliseconds(2)}};
+  config.slo.window = microseconds(500);
+  config.slo.budget_p99_us = 1200.0;
+  config.slo.budget_p999_us = 1800.0;
+  const double hot = flags.get_double("hot", 0.9);
+  if (hot < 0.0 || hot > 1.0) return usage(argv[0]);
+  if (hot > 0.0) {
+    config.shifts = {{milliseconds(flags.get_int("shift-ms", 2)), 0, 1, hot}};
+  }
+  config.use_admission = !flags.get_bool("no-admission");
+  config.use_retry_budget = !flags.get_bool("no-retry-budget");
+  config.reconfigure_on_shift = !flags.get_bool("no-regroom");
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  std::printf("Quartz serve: %d switches x %d hosts, %.0f req/s offered for %.0f ms\n",
+              config.ring.switches, config.ring.hosts_per_switch, config.arrivals_per_sec,
+              to_microseconds(config.duration) / 1000.0);
+  std::printf("  defenses: admission %s, retry budget %s, regroom on shift %s\n",
+              config.use_admission ? "on" : "OFF", config.use_retry_budget ? "on" : "OFF",
+              config.reconfigure_on_shift ? "on" : "OFF");
+  if (!config.shifts.empty()) {
+    std::printf("  demand shift: %.0f%% of arrivals onto switch pair 0->1 at %.1f ms\n",
+                100.0 * hot, to_microseconds(config.shifts.front().at) / 1000.0);
+  }
+
+  serve::ServeLoop loop(config);
+  if (flags.get_bool("blackhole")) {
+    // Gray-fail the first mesh lightpath: the failure view never
+    // learns, so only timeouts (and the retry budget) notice.
+    for (const auto& link : loop.topology().graph.links()) {
+      if (link.wdm_channel < 0) continue;
+      const TimePs at = config.duration / 4;
+      loop.network().at(at, [&loop, id = link.id] { loop.network().set_link_loss(id, 1.0); });
+      std::printf("  gray failure: mesh link %u blackholed from %.1f ms\n", link.id,
+                  to_microseconds(at) / 1000.0);
+      break;
+    }
+  }
+  const serve::ServeReport defended = loop.run();
+  print_report("defended run", defended);
+
+  if (flags.get_bool("duel")) {
+    serve::ServeConfig raw = config;
+    raw.use_admission = false;
+    raw.use_retry_budget = false;
+    raw.reconfigure_on_shift = false;
+    const std::vector<serve::TraceEvent> trace = loop.trace();
+    raw.replay = &trace;
+    serve::ServeLoop undefended(raw);
+    const serve::ServeReport baseline = undefended.run();
+    print_report("undefended replay (same arrivals)", baseline);
+    std::printf("duel: defended delivered %llu in-deadline vs %llu undefended (%.2fx)\n",
+                static_cast<unsigned long long>(defended.in_deadline),
+                static_cast<unsigned long long>(baseline.in_deadline),
+                baseline.in_deadline == 0
+                    ? 0.0
+                    : static_cast<double>(defended.in_deadline) /
+                          static_cast<double>(baseline.in_deadline));
+  }
+
+  if (flags.has("metrics-out")) {
+    telemetry::MetricRegistry metrics;
+    loop.publish_metrics(metrics, "serve");
+    const std::string path = flags.get("metrics-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    metrics.write_csv(out);
+    std::printf("metrics: %s\n", path.c_str());
+  }
+  return 0;
+}

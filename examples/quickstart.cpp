@@ -3,9 +3,11 @@
 // through the packet simulator.
 //
 //   $ ./quickstart [switches] [server_ports_per_switch]
+//   $ ./quickstart --switches=8 --server-ports=16
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/design.hpp"
 #include "routing/oracle.hpp"
@@ -16,8 +18,19 @@
 int main(int argc, char** argv) {
   using namespace quartz;
 
-  const int switches = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int server_ports = argc > 2 ? std::atoi(argv[2]) : 16;
+  const Flags flags = Flags::parse(argc, argv);
+  for (const auto& key : flags.unknown_keys({"switches", "server-ports"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+    std::fprintf(stderr, "usage: %s [switches] [server_ports_per_switch]\n"
+                         "       %s [--switches=N] [--server-ports=N]\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  const auto& positional = flags.positional();
+  int switches = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 8;
+  int server_ports = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 16;
+  switches = static_cast<int>(flags.get_int("switches", switches));
+  server_ports = static_cast<int>(flags.get_int("server-ports", server_ports));
 
   // ---- 1. Plan the design -------------------------------------------------
   core::DesignParams params;

@@ -1,5 +1,6 @@
 #include "routing/oracle.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/check.hpp"
@@ -359,6 +360,7 @@ PinnedDetourOracle::PinnedDetourOracle(const EcmpRouting& routing,
 
 void PinnedDetourOracle::pin(topo::NodeId src_host, topo::NodeId dst_host,
                              topo::NodeId via_switch) {
+  QUARTZ_CHECK(!regrooming_, "immediate pin() during an open regroom; use stage_pin");
   QUARTZ_REQUIRE(ring_of(via_switch) >= 0, "detour intermediate must be a ring switch");
   const std::uint64_t key =
       (static_cast<std::uint64_t>(src_host) << 32) | static_cast<std::uint32_t>(dst_host);
@@ -367,7 +369,80 @@ void PinnedDetourOracle::pin(topo::NodeId src_host, topo::NodeId dst_host,
   bump_version();
 }
 
+void PinnedDetourOracle::begin_regroom() {
+  QUARTZ_CHECK(!regrooming_, "regroom transaction already open");
+  regrooming_ = true;
+  staged_.clear();
+}
+
+void PinnedDetourOracle::stage_pin(topo::NodeId src_host, topo::NodeId dst_host,
+                                   topo::NodeId via_switch) {
+  QUARTZ_CHECK(regrooming_, "stage_pin outside a regroom transaction");
+  QUARTZ_REQUIRE(routing().graph().is_host(src_host) && routing().graph().is_host(dst_host),
+                 "pins connect host pairs");
+  QUARTZ_REQUIRE(ring_of(via_switch) >= 0, "detour intermediate must be a ring switch");
+  staged_.push_back({src_host, dst_host, via_switch});
+}
+
+void PinnedDetourOracle::stage_unpin(topo::NodeId src_host, topo::NodeId dst_host) {
+  QUARTZ_CHECK(regrooming_, "stage_unpin outside a regroom transaction");
+  staged_.push_back({src_host, dst_host, topo::kInvalidNode});
+}
+
+bool PinnedDetourOracle::detour_viable(topo::NodeId src, topo::NodeId dst,
+                                       topo::NodeId via) const {
+  const EcmpRouting& r = routing();
+  const topo::NodeId src_tor = r.group_switch(r.group_of(src));
+  const topo::NodeId dst_tor = r.group_switch(r.group_of(dst));
+  if (src_tor == topo::kInvalidNode || dst_tor == topo::kInvalidNode) return false;
+  if (via == src_tor || via == dst_tor) return false;  // not a two-hop detour
+  const topo::LinkId leg1 = mesh_link(src_tor, via);
+  const topo::LinkId leg2 = mesh_link(via, dst_tor);
+  if (leg1 == topo::kInvalidLink || leg2 == topo::kInvalidLink) return false;
+  return !link_dead(leg1) && !link_dead(leg2);
+}
+
+PinnedDetourOracle::RegroomResult PinnedDetourOracle::commit_regroom() {
+  QUARTZ_CHECK(regrooming_, "commit_regroom without an open transaction");
+  RegroomResult result;
+  for (const StagedChange& change : staged_) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(change.src) << 32) | static_cast<std::uint32_t>(change.dst);
+    if (change.via == topo::kInvalidNode) {
+      if (pinned_.erase(key) != 0) ++result.removed;
+    } else if (detour_viable(change.src, change.dst, change.via)) {
+      pinned_[key] = change.via;
+      ++result.applied;
+    } else {
+      // Make-before-break: the replacement path could not be verified,
+      // so the pair keeps whatever route it had.
+      ++result.rejected;
+    }
+  }
+  staged_.clear();
+  regrooming_ = false;
+  rebuild_pin_to_dst();
+  bump_version();
+  return result;
+}
+
+void PinnedDetourOracle::abort_regroom() {
+  QUARTZ_CHECK(regrooming_, "abort_regroom without an open transaction");
+  staged_.clear();
+  regrooming_ = false;
+}
+
+void PinnedDetourOracle::rebuild_pin_to_dst() {
+  std::fill(pin_to_dst_.begin(), pin_to_dst_.end(), 0);
+  for (const auto& [key, via] : pinned_) {
+    (void)via;
+    pin_to_dst_.at(static_cast<std::size_t>(key & 0xFFFFFFFFull)) = 1;
+  }
+}
+
 topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) const {
+  QUARTZ_CHECK(!regrooming_,
+               "routing during an open regroom transaction (half-applied plan)");
   if (const topo::LinkId via_link = follow_via(node, key); via_link != topo::kInvalidLink) {
     return via_link;
   }
@@ -394,6 +469,8 @@ topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) cons
 
 void PinnedDetourOracle::compile_entry(topo::NodeId node, std::int32_t group,
                                        FibCompiler& out) const {
+  QUARTZ_CHECK(!regrooming_,
+               "compiling routes during an open regroom transaction (half-applied plan)");
   const EcmpRouting& routing = this->routing();
   // Any pin toward any member makes the decision depend on key.src (and
   // on vlb state): the whole group stays slow, at every node.

@@ -218,6 +218,16 @@ class VlbOracle : public MeshAwareOracle {
 /// take a two-hop detour through a chosen ring intermediate (the
 /// prototype exposes such paths as per-VLAN virtual interfaces);
 /// everything else follows plain ECMP.
+///
+/// The pin table is also the serve-mode reconfiguration surface: a
+/// demand shift re-grooms hot host pairs over new intermediates through
+/// a staged transaction (begin_regroom / stage_* / commit_regroom)
+/// that applies the whole plan atomically between packets — routing
+/// mid-transaction is an invariant violation (make-before-break), and
+/// commit verifies every new detour's legs against the attached
+/// FailureView before traffic moves onto them.  One version bump per
+/// commit rides the state_epoch() protocol, so the compiled FIB
+/// invalidates once and recompiles lazily mid-flight.
 class PinnedDetourOracle : public MeshAwareOracle {
  public:
   PinnedDetourOracle(const EcmpRouting& routing,
@@ -226,19 +236,59 @@ class PinnedDetourOracle : public MeshAwareOracle {
   /// All packets from src_host to dst_host detour via `via_switch`.
   void pin(topo::NodeId src_host, topo::NodeId dst_host, topo::NodeId via_switch);
 
+  // --- live re-grooming (staged, make-before-break) -------------------------
+
+  /// What one commit_regroom() did.
+  struct RegroomResult {
+    int applied = 0;   ///< staged pins verified and made live
+    int rejected = 0;  ///< staged pins whose detour legs failed verification
+    int removed = 0;   ///< staged unpins that deleted a live pin
+  };
+
+  /// Open a reconfiguration transaction.  Staged changes do not affect
+  /// routing until commit; routing a packet while the transaction is
+  /// open throws (no packet may see a half-applied plan).
+  void begin_regroom();
+  /// Stage a pin / unpin into the open transaction.
+  void stage_pin(topo::NodeId src_host, topo::NodeId dst_host, topo::NodeId via_switch);
+  void stage_unpin(topo::NodeId src_host, topo::NodeId dst_host);
+  /// Verify and apply the staged plan atomically.  A staged pin goes
+  /// live only when both detour legs (src ToR -> via -> dst ToR) exist
+  /// in the mesh and neither is known dead — otherwise it is rejected
+  /// and the pair keeps its previous route (break nothing until the
+  /// replacement is made).  Exactly one epoch bump per commit.
+  RegroomResult commit_regroom();
+  /// Discard the staged plan without touching live state.
+  void abort_regroom();
+  bool regrooming() const { return regrooming_; }
+  /// Live pin count (post-commit view).
+  std::size_t pin_count() const { return pinned_.size(); }
+
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
   void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
 
  private:
+  struct StagedChange {
+    topo::NodeId src = topo::kInvalidNode;
+    topo::NodeId dst = topo::kInvalidNode;
+    topo::NodeId via = topo::kInvalidNode;  ///< kInvalidNode = unpin
+  };
+
   bool has_pin_to(topo::NodeId dst) const {
     return dst >= 0 && static_cast<std::size_t>(dst) < pin_to_dst_.size() &&
            pin_to_dst_[static_cast<std::size_t>(dst)] != 0;
   }
+  void rebuild_pin_to_dst();
+  /// Make-before-break check: both mesh legs of the detour exist and
+  /// are not known dead.
+  bool detour_viable(topo::NodeId src, topo::NodeId dst, topo::NodeId via) const;
 
   std::unordered_map<std::uint64_t, topo::NodeId> pinned_;
   /// Whether any source pins a detour toward this host — pinned
   /// destinations keep the whole group on the slow path.
   std::vector<char> pin_to_dst_;
+  bool regrooming_ = false;
+  std::vector<StagedChange> staged_;
 };
 
 /// Probe of a link direction's instantaneous output-queue delay; the

@@ -1,0 +1,117 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace quartz::serve {
+
+AdmissionController::AdmissionController(Config config, int num_classes)
+    : config_(config),
+      num_classes_(num_classes),
+      limit_(config.initial_limit),
+      stable_limit_(config.initial_limit),
+      knee_limit_(config.initial_limit) {
+  QUARTZ_REQUIRE(num_classes >= 1, "admission needs at least one priority class");
+  QUARTZ_REQUIRE(config.min_limit >= 1 && config.min_limit <= config.initial_limit &&
+                     config.initial_limit <= config.max_limit,
+                 "admission limits must satisfy 1 <= min <= initial <= max");
+  QUARTZ_REQUIRE(config.step > 0.0 && config.step < 1.0, "probe step must be in (0,1)");
+  QUARTZ_REQUIRE(config.smoothing > 0.0 && config.smoothing <= 1.0,
+                 "goodput smoothing must be in (0,1]");
+}
+
+AdmissionController::Decision AdmissionController::admit(int cls, int inflight) const {
+  QUARTZ_REQUIRE(cls >= 0 && cls < num_classes_, "priority class out of range");
+  if (cls >= num_classes_ - shed_classes_) return Decision::kShedClass;
+  if (inflight >= limit_) return Decision::kOverLimit;
+  return Decision::kAdmit;
+}
+
+void AdmissionController::on_window(const telemetry::SloWindow& window) {
+  ++windows_seen_;
+  if (window.completed > 0) {
+    smoothed_ = smoothed_ < 0.0 ? window.goodput_per_sec
+                                : config_.smoothing * window.goodput_per_sec +
+                                      (1.0 - config_.smoothing) * smoothed_;
+  }
+
+  if (window.breached()) {
+    ++breach_streak_;
+    clean_streak_ = 0;
+    // SLO guard: back off first, shed classes only when the breach
+    // survives the backoff for `breach_windows_to_shed` windows.
+    limit_ = std::max(config_.min_limit,
+                      static_cast<int>(static_cast<double>(limit_) * (1.0 - config_.step)));
+    stable_limit_ = limit_;
+    state_ = State::kStable;
+    if (breach_streak_ >= config_.breach_windows_to_shed && shed_classes_ < num_classes_ - 1) {
+      ++shed_classes_;
+      ++shed_events_;
+      breach_streak_ = 0;
+    }
+    return;
+  }
+
+  ++clean_streak_;
+  breach_streak_ = 0;
+  if (shed_classes_ > 0 && clean_streak_ >= config_.clean_windows_to_restore) {
+    --shed_classes_;
+    ++restore_events_;
+    clean_streak_ = 0;
+  }
+
+  // An idle or still-warming window moves nothing.
+  if (smoothed_ < 0.0) return;
+
+  const auto up = [this](int from) {
+    return std::min(config_.max_limit,
+                    std::max(from + 1, static_cast<int>(static_cast<double>(from) *
+                                                        (1.0 + config_.step))));
+  };
+  const auto down = [this](int from) {
+    return std::max(config_.min_limit,
+                    std::min(from - 1, static_cast<int>(static_cast<double>(from) *
+                                                        (1.0 - config_.step))));
+  };
+
+  switch (state_) {
+    case State::kStable:
+      probe_base_ = smoothed_;
+      limit_ = up(stable_limit_);
+      state_ = limit_ > stable_limit_ ? State::kProbingUp : State::kStable;
+      break;
+    case State::kProbingUp:
+      if (smoothed_ > probe_base_ * (1.0 + config_.improve_tolerance)) {
+        // More concurrency bought more goodput: lock it in, keep
+        // climbing toward the knee.
+        stable_limit_ = limit_;
+        if (smoothed_ > knee_goodput_) {
+          knee_goodput_ = smoothed_;
+          knee_limit_ = stable_limit_;
+        }
+        probe_base_ = smoothed_;
+        limit_ = up(limit_);
+        if (limit_ == stable_limit_) state_ = State::kStable;
+      } else {
+        // Flat or worse: the knee is at or below stable — try below.
+        limit_ = down(stable_limit_);
+        state_ = limit_ < stable_limit_ ? State::kProbingDown : State::kStable;
+      }
+      break;
+    case State::kProbingDown:
+      if (smoothed_ >= probe_base_ * (1.0 - config_.improve_tolerance)) {
+        // Same goodput with less concurrency: the knee is lower; keep
+        // the tighter limit (less queueing for the same work).
+        stable_limit_ = limit_;
+        if (smoothed_ >= knee_goodput_ * (1.0 - config_.improve_tolerance)) {
+          knee_limit_ = stable_limit_;
+        }
+      }
+      limit_ = stable_limit_;
+      state_ = State::kStable;
+      break;
+  }
+}
+
+}  // namespace quartz::serve

@@ -1,0 +1,98 @@
+// Closed-loop admission control: probe offered concurrency to the
+// goodput knee, defend the SLO by shedding priority classes.
+//
+// Open-loop traffic does not slow down when the fabric does — past the
+// capacity knee, queues grow without bound, deadlines blow, and
+// timeout-driven retries amplify the overload (congestion collapse).
+// The controller closes the loop the way MongoDB's execution-control
+// throughput probing does: hold a concurrency limit, periodically probe
+// a slightly higher or lower limit, and keep whichever setting measured
+// more goodput.  The limit therefore tracks the knee as capacity moves
+// under failures and reconfigurations, with no model of the fabric at
+// all — only the measured in-deadline completion rate.
+//
+// Layered on top is the SLO guard: a breached window (p99 or p99.9 over
+// budget) immediately backs the limit off multiplicatively, and a
+// *sustained* breach starts shedding whole priority classes, lowest
+// priority first, restoring them one per sustained-clean period.
+//
+// Purely passive arithmetic — the ServeLoop owns the clock, the windows
+// and the counters; this class only decides.
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/slo.hpp"
+
+namespace quartz::serve {
+
+class AdmissionController {
+ public:
+  struct Config {
+    /// Starting concurrency limit (tickets).
+    int initial_limit = 64;
+    int min_limit = 4;
+    int max_limit = 1 << 20;
+    /// Probe step as a fraction of the stable limit.
+    double step = 0.15;
+    /// Weight of the newest window in the goodput EWMA.
+    double smoothing = 0.5;
+    /// Relative goodput gain a probe must show to be accepted.
+    double improve_tolerance = 0.02;
+    /// Consecutive breached windows before a priority class is shed.
+    int breach_windows_to_shed = 2;
+    /// Consecutive clean windows before a shed class is restored.
+    int clean_windows_to_restore = 4;
+  };
+
+  enum class State { kStable, kProbingUp, kProbingDown };
+
+  /// Why an arrival was (not) admitted.
+  enum class Decision {
+    kAdmit,
+    kShedClass,  ///< its priority class is currently shed
+    kOverLimit,  ///< concurrency limit reached
+  };
+
+  AdmissionController(Config config, int num_classes);
+
+  /// Decide one arrival of priority class `cls` (0 = highest) given the
+  /// current in-flight count.  Pure — the caller updates its own
+  /// in-flight bookkeeping on kAdmit.
+  Decision admit(int cls, int inflight) const;
+
+  /// Feed one closed SLO window; moves the probe state machine and the
+  /// shedding level.  Call once per window, in order.
+  void on_window(const telemetry::SloWindow& window);
+
+  int limit() const { return limit_; }
+  State state() const { return state_; }
+  /// Lowest-priority classes currently shed (0 = all classes admitted).
+  int shed_classes() const { return shed_classes_; }
+  double smoothed_goodput() const { return smoothed_ < 0.0 ? 0.0 : smoothed_; }
+  /// Best (limit, goodput) the probe has locked in — the measured knee.
+  int knee_limit() const { return knee_limit_; }
+  double knee_goodput() const { return knee_goodput_; }
+  std::uint64_t windows_seen() const { return windows_seen_; }
+  std::uint64_t shed_events() const { return shed_events_; }
+  std::uint64_t restore_events() const { return restore_events_; }
+
+ private:
+  Config config_;
+  int num_classes_;
+  State state_ = State::kStable;
+  int limit_;
+  int stable_limit_;
+  double smoothed_ = -1.0;  ///< negative until the first non-empty window
+  double probe_base_ = 0.0;
+  int shed_classes_ = 0;
+  int breach_streak_ = 0;
+  int clean_streak_ = 0;
+  int knee_limit_;
+  double knee_goodput_ = 0.0;
+  std::uint64_t windows_seen_ = 0;
+  std::uint64_t shed_events_ = 0;
+  std::uint64_t restore_events_ = 0;
+};
+
+}  // namespace quartz::serve

@@ -1,0 +1,380 @@
+#include "serve/serve_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace quartz::serve {
+namespace {
+
+std::vector<ServeClass> normalize_classes(std::vector<ServeClass> classes) {
+  if (classes.empty()) classes.push_back(ServeClass{});
+  double total = 0.0;
+  for (const ServeClass& c : classes) {
+    QUARTZ_REQUIRE(c.weight > 0.0, "class weights must be positive");
+    QUARTZ_REQUIRE(c.deadline > 0, "class deadlines must be positive");
+    total += c.weight;
+  }
+  for (ServeClass& c : classes) c.weight /= total;
+  return classes;
+}
+
+}  // namespace
+
+ServeLoop::ServeLoop(ServeConfig config)
+    : config_(std::move(config)),
+      classes_(normalize_classes(config_.classes)),
+      topo_(topo::quartz_ring(config_.ring)),
+      routing_(std::make_unique<routing::EcmpRouting>(topo_.graph)),
+      oracle_(std::make_unique<routing::PinnedDetourOracle>(*routing_, topo_.quartz_rings)),
+      fib_(std::make_unique<routing::Fib>(*routing_, *oracle_)),
+      network_(std::make_unique<sim::Network>(topo_, *oracle_, config_.sim)),
+      admission_(config_.admission, static_cast<int>(classes_.size())),
+      slo_(config_.slo),
+      retry_budget_(config_.retry_budget),
+      rng_(config_.seed ^ 0x53455256ull) {  // "SERV"
+  QUARTZ_REQUIRE(config_.duration > 0, "serving needs a positive duration");
+  QUARTZ_REQUIRE(config_.timeout > 0, "a service must time out (timeout > 0)");
+  QUARTZ_REQUIRE(config_.max_retries >= 0, "max_retries cannot be negative");
+  QUARTZ_REQUIRE(config_.replay != nullptr || config_.arrivals_per_sec > 0.0,
+                 "open-loop arrivals need a positive rate");
+  // Every admitted request must resolve inside the drain window: the
+  // worst case is max_retries + 1 back-to-back timeouts after the last
+  // arrival, plus one timeout of slack.
+  QUARTZ_REQUIRE(config_.drain >= config_.timeout * (config_.max_retries + 2),
+                 "drain must cover (max_retries + 2) timeouts");
+
+  cum_weight_.reserve(classes_.size());
+  double acc = 0.0;
+  for (const ServeClass& c : classes_) {
+    acc += c.weight;
+    cum_weight_.push_back(acc);
+  }
+  cum_weight_.back() = 1.0;
+
+  QUARTZ_CHECK(!topo_.quartz_rings.empty(), "serve fabric has no Quartz ring");
+  ring_switches_ = topo_.quartz_rings.front();
+  hosts_by_switch_.resize(ring_switches_.size());
+  for (std::size_t s = 0; s < ring_switches_.size(); ++s) {
+    for (const auto& adj : topo_.graph.neighbors(ring_switches_[s])) {
+      if (topo_.graph.is_host(adj.peer)) hosts_by_switch_[s].push_back(adj.peer);
+    }
+  }
+  for (const DemandShift& shift : config_.shifts) {
+    QUARTZ_REQUIRE(shift.hot_src_switch >= 0 && shift.hot_dst_switch >= 0 &&
+                       static_cast<std::size_t>(shift.hot_src_switch) < ring_switches_.size() &&
+                       static_cast<std::size_t>(shift.hot_dst_switch) < ring_switches_.size() &&
+                       shift.hot_src_switch != shift.hot_dst_switch,
+                   "demand shift needs two distinct ring switches");
+    QUARTZ_REQUIRE(shift.hot_fraction >= 0.0 && shift.hot_fraction <= 1.0,
+                   "hot fraction must be in [0,1]");
+  }
+
+  oracle_->attach_failure_view(&network_->failure_view());
+  network_->set_fib(fib_.get());
+
+  // Request delivery at the server: reply after the service time.  The
+  // server answers every (re)transmission it sees — duplicate replies
+  // for a retried call are ignored at the client by the outstanding
+  // table.
+  request_task_ = network_->new_task([this](const sim::Packet& p, TimePs) {
+    const std::uint64_t id = p.tag;
+    const topo::NodeId server = p.key.dst;
+    const topo::NodeId client = p.key.src;
+    network_->after(config_.service_time, [this, id, server, client] {
+      network_->send(server, client, config_.reply_size, reply_task_,
+                     routing::mix_hash(id ^ 0x5245504Cull), id);  // "REPL"
+    });
+  });
+  reply_task_ = network_->new_task([this](const sim::Packet& p, TimePs) {
+    const auto it = outstanding_.find(p.tag);
+    if (it == outstanding_.end()) return;  // duplicate or abandoned call
+    complete_call(p.tag, network_->now() - it->second.issued_at);
+  });
+}
+
+ServeReport ServeLoop::run() {
+  QUARTZ_CHECK(!ran_, "a ServeLoop runs once");
+  ran_ = true;
+
+  if (config_.replay != nullptr) {
+    schedule_replay_arrivals();
+  } else {
+    const double mean_gap_ps = 1e12 / config_.arrivals_per_sec;
+    const auto first =
+        std::max<TimePs>(1, static_cast<TimePs>(rng_.next_exponential(mean_gap_ps)));
+    network_->at(first, [this] { next_poisson_arrival(); });
+  }
+
+  for (std::size_t i = 0; i < config_.shifts.size(); ++i) {
+    const DemandShift& shift = config_.shifts[i];
+    network_->at(shift.at, [this, i] {
+      active_shift_ = static_cast<int>(i);
+      if (config_.reconfigure_on_shift) {
+        network_->after(config_.reconfigure_delay, [this] { regroom_now(); });
+      }
+    });
+  }
+
+  const TimePs end = config_.duration + config_.drain;
+  for (TimePs t = config_.slo.window; t <= end; t += config_.slo.window) {
+    network_->at(t, [this] { roll_window(); });
+  }
+
+  network_->run_until(end);
+
+  ServeReport report;
+  report.arrivals = arrivals_;
+  report.admitted = admitted_;
+  report.shed_class = shed_class_;
+  report.shed_limit = shed_limit_;
+  report.completed = completed_;
+  report.late = late_;
+  report.in_deadline = completed_ - late_;
+  report.failed = failed_;
+  report.retries = retries_;
+  report.budget_denied = budget_denied_;
+  report.hopeless_dropped = hopeless_dropped_;
+  report.outstanding_at_end = outstanding_.size();
+  report.goodput_per_sec =
+      static_cast<double>(report.in_deadline) / to_seconds(config_.duration);
+  if (!slo_.cumulative_us().empty()) {
+    report.p50_us = slo_.cumulative_us().percentile(50.0);
+    report.p99_us = slo_.cumulative_us().percentile(99.0);
+    report.p999_us = slo_.cumulative_us().percentile(99.9);
+  }
+  report.windows_closed = slo_.windows_closed();
+  report.windows_breached = slo_.windows_breached();
+  report.final_limit = admission_.limit();
+  report.knee_limit = admission_.knee_limit();
+  report.knee_goodput = admission_.knee_goodput();
+  report.reconfigurations = reconfigurations_;
+  report.pins_applied = pins_applied_;
+  report.pins_rejected = pins_rejected_;
+  report.retry_amplification =
+      first_sends_ == 0 ? 1.0
+                        : static_cast<double>(total_sends_) / static_cast<double>(first_sends_);
+  report.conservation_ok =
+      outstanding_.empty() && admitted_ == completed_ + failed_ &&
+      arrivals_ == admitted_ + shed_class_ + shed_limit_;
+  return report;
+}
+
+void ServeLoop::next_poisson_arrival() {
+  if (network_->now() >= config_.duration) return;
+  on_arrival(sample_arrival(network_->now()));
+  const double mean_gap_ps = 1e12 / config_.arrivals_per_sec;
+  const auto gap = std::max<TimePs>(1, static_cast<TimePs>(rng_.next_exponential(mean_gap_ps)));
+  network_->after(gap, [this] { next_poisson_arrival(); });
+}
+
+void ServeLoop::schedule_replay_arrivals() {
+  for (const TraceEvent& ev : *config_.replay) {
+    if (ev.at >= config_.duration) continue;
+    QUARTZ_REQUIRE(ev.cls >= 0 && static_cast<std::size_t>(ev.cls) < classes_.size(),
+                   "trace event class out of range");
+    network_->at(ev.at, [this, ev] { on_arrival(ev); });
+  }
+}
+
+TraceEvent ServeLoop::sample_arrival(TimePs when) {
+  TraceEvent ev;
+  ev.at = when;
+  const double u = rng_.next_double();
+  ev.cls = static_cast<int>(
+      std::lower_bound(cum_weight_.begin(), cum_weight_.end(), u) - cum_weight_.begin());
+  ev.cls = std::min<int>(ev.cls, static_cast<int>(classes_.size()) - 1);
+
+  std::size_t src_sw = 0;
+  std::size_t dst_sw = 0;
+  if (active_shift_ >= 0 &&
+      rng_.next_double() <
+          config_.shifts[static_cast<std::size_t>(active_shift_)].hot_fraction) {
+    const DemandShift& shift = config_.shifts[static_cast<std::size_t>(active_shift_)];
+    src_sw = static_cast<std::size_t>(shift.hot_src_switch);
+    dst_sw = static_cast<std::size_t>(shift.hot_dst_switch);
+  } else {
+    const std::size_t n = ring_switches_.size();
+    src_sw = rng_.next_below(n);
+    dst_sw = rng_.next_below(n);
+    while (dst_sw == src_sw) dst_sw = rng_.next_below(n);
+  }
+  const auto& src_hosts = hosts_by_switch_[src_sw];
+  const auto& dst_hosts = hosts_by_switch_[dst_sw];
+  QUARTZ_CHECK(!src_hosts.empty() && !dst_hosts.empty(), "ring switch has no hosts");
+  ev.src = src_hosts[rng_.next_below(src_hosts.size())];
+  ev.dst = dst_hosts[rng_.next_below(dst_hosts.size())];
+  return ev;
+}
+
+void ServeLoop::on_arrival(const TraceEvent& ev) {
+  ++arrivals_;
+  trace_.push_back(ev);
+  if (config_.use_admission) {
+    switch (admission_.admit(ev.cls, static_cast<int>(outstanding_.size()))) {
+      case AdmissionController::Decision::kShedClass:
+        ++shed_class_;
+        return;
+      case AdmissionController::Decision::kOverLimit:
+        ++shed_limit_;
+        return;
+      case AdmissionController::Decision::kAdmit:
+        break;
+    }
+  }
+  ++admitted_;
+  const std::uint64_t id = next_id_++;
+  Call call;
+  call.cls = ev.cls;
+  call.src = ev.src;
+  call.dst = ev.dst;
+  call.issued_at = network_->now();
+  call.deadline = network_->now() + classes_[static_cast<std::size_t>(ev.cls)].deadline;
+  call.flow_id = rng_.next_u64();
+  outstanding_.emplace(id, call);
+  send_attempt(id);
+}
+
+void ServeLoop::send_attempt(std::uint64_t id) {
+  const auto it = outstanding_.find(id);
+  QUARTZ_CHECK(it != outstanding_.end(), "sending an attempt for an unknown call");
+  Call& call = it->second;
+  ++total_sends_;
+  if (call.attempt == 0) {
+    ++first_sends_;
+    retry_budget_.on_first_attempt();
+  }
+  // Re-hash per attempt so a retry may take a different equal-cost path
+  // than the transmission that just timed out.
+  network_->send(call.src, call.dst, config_.request_size, request_task_,
+                 call.flow_id + static_cast<std::uint64_t>(call.attempt), id);
+  const int attempt = call.attempt;
+  network_->after(config_.timeout, [this, id, attempt] { on_timeout(id, attempt); });
+}
+
+void ServeLoop::on_timeout(std::uint64_t id, int attempt) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end() || it->second.attempt != attempt) return;  // resolved or retried
+  Call& call = it->second;
+  release_retry_slot(call);
+
+  // Deadline propagation: a retry whose reply cannot possibly arrive in
+  // time only adds load — drop the call instead.
+  const TimePs now = network_->now();
+  const bool hopeless =
+      now >= call.deadline ||
+      (min_rtt_us_ >= 0.0 && now + static_cast<TimePs>(min_rtt_us_ * 1e6) > call.deadline);
+  if (hopeless) {
+    ++hopeless_dropped_;
+    fail_call(id);
+    return;
+  }
+  if (call.attempt >= config_.max_retries) {
+    fail_call(id);
+    return;
+  }
+  if (config_.use_retry_budget) {
+    if (!retry_budget_.try_acquire()) {
+      ++budget_denied_;
+      fail_call(id);
+      return;
+    }
+    call.holding_retry_slot = true;
+  }
+  ++call.attempt;
+  ++retries_;
+  send_attempt(id);
+}
+
+void ServeLoop::complete_call(std::uint64_t id, TimePs latency) {
+  const auto it = outstanding_.find(id);
+  QUARTZ_CHECK(it != outstanding_.end(), "completing an unknown call");
+  Call& call = it->second;
+  release_retry_slot(call);
+  const bool in_deadline = network_->now() <= call.deadline;
+  const double us = to_microseconds(latency);
+  slo_.record(us, in_deadline);
+  if (min_rtt_us_ < 0.0 || us < min_rtt_us_) min_rtt_us_ = us;
+  ++completed_;
+  if (!in_deadline) ++late_;
+  outstanding_.erase(it);
+}
+
+void ServeLoop::fail_call(std::uint64_t id) {
+  const auto it = outstanding_.find(id);
+  QUARTZ_CHECK(it != outstanding_.end(), "failing an unknown call");
+  release_retry_slot(it->second);
+  ++failed_;
+  outstanding_.erase(it);
+}
+
+void ServeLoop::release_retry_slot(Call& call) {
+  if (!call.holding_retry_slot) return;
+  retry_budget_.release();
+  call.holding_retry_slot = false;
+}
+
+void ServeLoop::regroom_now() {
+  oracle_->begin_regroom();
+  for (const auto& [src, dst] : live_pins_) oracle_->stage_unpin(src, dst);
+  live_pins_.clear();
+  if (active_shift_ >= 0) {
+    const DemandShift& shift = config_.shifts[static_cast<std::size_t>(active_shift_)];
+    // Spread the hot pair's demand over two-hop detours via every other
+    // ring switch, round-robin across the host pairs (Valiant-style
+    // re-grooming of one saturated lightpath).
+    std::vector<topo::NodeId> vias;
+    for (std::size_t s = 0; s < ring_switches_.size(); ++s) {
+      if (s != static_cast<std::size_t>(shift.hot_src_switch) &&
+          s != static_cast<std::size_t>(shift.hot_dst_switch)) {
+        vias.push_back(ring_switches_[s]);
+      }
+    }
+    if (!vias.empty()) {
+      std::size_t next_via = 0;
+      const auto& src_hosts = hosts_by_switch_[static_cast<std::size_t>(shift.hot_src_switch)];
+      const auto& dst_hosts = hosts_by_switch_[static_cast<std::size_t>(shift.hot_dst_switch)];
+      for (const topo::NodeId src : src_hosts) {
+        for (const topo::NodeId dst : dst_hosts) {
+          oracle_->stage_pin(src, dst, vias[next_via]);
+          next_via = (next_via + 1) % vias.size();
+          live_pins_.emplace_back(src, dst);
+        }
+      }
+    }
+  }
+  const auto result = oracle_->commit_regroom();
+  ++reconfigurations_;
+  pins_applied_ += static_cast<std::uint64_t>(result.applied);
+  pins_rejected_ += static_cast<std::uint64_t>(result.rejected);
+}
+
+void ServeLoop::roll_window() {
+  const telemetry::SloWindow& window = slo_.roll(network_->now());
+  if (config_.use_admission) admission_.on_window(window);
+}
+
+void ServeLoop::publish_metrics(telemetry::MetricRegistry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + ".arrivals").inc(arrivals_);
+  registry.counter(prefix + ".admitted").inc(admitted_);
+  registry.counter(prefix + ".shed_class").inc(shed_class_);
+  registry.counter(prefix + ".shed_limit").inc(shed_limit_);
+  registry.counter(prefix + ".failed").inc(failed_);
+  registry.counter(prefix + ".retries").inc(retries_);
+  registry.counter(prefix + ".retry_budget_denied").inc(budget_denied_);
+  registry.counter(prefix + ".hopeless_dropped").inc(hopeless_dropped_);
+  registry.counter(prefix + ".reconfigurations").inc(reconfigurations_);
+  registry.counter(prefix + ".pins_applied").inc(pins_applied_);
+  registry.counter(prefix + ".pins_rejected").inc(pins_rejected_);
+  registry.gauge(prefix + ".admission_limit").set(admission_.limit());
+  registry.gauge(prefix + ".shed_classes").set(admission_.shed_classes());
+  registry.gauge(prefix + ".retry_amplification")
+      .set(first_sends_ == 0 ? 1.0
+                             : static_cast<double>(total_sends_) /
+                                   static_cast<double>(first_sends_));
+  slo_.publish(registry, prefix + ".slo");
+}
+
+}  // namespace quartz::serve

@@ -1,0 +1,245 @@
+// A long-running service loop on a Quartz ring: open-loop arrivals,
+// closed-loop admission, retry budgets and live re-grooming.
+//
+// Batch experiments end; a service does not.  ServeLoop keeps a fabric
+// alive on the event engine and streams an open-loop request process at
+// it (Poisson arrivals, or a replayed trace of a previous run), while
+// three defenses keep the SLO intact as offered load and topology move
+// underneath it:
+//
+//  * admission — an AdmissionController probes offered concurrency to
+//    the goodput knee and sheds priority classes on sustained p99
+//    breach (requests over the limit or in a shed class are rejected at
+//    the door instead of queueing to death);
+//  * retry budgets — timeouts retry only while a shared
+//    sim::RetryBudget has tokens, and never once the deadline makes
+//    the retry hopeless (deadline propagation), so loss cannot amplify
+//    load into an already-overloaded ring; and
+//  * live re-grooming — scripted demand shifts concentrate traffic on
+//    one switch pair; the loop reacts by staging detour pins that
+//    spread the hot demand across intermediate ring switches and
+//    committing them make-before-break (PinnedDetourOracle regroom),
+//    which bumps the routing epoch and lazily invalidates the FIB.
+//
+// Every arrival is recorded, so a run's trace can be replayed verbatim
+// against a different configuration (the bench duels controlled vs
+// uncontrolled on identical arrivals).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "routing/fib.hpp"
+#include "routing/oracle.hpp"
+#include "serve/admission.hpp"
+#include "sim/network.hpp"
+#include "sim/retry_budget.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "topo/builders.hpp"
+
+namespace quartz::serve {
+
+/// A priority class (index order is priority order: 0 = highest, shed
+/// last).
+struct ServeClass {
+  std::string name = "default";
+  /// Share of arrivals (weights are normalised across classes).
+  double weight = 1.0;
+  /// Per-request deadline; completions after it are late (not goodput).
+  TimePs deadline = milliseconds(2);
+};
+
+/// One request arrival — the unit of the replayable trace.
+struct TraceEvent {
+  TimePs at = 0;
+  int cls = 0;
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+};
+
+/// A scripted change in the traffic matrix: from `at`, `hot_fraction`
+/// of new arrivals go from a host on `hot_src_switch` to a host on
+/// `hot_dst_switch` (switch indices into the ring).
+struct DemandShift {
+  TimePs at = 0;
+  int hot_src_switch = 0;
+  int hot_dst_switch = 1;
+  double hot_fraction = 0.8;
+};
+
+struct ServeConfig {
+  topo::QuartzRingParams ring;
+  /// Arrivals stream over [0, duration); the loop then drains until
+  /// duration + drain so every admitted request resolves.
+  TimePs duration = milliseconds(20);
+  TimePs drain = milliseconds(10);
+  /// Open-loop offered load (ignored when `replay` is set).
+  double arrivals_per_sec = 100'000.0;
+  std::vector<ServeClass> classes;  ///< empty = one default class
+  Bits request_size = sim::kDefaultPacketSize;
+  Bits reply_size = sim::kDefaultPacketSize;
+  /// Server-side service time before the reply.
+  TimePs service_time = 0;
+  /// Client-side RPC timeout (must be positive: a service retries).
+  TimePs timeout = microseconds(500);
+  int max_retries = 3;
+
+  // --- defenses (each independently switchable for duels) ------------
+  bool use_admission = true;
+  AdmissionController::Config admission;
+  bool use_retry_budget = true;
+  sim::RetryBudget::Config retry_budget;
+  telemetry::SloTracker::Config slo;
+
+  // --- demand shifts and re-grooming ---------------------------------
+  std::vector<DemandShift> shifts;
+  /// React to each shift with a make-before-break regroom this long
+  /// after the shift lands (0 = immediately).
+  bool reconfigure_on_shift = true;
+  TimePs reconfigure_delay = microseconds(200);
+
+  /// Replay these arrivals instead of sampling Poisson ones; the
+  /// pointer must outlive run().
+  const std::vector<TraceEvent>* replay = nullptr;
+
+  std::uint64_t seed = 1;
+  sim::SimConfig sim;
+};
+
+struct ServeReport {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_class = 0;  ///< rejected: priority class shed
+  std::uint64_t shed_limit = 0;  ///< rejected: concurrency limit
+  std::uint64_t completed = 0;   ///< reply accepted (in deadline or late)
+  std::uint64_t in_deadline = 0;
+  std::uint64_t late = 0;
+  std::uint64_t failed = 0;  ///< abandoned: retries exhausted, denied or hopeless
+  std::uint64_t retries = 0;
+  std::uint64_t budget_denied = 0;
+  std::uint64_t hopeless_dropped = 0;  ///< retries dropped by deadline propagation
+  std::uint64_t outstanding_at_end = 0;
+  /// In-deadline completions per second of serving time (the run's
+  /// goodput).
+  double goodput_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t windows_breached = 0;
+  int final_limit = 0;
+  int knee_limit = 0;
+  double knee_goodput = 0.0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t pins_applied = 0;
+  std::uint64_t pins_rejected = 0;
+  /// Total request sends / first sends (1.0 = no retries at all).
+  double retry_amplification = 1.0;
+  /// admitted == completed + failed, with nothing still outstanding.
+  bool conservation_ok = false;
+};
+
+class ServeLoop {
+ public:
+  explicit ServeLoop(ServeConfig config);
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  /// The live simulation — schedule chaos (fail_link / set_link_loss)
+  /// against it between construction and run().
+  sim::Network& network() { return *network_; }
+  const topo::BuiltTopology& topology() const { return topo_; }
+  routing::PinnedDetourOracle& oracle() { return *oracle_; }
+  const AdmissionController& admission() const { return admission_; }
+  const telemetry::SloTracker& slo() const { return slo_; }
+  const sim::RetryBudget& retry_budget() const { return retry_budget_; }
+
+  /// Run to duration + drain and harvest.  Call once.
+  ServeReport run();
+
+  /// Every arrival of the run, replayable via ServeConfig::replay.
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Trigger one make-before-break regroom now, spreading each shifted
+  /// hot pair's demand across intermediate ring switches.  Normally
+  /// scheduled automatically per DemandShift; exposed so chaos
+  /// harnesses can reconfigure mid-storm.
+  void regroom_now();
+
+  /// Export serve counters and SLO gauges under `<prefix>.`.
+  void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
+
+ private:
+  struct Call {
+    int cls = 0;
+    topo::NodeId src = topo::kInvalidNode;
+    topo::NodeId dst = topo::kInvalidNode;
+    TimePs issued_at = 0;
+    TimePs deadline = 0;
+    std::uint64_t flow_id = 0;
+    int attempt = 0;
+    bool holding_retry_slot = false;
+  };
+
+  void next_poisson_arrival();
+  void schedule_replay_arrivals();
+  void on_arrival(const TraceEvent& ev);
+  void send_attempt(std::uint64_t id);
+  void on_timeout(std::uint64_t id, int attempt);
+  void complete_call(std::uint64_t id, TimePs latency);
+  void fail_call(std::uint64_t id);
+  void release_retry_slot(Call& call);
+  TraceEvent sample_arrival(TimePs when);
+  void roll_window();
+
+  ServeConfig config_;
+  std::vector<ServeClass> classes_;
+  std::vector<double> cum_weight_;
+  topo::BuiltTopology topo_;
+  /// Ring switches in ring order, and each switch's hosts.
+  std::vector<topo::NodeId> ring_switches_;
+  std::vector<std::vector<topo::NodeId>> hosts_by_switch_;
+  std::unique_ptr<routing::EcmpRouting> routing_;
+  std::unique_ptr<routing::PinnedDetourOracle> oracle_;
+  std::unique_ptr<routing::Fib> fib_;
+  std::unique_ptr<sim::Network> network_;
+  AdmissionController admission_;
+  telemetry::SloTracker slo_;
+  sim::RetryBudget retry_budget_;
+  Rng rng_;
+  int request_task_ = -1;
+  int reply_task_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Call> outstanding_;
+  std::vector<TraceEvent> trace_;
+  /// Active demand shift (last one whose time has passed); -1 = none.
+  int active_shift_ = -1;
+  /// Pins applied by the previous regroom (unpinned by the next).
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> live_pins_;
+  double min_rtt_us_ = -1.0;  ///< fastest completion seen (deadline propagation)
+  bool ran_ = false;
+
+  // counters (mirrored into ServeReport)
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_class_ = 0;
+  std::uint64_t shed_limit_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t late_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t budget_denied_ = 0;
+  std::uint64_t hopeless_dropped_ = 0;
+  std::uint64_t first_sends_ = 0;
+  std::uint64_t total_sends_ = 0;
+  std::uint64_t reconfigurations_ = 0;
+  std::uint64_t pins_applied_ = 0;
+  std::uint64_t pins_rejected_ = 0;
+};
+
+}  // namespace quartz::serve

@@ -1,0 +1,105 @@
+// Retry budgets: bounding retry amplification under overload.
+//
+// Timeout-driven retries are self-amplifying: when a fabric (or one
+// link) starts losing packets, every loss becomes another send, and the
+// extra load produces more losses.  A RetryBudget caps that feedback
+// loop with two cooperating mechanisms:
+//
+//  * a token bucket — every first attempt earns `ratio` tokens (up to
+//    `burst`), every retry spends one, so sustained retry traffic can
+//    never exceed `ratio` x the admitted request rate no matter how
+//    lossy the fabric gets (amplification <= 1 + ratio in steady
+//    state); and
+//  * an in-flight ceiling — at most `max_inflight` retransmissions may
+//    be outstanding at once across every workload sharing the budget,
+//    so a synchronized timeout burst cannot dump its whole backlog
+//    back into an already-overloaded ring.
+//
+// One budget may be shared by any number of request sources (that is
+// the point: the cap is global, not per-call).  Purely passive
+// bookkeeping — the owner decides what a denied retry means (abandon
+// the call, surface an error).  Thread-confined like everything else
+// on the simulation thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace quartz::sim {
+
+class RetryBudget {
+ public:
+  struct Config {
+    /// Tokens earned per first attempt: the sustained retry-to-request
+    /// ratio the budget allows.  0.1 = "retries may add 10% load".
+    double ratio = 0.1;
+    /// Bucket depth: how many retries may burst after a quiet period.
+    double burst = 10.0;
+    /// Ceiling on concurrently outstanding retransmissions; <= 0 means
+    /// no ceiling (the token bucket still applies).
+    int max_inflight = 0;
+  };
+
+  RetryBudget() : RetryBudget(Config()) {}
+  explicit RetryBudget(Config config) : config_(config), tokens_(config.burst) {
+    QUARTZ_REQUIRE(config.ratio >= 0.0, "retry ratio cannot be negative");
+    QUARTZ_REQUIRE(config.burst >= 0.0, "retry burst cannot be negative");
+  }
+
+  /// A first attempt was sent: accrue the earned fraction of a retry.
+  void on_first_attempt() {
+    tokens_ = std::min(config_.burst, tokens_ + config_.ratio);
+    ++first_attempts_;
+  }
+
+  /// Ask to send one retransmission.  On success the caller holds one
+  /// in-flight slot and MUST release() it when the retried call
+  /// resolves (completes, is abandoned, or retries again).
+  bool try_acquire() {
+    if (config_.max_inflight > 0 && inflight_ >= config_.max_inflight) {
+      ++denied_;
+      return false;
+    }
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++inflight_;
+    ++granted_;
+    return true;
+  }
+
+  /// Release an in-flight slot obtained from try_acquire().
+  void release() {
+    QUARTZ_CHECK(inflight_ > 0, "retry budget released more slots than acquired");
+    --inflight_;
+  }
+
+  double tokens() const { return tokens_; }
+  int inflight() const { return inflight_; }
+  std::uint64_t first_attempts() const { return first_attempts_; }
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t denied() const { return denied_; }
+  /// Upper bound on send amplification the budget permits so far:
+  /// (first attempts + granted retries) / first attempts.
+  double amplification_bound() const {
+    return first_attempts_ == 0
+               ? 1.0
+               : 1.0 + static_cast<double>(granted_) / static_cast<double>(first_attempts_);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double tokens_;
+  int inflight_ = 0;
+  std::uint64_t first_attempts_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace quartz::sim

@@ -143,6 +143,7 @@ RpcWorkload::RpcWorkload(Network& network, topo::NodeId client, topo::NodeId ser
     // reply to the call we are waiting on.
     if (!awaiting_ || packet.tag != call_seq_) return;
     awaiting_ = false;
+    release_retry_slot();
     const double rtt = to_microseconds(network_.now() - issued_at_);
     rtts_.add(rtt);
     if (attempt_ > 0) recovery_us_.add(rtt);
@@ -169,6 +170,7 @@ void RpcWorkload::issue() {
   attempt_ = 0;
   awaiting_ = true;
   issued_at_ = network_.now();
+  if (params_.retry_budget != nullptr) params_.retry_budget->on_first_attempt();
   send_attempt();
 }
 
@@ -181,11 +183,17 @@ void RpcWorkload::send_attempt() {
     // Stale timer: the call completed, was abandoned, or a retransmit
     // already superseded this attempt.
     if (!awaiting_ || call_seq_ != seq || attempt_ != attempt) return;
-    if (attempt_ >= params_.max_retries) {
-      awaiting_ = false;
-      ++abandoned_;
-      if (completed_ + abandoned_ < params_.calls) issue();
-      return;
+    // The attempt that timed out is resolved (unanswered): its budget
+    // slot is free before we decide whether to retransmit again.
+    release_retry_slot();
+    if (attempt_ >= params_.max_retries) return abandon_call();
+    if (params_.retry_budget != nullptr) {
+      if (!params_.retry_budget->try_acquire()) {
+        // The budget would rather fail this call than feed the storm.
+        ++budget_denied_;
+        return abandon_call();
+      }
+      holding_retry_slot_ = true;
     }
     ++attempt_;
     ++total_retries_;
@@ -193,6 +201,19 @@ void RpcWorkload::send_attempt() {
       if (awaiting_ && call_seq_ == seq) send_attempt();
     });
   });
+}
+
+void RpcWorkload::abandon_call() {
+  awaiting_ = false;
+  release_retry_slot();
+  ++abandoned_;
+  if (completed_ + abandoned_ < params_.calls) issue();
+}
+
+void RpcWorkload::release_retry_slot() {
+  if (!holding_retry_slot_) return;
+  params_.retry_budget->release();
+  holding_retry_slot_ = false;
 }
 
 TimePs RpcWorkload::backoff_delay(int retry) const {
@@ -290,6 +311,7 @@ void RpcWorkload::publish_metrics(telemetry::MetricRegistry& registry,
   registry.counter(prefix + ".completed").inc(static_cast<std::uint64_t>(completed_));
   registry.counter(prefix + ".abandoned").inc(static_cast<std::uint64_t>(abandoned_));
   registry.counter(prefix + ".retries").inc(total_retries_);
+  registry.counter(prefix + ".retry_budget_denied").inc(budget_denied_);
   telemetry::LatencyRecorder& rtt = registry.latency(prefix + ".rtt_us");
   for (double s : rtts_.samples()) rtt.add_us(s);
   telemetry::LatencyRecorder& recovery = registry.latency(prefix + ".recovery_us");

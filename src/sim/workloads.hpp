@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sim/network.hpp"
+#include "sim/retry_budget.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace quartz::sim {
@@ -160,6 +161,11 @@ struct RpcParams {
   TimePs backoff_base = microseconds(100);
   double backoff_multiplier = 2.0;
   TimePs backoff_cap = milliseconds(50);
+  /// Optional retry budget (may be shared across workloads — the cap is
+  /// then global).  A retry the budget denies abandons the call instead
+  /// of amplifying load into an already-lossy fabric; nullptr keeps the
+  /// unbudgeted per-call max_retries behaviour.
+  RetryBudget* retry_budget = nullptr;
 };
 
 /// Serial RPC: the next call starts when the previous response lands.
@@ -183,6 +189,8 @@ class RpcWorkload {
   /// recovery-time distribution across a failure.
   const SampleSet& recovery_us() const { return recovery_us_; }
   std::uint64_t total_retries() const { return total_retries_; }
+  /// Retries the attached RetryBudget refused (each abandons its call).
+  std::uint64_t budget_denied_retries() const { return budget_denied_; }
   int completed_calls() const { return completed_; }
   /// Calls abandoned after max_retries (permanent failures).
   int abandoned_calls() const { return abandoned_; }
@@ -194,6 +202,8 @@ class RpcWorkload {
  private:
   void issue();
   void send_attempt();
+  void abandon_call();
+  void release_retry_slot();
   TimePs backoff_delay(int retry) const;
 
   Network& network_;
@@ -205,6 +215,8 @@ class RpcWorkload {
   std::uint64_t call_seq_ = 0;  ///< current call id, carried as packet tag
   int attempt_ = 0;             ///< retransmissions of the current call
   bool awaiting_ = false;
+  bool holding_retry_slot_ = false;  ///< current attempt occupies a budget slot
+  std::uint64_t budget_denied_ = 0;
   int completed_ = 0;
   int abandoned_ = 0;
   std::uint64_t total_retries_ = 0;

@@ -1,0 +1,65 @@
+#include "telemetry/slo.hpp"
+
+#include "common/check.hpp"
+
+namespace quartz::telemetry {
+
+SloTracker::SloTracker(Config config) : config_(config) {
+  QUARTZ_REQUIRE(config.window > 0, "SLO window must be positive");
+}
+
+void SloTracker::record(double latency_us, bool in_deadline) {
+  QUARTZ_REQUIRE(latency_us >= 0.0, "latency cannot be negative");
+  window_samples_.add(latency_us);
+  if (in_deadline) ++window_in_deadline_;
+  cumulative_.add(latency_us);
+  ++total_completed_;
+  if (in_deadline) ++total_in_deadline_;
+}
+
+const SloWindow& SloTracker::roll(TimePs now) {
+  QUARTZ_CHECK(now >= window_start_, "SLO window closed before it opened");
+  SloWindow w;
+  w.start = window_start_;
+  w.end = now;
+  w.completed = window_samples_.count();
+  w.in_deadline = window_in_deadline_;
+  if (!window_samples_.empty()) {
+    w.p50_us = window_samples_.percentile(50.0);
+    w.p99_us = window_samples_.percentile(99.0);
+    w.p999_us = window_samples_.percentile(99.9);
+    w.max_us = window_samples_.max();
+    w.p99_breach = config_.budget_p99_us > 0.0 && w.p99_us > config_.budget_p99_us;
+    w.p999_breach = config_.budget_p999_us > 0.0 && w.p999_us > config_.budget_p999_us;
+  }
+  const double span_sec = to_seconds(now - window_start_);
+  w.goodput_per_sec = span_sec > 0.0 ? static_cast<double>(w.in_deadline) / span_sec : 0.0;
+
+  last_ = w;
+  ++windows_closed_;
+  if (w.breached()) {
+    ++windows_breached_;
+    ++consecutive_breaches_;
+  } else {
+    consecutive_breaches_ = 0;
+  }
+
+  window_start_ = now;
+  window_samples_ = SampleSet();
+  window_in_deadline_ = 0;
+  return last_;
+}
+
+void SloTracker::publish(MetricRegistry& registry, const std::string& prefix) const {
+  registry.gauge(prefix + ".window_p99_us").set(last_.p99_us);
+  registry.gauge(prefix + ".window_p999_us").set(last_.p999_us);
+  registry.gauge(prefix + ".window_goodput_per_sec").set(last_.goodput_per_sec);
+  registry.counter(prefix + ".windows_closed").inc(windows_closed_);
+  registry.counter(prefix + ".windows_breached").inc(windows_breached_);
+  registry.counter(prefix + ".completed").inc(total_completed_);
+  registry.counter(prefix + ".in_deadline").inc(total_in_deadline_);
+  auto& lat = registry.latency(prefix + ".latency_us");
+  for (const double us : cumulative_.samples()) lat.add_us(us);
+}
+
+}  // namespace quartz::telemetry

@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "chaos/slo_storm.hpp"
+
 namespace quartz::chaos {
 namespace {
 
@@ -55,6 +57,23 @@ TEST(ChaosSoak, FixedDelaySweepHoldsAllInvariants) {
   base.seed = env_u64("QUARTZ_CHAOS_SEED", 1);
   base.mode = DetectionMode::kFixedDelay;
   expect_sweep_passes(base, static_cast<int>(env_u64("QUARTZ_CHAOS_STORMS", 10)));
+}
+
+TEST(ChaosSoak, SloStormSweepReconfiguresMidChaosAndHoldsInvariants) {
+  // The defended serve stack — admission, retry budgets, and a regroom
+  // fired mid-storm — against full-length cut + blackhole storms.
+  SloStormParams base;  // full-length default SLO storm
+  base.seed = env_u64("QUARTZ_CHAOS_SEED", 1);
+  const int storms = static_cast<int>(env_u64("QUARTZ_CHAOS_STORMS", 10));
+  const int jobs = static_cast<int>(env_u64("QUARTZ_CHAOS_JOBS", 1));
+  const std::vector<SloStormReport> reports = run_slo_sweep(base, storms, jobs);
+  ASSERT_EQ(reports.size(), static_cast<std::size_t>(storms));
+  for (const SloStormReport& r : reports) {
+    std::cout << r.summary() << '\n';
+    EXPECT_TRUE(r.passed()) << r.summary();
+    EXPECT_EQ(r.serve.reconfigurations, 1u) << r.summary();
+    EXPECT_LE(r.serve.retry_amplification, 2.0) << r.summary();
+  }
 }
 
 }  // namespace

@@ -157,6 +157,115 @@ TEST(HealthMonitor, QuietPeriodResetsFlapPenalty) {
   EXPECT_EQ(suppression_lengths[2], microseconds(100));
 }
 
+TEST(HealthMonitor, RecoveryLandsExactlyAtTheHoldDownBoundary) {
+  // The hold-down is inclusive of its start and exclusive of its end: a
+  // probe one tick before `suppressed_until` is damped, a probe exactly
+  // at it revives.  Drive the penalty all the way to hold_down_cap so
+  // the boundary tested is the cap itself.
+  HealthMonitor monitor(1, fast_config());
+  TimePs suppressed_until = 0;
+  monitor.set_damp_hook([&](topo::LinkId, TimePs until, TimePs) { suppressed_until = until; });
+
+  // Flap until the penalty saturates: 100 -> 200 -> 400 -> 800 -> 1600.
+  TimePs t = 0;
+  TimePs last_death = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+    last_death = t;
+    while (monitor.health(0) == LinkHealth::kDead) {
+      monitor.record_probe(0, true, t += microseconds(10));
+    }
+  }
+  // One more rapid death: the hold-down is pinned at the cap.
+  for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+  last_death = t;
+  ASSERT_EQ(monitor.health(0), LinkHealth::kDead);
+
+  // Build the ack streak, then probe one tick inside the window.
+  for (int i = 0; i < 3; ++i) monitor.record_probe(0, true, t += microseconds(10));
+  monitor.record_probe(0, true, last_death + fast_config().hold_down_cap - 1);
+  EXPECT_EQ(monitor.health(0), LinkHealth::kDead);
+  EXPECT_EQ(suppressed_until, last_death + fast_config().hold_down_cap);
+
+  // Exactly at the boundary the pending recovery goes through.
+  const std::uint64_t revivals_before = monitor.revivals();
+  monitor.record_probe(0, true, last_death + fast_config().hold_down_cap);
+  EXPECT_NE(monitor.health(0), LinkHealth::kDead);
+  EXPECT_EQ(monitor.revivals(), revivals_before + 1);
+}
+
+TEST(HealthMonitor, FlapMemoryBoundaryDecidesWhetherTheHoldDownDoubles) {
+  // A re-death exactly flap_memory after the previous death still
+  // counts as a flap (<=) and doubles the hold-down; one tick later the
+  // penalty resets to the base.
+  const HealthMonitorConfig config = fast_config();
+  for (const TimePs gap : {config.flap_memory, config.flap_memory + 1}) {
+    HealthMonitor monitor(1, config);
+    std::vector<TimePs> suppression_lengths;
+    TimePs last_death = 0;
+    monitor.set_transition_hook([&](topo::LinkId, LinkHealth, LinkHealth to, TimePs when) {
+      if (to == LinkHealth::kDead) last_death = when;
+    });
+    monitor.set_damp_hook([&](topo::LinkId, TimePs until, TimePs) {
+      suppression_lengths.push_back(until - last_death);
+    });
+
+    TimePs t = 0;
+    for (int i = 0; i < 3; ++i) monitor.record_probe(0, false, t += microseconds(10));
+    while (monitor.health(0) == LinkHealth::kDead) {
+      monitor.record_probe(0, true, t += microseconds(10));
+    }
+    // Time the next death to land exactly `gap` after the first one:
+    // two misses of setup, the third miss is the death.
+    const TimePs redeath_at = last_death + gap;
+    monitor.record_probe(0, false, redeath_at - 2);
+    monitor.record_probe(0, false, redeath_at - 1);
+    monitor.record_probe(0, false, redeath_at);
+    ASSERT_EQ(monitor.health(0), LinkHealth::kDead);
+    t = redeath_at;
+    while (monitor.health(0) == LinkHealth::kDead) {
+      monitor.record_probe(0, true, t += microseconds(10));
+    }
+
+    ASSERT_EQ(suppression_lengths.size(), 2u);
+    EXPECT_EQ(suppression_lengths[0], config.hold_down);
+    EXPECT_EQ(suppression_lengths[1],
+              gap <= config.flap_memory ? 2 * config.hold_down : config.hold_down);
+  }
+}
+
+TEST(HealthMonitor, EwmaCrossingHysteresisBothWaysBumpsTheEpoch) {
+  // Oracles cache compiled routes against the LossView epoch, so both
+  // hysteresis crossings — healthy -> lossy on the way up, lossy ->
+  // healthy on the way down — must move it, within one probe window.
+  HealthMonitor monitor(1, fast_config());
+  const LossView& view = monitor;
+  TimePs t = 0;
+
+  // Climb: alternate misses/acks until the EWMA crosses lossy_enter.
+  std::uint64_t epoch_before_enter = view.epoch();
+  int i = 0;
+  while (monitor.health(0) == LinkHealth::kHealthy) {
+    monitor.record_probe(0, ++i % 2 == 0, t += microseconds(10));
+  }
+  ASSERT_EQ(monitor.health(0), LinkHealth::kLossy);
+  EXPECT_GT(view.epoch(), epoch_before_enter);
+
+  // Decay: deliveries walk the EWMA down through lossy_exit.
+  const std::uint64_t epoch_before_exit = view.epoch();
+  while (monitor.health(0) == LinkHealth::kLossy) {
+    monitor.record_probe(0, true, t += microseconds(10));
+  }
+  ASSERT_EQ(monitor.health(0), LinkHealth::kHealthy);
+  EXPECT_GT(view.epoch(), epoch_before_exit);
+
+  // Every EWMA movement invalidates, not just the threshold crossings:
+  // a single probe on a quiet healthy link still bumps.
+  const std::uint64_t epoch_quiet = view.epoch();
+  monitor.record_probe(0, false, t += microseconds(10));
+  EXPECT_GT(view.epoch(), epoch_quiet);
+}
+
 TEST(HealthMonitor, DeadLinkReportsTotalLossToOracles) {
   HealthMonitor monitor(2, fast_config());
   TimePs t = 0;

@@ -1,0 +1,150 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace quartz::serve {
+namespace {
+
+telemetry::SloWindow clean_window(double goodput, std::uint64_t completed = 100) {
+  telemetry::SloWindow w;
+  w.completed = completed;
+  w.in_deadline = completed;
+  w.goodput_per_sec = goodput;
+  return w;
+}
+
+telemetry::SloWindow breached_window(double goodput) {
+  telemetry::SloWindow w = clean_window(goodput);
+  w.p99_breach = true;
+  return w;
+}
+
+AdmissionController::Config tight_config() {
+  AdmissionController::Config config;
+  config.initial_limit = 100;
+  config.min_limit = 4;
+  config.step = 0.2;
+  config.smoothing = 1.0;  // no EWMA lag: windows speak for themselves
+  config.breach_windows_to_shed = 2;
+  config.clean_windows_to_restore = 3;
+  return config;
+}
+
+TEST(AdmissionControllerTest, ValidatesConfigAndClassIndex) {
+  AdmissionController::Config bad = tight_config();
+  bad.min_limit = 0;
+  EXPECT_THROW(AdmissionController(bad, 2), std::invalid_argument);
+  EXPECT_THROW(AdmissionController(tight_config(), 0), std::invalid_argument);
+
+  AdmissionController controller(tight_config(), 2);
+  EXPECT_THROW(controller.admit(-1, 0), std::invalid_argument);
+  EXPECT_THROW(controller.admit(2, 0), std::invalid_argument);
+}
+
+TEST(AdmissionControllerTest, AdmitsUnderLimitRejectsOver) {
+  AdmissionController controller(tight_config(), 2);
+  EXPECT_EQ(controller.admit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(controller.admit(1, 99), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(controller.admit(0, 100), AdmissionController::Decision::kOverLimit);
+}
+
+TEST(AdmissionControllerTest, ProbesUpWhileGoodputImproves) {
+  AdmissionController controller(tight_config(), 1);
+  // Stable -> probe up.
+  controller.on_window(clean_window(1000.0));
+  EXPECT_EQ(controller.state(), AdmissionController::State::kProbingUp);
+  EXPECT_GT(controller.limit(), 100);
+  const int probed = controller.limit();
+  // The probe measured more goodput: it is accepted and probing continues.
+  controller.on_window(clean_window(1500.0));
+  EXPECT_EQ(controller.state(), AdmissionController::State::kProbingUp);
+  EXPECT_GT(controller.limit(), probed);
+  EXPECT_EQ(controller.knee_limit(), probed);
+  EXPECT_DOUBLE_EQ(controller.knee_goodput(), 1500.0);
+}
+
+TEST(AdmissionControllerTest, FlatGoodputProbesDownThenSettles) {
+  AdmissionController controller(tight_config(), 1);
+  controller.on_window(clean_window(1000.0));  // stable -> probing up
+  const int up_probe = controller.limit();
+  controller.on_window(clean_window(1000.0));  // flat: up probe rejected
+  EXPECT_EQ(controller.state(), AdmissionController::State::kProbingDown);
+  EXPECT_LT(controller.limit(), 100);
+  const int down_probe = controller.limit();
+  // Same goodput with less concurrency: the tighter limit is kept.
+  controller.on_window(clean_window(1000.0));
+  EXPECT_EQ(controller.state(), AdmissionController::State::kStable);
+  EXPECT_EQ(controller.limit(), down_probe);
+  EXPECT_LT(down_probe, up_probe);
+}
+
+TEST(AdmissionControllerTest, BreachBacksOffMultiplicatively) {
+  AdmissionController controller(tight_config(), 1);
+  controller.on_window(breached_window(1000.0));
+  EXPECT_EQ(controller.state(), AdmissionController::State::kStable);
+  EXPECT_EQ(controller.limit(), 80);  // 100 * (1 - step)
+  controller.on_window(breached_window(800.0));
+  EXPECT_EQ(controller.limit(), 64);
+}
+
+TEST(AdmissionControllerTest, SustainedBreachShedsLowestClassFirst) {
+  AdmissionController controller(tight_config(), 3);
+  EXPECT_EQ(controller.shed_classes(), 0);
+  controller.on_window(breached_window(1000.0));
+  EXPECT_EQ(controller.shed_classes(), 0);  // one breach is a blip
+  controller.on_window(breached_window(900.0));
+  EXPECT_EQ(controller.shed_classes(), 1);  // sustained: shed class 2
+  EXPECT_EQ(controller.admit(2, 0), AdmissionController::Decision::kShedClass);
+  EXPECT_EQ(controller.admit(1, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(controller.admit(0, 0), AdmissionController::Decision::kAdmit);
+  // Two more breached windows shed the next class; the highest class is
+  // never shed.
+  controller.on_window(breached_window(900.0));
+  controller.on_window(breached_window(900.0));
+  EXPECT_EQ(controller.shed_classes(), 2);
+  controller.on_window(breached_window(900.0));
+  controller.on_window(breached_window(900.0));
+  EXPECT_EQ(controller.shed_classes(), 2);
+  EXPECT_EQ(controller.admit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(controller.shed_events(), 2u);
+}
+
+TEST(AdmissionControllerTest, CleanWindowsRestoreShedClasses) {
+  AdmissionController controller(tight_config(), 2);
+  controller.on_window(breached_window(1000.0));
+  controller.on_window(breached_window(900.0));
+  ASSERT_EQ(controller.shed_classes(), 1);
+  controller.on_window(clean_window(900.0));
+  controller.on_window(clean_window(900.0));
+  EXPECT_EQ(controller.shed_classes(), 1);  // not sustained-clean yet
+  controller.on_window(clean_window(900.0));
+  EXPECT_EQ(controller.shed_classes(), 0);
+  EXPECT_EQ(controller.restore_events(), 1u);
+}
+
+TEST(AdmissionControllerTest, LimitRespectsFloorAndCeiling) {
+  AdmissionController::Config config = tight_config();
+  config.initial_limit = 5;
+  config.min_limit = 4;
+  config.max_limit = 6;
+  AdmissionController controller(config, 1);
+  for (int i = 0; i < 10; ++i) controller.on_window(breached_window(100.0));
+  EXPECT_GE(controller.limit(), 4);
+  AdmissionController climber(config, 1);
+  for (int i = 0; i < 10; ++i) climber.on_window(clean_window(1000.0 * (i + 1)));
+  EXPECT_LE(climber.limit(), 6);
+}
+
+TEST(AdmissionControllerTest, EmptyWindowMovesNothing) {
+  AdmissionController controller(tight_config(), 1);
+  telemetry::SloWindow idle;
+  controller.on_window(idle);
+  EXPECT_EQ(controller.limit(), 100);
+  EXPECT_EQ(controller.state(), AdmissionController::State::kStable);
+  EXPECT_DOUBLE_EQ(controller.smoothed_goodput(), 0.0);
+}
+
+}  // namespace
+}  // namespace quartz::serve

@@ -1,0 +1,89 @@
+#include "sim/retry_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace quartz::sim {
+namespace {
+
+TEST(RetryBudget, ValidatesConfig) {
+  RetryBudget::Config config;
+  config.ratio = -0.1;
+  EXPECT_THROW(RetryBudget{config}, std::invalid_argument);
+  config = {};
+  config.burst = -1.0;
+  EXPECT_THROW(RetryBudget{config}, std::invalid_argument);
+}
+
+TEST(RetryBudget, StartsWithABurstAndAccruesPerFirstAttempt) {
+  RetryBudget::Config config;
+  config.ratio = 0.5;
+  config.burst = 2.0;
+  RetryBudget budget(config);
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+
+  // Drain the burst, then refill half a token per first attempt.
+  EXPECT_TRUE(budget.try_acquire());
+  budget.release();
+  EXPECT_TRUE(budget.try_acquire());
+  budget.release();
+  EXPECT_FALSE(budget.try_acquire());  // empty
+  budget.on_first_attempt();
+  EXPECT_FALSE(budget.try_acquire());  // 0.5 < 1
+  budget.on_first_attempt();
+  EXPECT_TRUE(budget.try_acquire());  // 1.0
+  budget.release();
+  EXPECT_EQ(budget.granted(), 3u);
+  EXPECT_EQ(budget.denied(), 2u);
+  EXPECT_EQ(budget.first_attempts(), 2u);
+}
+
+TEST(RetryBudget, BurstCapsAccrual) {
+  RetryBudget::Config config;
+  config.ratio = 1.0;
+  config.burst = 3.0;
+  RetryBudget budget(config);
+  for (int i = 0; i < 100; ++i) budget.on_first_attempt();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 3.0);
+}
+
+TEST(RetryBudget, InflightCeilingDeniesEvenWithTokens) {
+  RetryBudget::Config config;
+  config.ratio = 1.0;
+  config.burst = 100.0;
+  config.max_inflight = 2;
+  RetryBudget budget(config);
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_GT(budget.tokens(), 1.0);
+  EXPECT_FALSE(budget.try_acquire());  // ceiling, not tokens
+  EXPECT_EQ(budget.inflight(), 2);
+  budget.release();
+  EXPECT_TRUE(budget.try_acquire());
+  budget.release();
+  budget.release();
+  EXPECT_EQ(budget.inflight(), 0);
+}
+
+TEST(RetryBudget, ReleaseWithoutAcquireThrows) {
+  RetryBudget budget;
+  EXPECT_THROW(budget.release(), std::logic_error);
+}
+
+TEST(RetryBudget, AmplificationBoundTracksGrantsOverFirstAttempts) {
+  RetryBudget::Config config;
+  config.ratio = 0.5;
+  config.burst = 2.0;
+  RetryBudget budget(config);
+  EXPECT_DOUBLE_EQ(budget.amplification_bound(), 1.0);  // nothing sent yet
+  for (int i = 0; i < 4; ++i) budget.on_first_attempt();
+  ASSERT_TRUE(budget.try_acquire());
+  budget.release();
+  ASSERT_TRUE(budget.try_acquire());
+  budget.release();
+  EXPECT_DOUBLE_EQ(budget.amplification_bound(), 1.5);  // 2 grants / 4 firsts
+}
+
+}  // namespace
+}  // namespace quartz::sim

@@ -141,6 +141,98 @@ TEST(RpcWorkload, SerialExecution) {
   EXPECT_EQ(net.packets_delivered(), 50u);
 }
 
+/// The (single) link hanging a host off its switch.
+topo::LinkId host_link(const Fixture& f, topo::NodeId host) {
+  return f.topo.graph.neighbors(host).front().link;
+}
+
+TEST(RpcWorkload, SharedRetryBudgetBoundsAmplificationOnTotalLoss) {
+  // Regression: a 100%-loss link must not trigger unbounded retry
+  // growth.  Two clients blackholed at their host links and two healthy
+  // clients share one budget; the blackholed pair can only retry with
+  // tokens the whole batch earned, so total send amplification stays
+  // near 1 + ratio no matter how long the loss lasts.
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  RetryBudget::Config budget_config;
+  budget_config.ratio = 0.1;
+  budget_config.burst = 5.0;
+  RetryBudget budget(budget_config);
+
+  RpcParams params;
+  params.calls = 100;
+  params.timeout = microseconds(100);
+  params.max_retries = 8;
+  params.backoff_base = microseconds(20);
+  params.backoff_cap = microseconds(100);
+  params.retry_budget = &budget;
+
+  Rng rng(9);
+  RpcWorkload dark_a(net, f.topo.hosts[0], f.topo.hosts[9], params, rng.fork());
+  RpcWorkload dark_b(net, f.topo.hosts[1], f.topo.hosts[10], params, rng.fork());
+  RpcWorkload healthy_a(net, f.topo.hosts[2], f.topo.hosts[11], params, rng.fork());
+  RpcWorkload healthy_b(net, f.topo.hosts[3], f.topo.hosts[12], params, rng.fork());
+  net.set_link_loss(host_link(f, f.topo.hosts[0]), 1.0);
+  net.set_link_loss(host_link(f, f.topo.hosts[1]), 1.0);
+  net.run_until(seconds(1));
+
+  // Healthy clients never notice; blackholed clients abandon rather
+  // than retry forever.
+  EXPECT_TRUE(healthy_a.done());
+  EXPECT_TRUE(healthy_b.done());
+  EXPECT_EQ(healthy_a.abandoned_calls() + healthy_b.abandoned_calls(), 0);
+  EXPECT_TRUE(dark_a.done());
+  EXPECT_TRUE(dark_b.done());
+  EXPECT_EQ(dark_a.completed_calls() + dark_b.completed_calls(), 0);
+  EXPECT_GT(dark_a.budget_denied_retries() + dark_b.budget_denied_retries(), 0u);
+
+  // Every retry anywhere was granted by the shared budget, and the
+  // grants obey the token arithmetic: at most ratio x first attempts
+  // plus the initial burst.
+  const std::uint64_t retries = dark_a.total_retries() + dark_b.total_retries() +
+                                healthy_a.total_retries() + healthy_b.total_retries();
+  EXPECT_EQ(retries, budget.granted());
+  EXPECT_LE(static_cast<double>(budget.granted()),
+            budget_config.ratio * static_cast<double>(budget.first_attempts()) +
+                budget_config.burst);
+  EXPECT_LE(budget.amplification_bound(), 1.2);
+  EXPECT_EQ(budget.inflight(), 0);  // every slot released at quiescence
+}
+
+TEST(RpcWorkload, RetryBudgetInflightCeilingCapsConcurrentRetransmissions) {
+  // With plentiful tokens but a global in-flight ceiling of one, two
+  // blackholed clients cannot both have a retransmission outstanding:
+  // the collisions surface as denials even though the bucket is full.
+  Fixture f;
+  Network net(f.topo, *f.oracle);
+  RetryBudget::Config budget_config;
+  budget_config.ratio = 1.0;
+  budget_config.burst = 1'000.0;
+  budget_config.max_inflight = 1;
+  RetryBudget budget(budget_config);
+
+  RpcParams params;
+  params.calls = 50;
+  params.timeout = microseconds(100);
+  params.max_retries = 4;
+  params.backoff_base = microseconds(20);
+  params.backoff_cap = microseconds(50);
+  params.retry_budget = &budget;
+
+  Rng rng(10);
+  RpcWorkload dark_a(net, f.topo.hosts[0], f.topo.hosts[9], params, rng.fork());
+  RpcWorkload dark_b(net, f.topo.hosts[1], f.topo.hosts[10], params, rng.fork());
+  net.set_link_loss(host_link(f, f.topo.hosts[0]), 1.0);
+  net.set_link_loss(host_link(f, f.topo.hosts[1]), 1.0);
+  net.run_until(seconds(1));
+
+  EXPECT_TRUE(dark_a.done());
+  EXPECT_TRUE(dark_b.done());
+  EXPECT_GT(budget.denied(), 0u);
+  EXPECT_GT(budget.tokens(), 1.0);  // denials came from the ceiling, not the bucket
+  EXPECT_EQ(budget.inflight(), 0);
+}
+
 TEST(BurstSource, HitsTargetBandwidth) {
   Fixture f;
   Network net(f.topo, *f.oracle);
