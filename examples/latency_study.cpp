@@ -10,6 +10,7 @@
 #include <exception>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "sim/experiments.hpp"
 #include "sim/sweep.hpp"
 #include "sim/workloads.hpp"
+#include "telemetry/binary_stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "topo/properties.hpp"
@@ -37,14 +39,20 @@ std::string fmt(double v) {
 
 int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown_keys(
-      {"tasks", "duration-ms", "trace", "sample-every", "metrics-out", "jobs", "fib", "help"});
+  const auto unknown = flags.unknown_keys({"tasks", "duration-ms", "trace", "sample-every",
+                                           "metrics-out", "jobs", "fib", "telemetry", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     std::printf(
         "usage: %s [--tasks=N] [--duration-ms=D] [--trace] [--sample-every=N]\n"
         "          [--metrics-out=FILE] [--jobs=N] [--fib=on|off]\n"
+        "          [--telemetry=binary|jsonl|off]\n"
         "\n"
+        "  --telemetry=binary  capture every cell's event stream as compact\n"
+        "            binary records in <metrics-out>.qtz (decode with\n"
+        "            quartz_decode)\n"
+        "  --telemetry=jsonl   mirror events as JSON lines in\n"
+        "            <metrics-out>.events.jsonl (needs --jobs=1)\n"
         "  --jobs=N  worker threads for the pattern x fabric sweep (0 = all\n"
         "            hardware threads); results are byte-identical for every\n"
         "            value.  --metrics-out needs --jobs=1 (the registry is\n"
@@ -84,6 +92,41 @@ int run(int argc, char** argv) {
     // A MetricRegistry is thread-confined; sweep workers cannot share it.
     std::printf("--metrics-out requires --jobs=1\n");
     return 1;
+  }
+  const std::string telemetry_mode = flags.get("telemetry", "off");
+  if (telemetry_mode != "off" && telemetry_mode != "binary" && telemetry_mode != "jsonl") {
+    std::printf("--telemetry must be binary, jsonl or off, got '%s'\n", telemetry_mode.c_str());
+    return 1;
+  }
+  if (telemetry_mode != "off" && !flags.has("metrics-out")) {
+    std::printf("--telemetry=%s needs --metrics-out to derive its output path\n",
+                telemetry_mode.c_str());
+    return 1;
+  }
+  if (telemetry_mode == "jsonl" && sim::resolve_jobs(jobs) > 1) {
+    std::printf("--telemetry=jsonl requires --jobs=1\n");
+    return 1;
+  }
+  std::ofstream stream_os;
+  std::unique_ptr<telemetry::StreamFile> stream_file;
+  std::ofstream events_os;
+  std::string stream_path;
+  std::string events_path;
+  if (telemetry_mode == "binary") {
+    stream_path = flags.get("metrics-out") + ".qtz";
+    stream_os.open(stream_path, std::ios::binary);
+    if (!stream_os) {
+      std::fprintf(stderr, "cannot open %s\n", stream_path.c_str());
+      return 1;
+    }
+    stream_file = std::make_unique<telemetry::StreamFile>(stream_os);
+  } else if (telemetry_mode == "jsonl") {
+    events_path = flags.get("metrics-out") + ".events.jsonl";
+    events_os.open(events_path);
+    if (!events_os) {
+      std::fprintf(stderr, "cannot open %s\n", events_path.c_str());
+      return 1;
+    }
   }
 
   std::printf("Latency study: %d concurrent tasks per pattern, 64-host fabrics\n\n", tasks);
@@ -127,7 +170,7 @@ int run(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
   telemetry::MetricRegistry* registry = metrics.enabled() ? &metrics : nullptr;
   sim::SweepRunner runner({jobs, 1});
-  const auto results = runner.run(cells, [&](const Cell& cell) {
+  const auto results = runner.run(cells, [&](const Cell& cell, sim::SweepContext ctx) {
     TaskExperimentParams params;
     params.pattern = cell.pattern;
     params.tasks = tasks;
@@ -135,6 +178,13 @@ int run(int argc, char** argv) {
     params.telemetry.trace = trace;
     params.telemetry.trace_sample_every = sample_every;
     params.telemetry.metrics = registry;  // nonnull only when jobs == 1
+    if (stream_file != nullptr) {
+      // One stream per sweep cell; the shared StreamFile serializes page
+      // appends, so any --jobs value writes the same decodable file.
+      params.telemetry.stream = stream_file.get();
+      params.telemetry.stream_id = static_cast<std::uint32_t>(ctx.index);
+    }
+    if (events_os.is_open()) params.telemetry.events_jsonl = &events_os;  // jobs == 1 only
     FabricConfig fabric_config;
     fabric_config.use_fib = fib_mode == "on";
     return run_task_experiment(cell.fabric, fabric_config, params);
@@ -181,6 +231,16 @@ int run(int argc, char** argv) {
     }
     metrics.write_csv(out);
     std::printf("metrics: %s\n", path.c_str());
+  }
+  if (stream_file != nullptr) {
+    stream_os.flush();
+    std::printf("event stream: %s (%llu pages, %llu bytes)\n", stream_path.c_str(),
+                static_cast<unsigned long long>(stream_file->pages()),
+                static_cast<unsigned long long>(stream_file->bytes()));
+  }
+  if (events_os.is_open()) {
+    events_os.flush();
+    std::printf("events: %s\n", events_path.c_str());
   }
   return 0;
 }

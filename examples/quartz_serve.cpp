@@ -15,13 +15,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "serve/serve_loop.hpp"
+#include "telemetry/binary_stream.hpp"
+#include "telemetry/decode.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/stream_sink.hpp"
 
 namespace {
 
@@ -34,8 +38,12 @@ int usage(const char* argv0) {
       "          [--duration-ms=N] [--hot=FRACTION] [--shift-ms=N] [--seed=N]\n"
       "          [--no-admission] [--no-retry-budget] [--no-regroom]\n"
       "          [--blackhole] [--duel] [--metrics-out=FILE]\n"
+      "          [--telemetry=binary|jsonl|off]\n"
       "  --blackhole  silently blackhole one mesh lightpath mid-run (gray failure)\n"
-      "  --duel       replay the defended run's arrivals against an undefended loop\n",
+      "  --duel       replay the defended run's arrivals against an undefended loop\n"
+      "  --telemetry=binary  capture the defended run's event stream in\n"
+      "               <metrics-out>.qtz (decode with quartz_decode); jsonl\n"
+      "               writes <metrics-out>.events.jsonl instead\n",
       argv0);
   return 1;
 }
@@ -78,7 +86,7 @@ int main(int argc, char** argv) {
   for (const auto& key :
        flags.unknown_keys({"switches", "hosts", "arrivals", "duration-ms", "hot", "shift-ms",
                            "seed", "no-admission", "no-retry-budget", "no-regroom", "blackhole",
-                           "duel", "metrics-out"})) {
+                           "duel", "metrics-out", "telemetry"})) {
     std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
   }
@@ -125,7 +133,55 @@ int main(int argc, char** argv) {
                 100.0 * hot, to_microseconds(config.shifts.front().at) / 1000.0);
   }
 
+  const std::string telemetry_mode = flags.get("telemetry", "off");
+  if (telemetry_mode != "off" && telemetry_mode != "binary" && telemetry_mode != "jsonl") {
+    std::fprintf(stderr, "--telemetry must be binary, jsonl or off, got '%s'\n",
+                 telemetry_mode.c_str());
+    return usage(argv[0]);
+  }
+  if (telemetry_mode != "off" && !flags.has("metrics-out")) {
+    std::fprintf(stderr, "--telemetry=%s needs --metrics-out to derive its output path\n",
+                 telemetry_mode.c_str());
+    return usage(argv[0]);
+  }
+
   serve::ServeLoop loop(config);
+
+  // Observability on the live loop: the binary stream rides the
+  // devirtualized fast path with a background page drainer; the JSONL
+  // mirror is the legacy direct-export sink.
+  std::ofstream stream_os;
+  std::unique_ptr<telemetry::StreamFile> stream_file;
+  std::unique_ptr<telemetry::BinaryStream> stream;
+  std::unique_ptr<telemetry::BinaryStreamSink> stream_sink;
+  std::ofstream events_os;
+  std::unique_ptr<telemetry::JsonlEventWriter> events_writer;
+  std::string stream_path;
+  std::string events_path;
+  if (telemetry_mode == "binary") {
+    stream_path = flags.get("metrics-out") + ".qtz";
+    stream_os.open(stream_path, std::ios::binary);
+    if (!stream_os) {
+      std::fprintf(stderr, "cannot open %s\n", stream_path.c_str());
+      return 1;
+    }
+    stream_file = std::make_unique<telemetry::StreamFile>(stream_os);
+    telemetry::BinaryStream::Options stream_options;
+    stream_options.background = true;
+    stream = std::make_unique<telemetry::BinaryStream>(*stream_file, stream_options);
+    stream_sink = std::make_unique<telemetry::BinaryStreamSink>(*stream);
+    loop.network().set_stream_sink(stream_sink.get());
+  } else if (telemetry_mode == "jsonl") {
+    events_path = flags.get("metrics-out") + ".events.jsonl";
+    events_os.open(events_path);
+    if (!events_os) {
+      std::fprintf(stderr, "cannot open %s\n", events_path.c_str());
+      return 1;
+    }
+    events_writer = std::make_unique<telemetry::JsonlEventWriter>(events_os);
+    loop.network().add_sink(events_writer.get());
+  }
+
   if (flags.get_bool("blackhole")) {
     // Gray-fail the first mesh lightpath: the failure view never
     // learns, so only timeouts (and the retry budget) notice.
@@ -139,6 +195,19 @@ int main(int argc, char** argv) {
     }
   }
   const serve::ServeReport defended = loop.run();
+  if (stream != nullptr) {
+    loop.network().set_stream_sink(nullptr);
+    stream->finish();
+    stream_os.flush();
+    std::printf("event stream: %s (%llu pages, %llu bytes)\n", stream_path.c_str(),
+                static_cast<unsigned long long>(stream_file->pages()),
+                static_cast<unsigned long long>(stream_file->bytes()));
+  }
+  if (events_writer != nullptr) {
+    loop.network().remove_sink(events_writer.get());
+    events_os.flush();
+    std::printf("events: %s\n", events_path.c_str());
+  }
   print_report("defended run", defended);
 
   if (flags.get_bool("duel")) {

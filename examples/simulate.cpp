@@ -8,11 +8,13 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "sim/experiments.hpp"
+#include "telemetry/binary_stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -42,7 +44,12 @@ int usage(const char* argv0) {
       "          [--rate-mbps=R] [--duration-ms=D] [--seed=S] [--localized]\n"
       "          [--vlb=K] [--fib=on|off] [--csv] [--list] [--replicas=N]\n"
       "          [--jobs=N] [--trace] [--sample-every=N] [--metrics-out=FILE]\n"
+      "          [--telemetry=binary|jsonl|off]\n"
       "\n"
+      "  --telemetry=binary  capture the full event stream as compact binary\n"
+      "                records in <metrics-out>.qtz (decode with quartz_decode)\n"
+      "  --telemetry=jsonl   mirror every event as one JSON line in\n"
+      "                <metrics-out>.events.jsonl (requires --jobs=1)\n"
       "  --fib=on|off  route through the compiled FIB (default on); results\n"
       "                are bit-identical either way, only speed differs\n"
       "  --replicas=N  run N independent repetitions (seeds derived from\n"
@@ -70,7 +77,7 @@ int run(int argc, char** argv) {
   const auto unknown = flags.unknown_keys(
       {"fabric", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed", "csv",
        "localized", "vlb", "fib", "list", "trace", "sample-every", "metrics-out", "replicas",
-       "jobs"});
+       "jobs", "telemetry"});
   if (!unknown.empty()) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
@@ -144,6 +151,48 @@ int run(int argc, char** argv) {
     // A MetricRegistry is thread-confined; replica workers cannot share it.
     std::printf("--metrics-out requires --jobs=1 when --replicas > 1\n");
     return usage(argv[0]);
+  }
+
+  const std::string telemetry_mode = flags.get("telemetry", "off");
+  if (telemetry_mode != "off" && telemetry_mode != "binary" && telemetry_mode != "jsonl") {
+    std::printf("--telemetry must be binary, jsonl or off, got '%s'\n", telemetry_mode.c_str());
+    return usage(argv[0]);
+  }
+  if (telemetry_mode != "off" && !flags.has("metrics-out")) {
+    std::printf("--telemetry=%s needs --metrics-out to derive its output path\n",
+                telemetry_mode.c_str());
+    return usage(argv[0]);
+  }
+  std::ofstream stream_os;
+  std::unique_ptr<telemetry::StreamFile> stream_file;
+  std::ofstream events_os;
+  std::string stream_path;
+  std::string events_path;
+  if (telemetry_mode == "binary") {
+    stream_path = flags.get("metrics-out") + ".qtz";
+    stream_os.open(stream_path, std::ios::binary);
+    if (!stream_os) {
+      std::fprintf(stderr, "cannot open %s\n", stream_path.c_str());
+      return 1;
+    }
+    // StreamFile serializes page appends, so every replica (even across
+    // sweep workers) can share this one file; each run tags its pages
+    // with its replica index and the decoder merges deterministically.
+    stream_file = std::make_unique<telemetry::StreamFile>(stream_os);
+    params.telemetry.stream = stream_file.get();
+    params.telemetry.stream_background = true;
+  } else if (telemetry_mode == "jsonl") {
+    if (replicas > 1 && resolve_jobs(jobs) > 1) {
+      std::printf("--telemetry=jsonl requires --jobs=1 when --replicas > 1\n");
+      return usage(argv[0]);
+    }
+    events_path = flags.get("metrics-out") + ".events.jsonl";
+    events_os.open(events_path);
+    if (!events_os) {
+      std::fprintf(stderr, "cannot open %s\n", events_path.c_str());
+      return 1;
+    }
+    params.telemetry.events_jsonl = &events_os;
   }
 
   if (replicas > 1) {
@@ -227,6 +276,16 @@ int run(int argc, char** argv) {
     }
     metrics.write_csv(out);
     std::printf("metrics: %s\n", path.c_str());
+  }
+  if (stream_file != nullptr) {
+    stream_os.flush();
+    std::printf("event stream: %s (%llu pages, %llu bytes)\n", stream_path.c_str(),
+                static_cast<unsigned long long>(stream_file->pages()),
+                static_cast<unsigned long long>(stream_file->bytes()));
+  }
+  if (params.telemetry.events_jsonl != nullptr) {
+    events_os.flush();
+    std::printf("events: %s\n", events_path.c_str());
   }
   return 0;
 }

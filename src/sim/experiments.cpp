@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "sim/workloads.hpp"
+#include "telemetry/decode.hpp"
+#include "telemetry/stream_sink.hpp"
 #include "topo/builders.hpp"
 
 namespace quartz::sim {
@@ -162,6 +164,21 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
     sampler = std::make_unique<telemetry::PeriodicSampler>(sampler_options);
     network.add_sink(sampler.get());
   }
+  std::unique_ptr<telemetry::BinaryStream> stream;
+  std::unique_ptr<telemetry::BinaryStreamSink> stream_sink;
+  if (params.telemetry.stream != nullptr) {
+    telemetry::BinaryStream::Options stream_options;
+    stream_options.stream_id = params.telemetry.stream_id;
+    stream_options.background = params.telemetry.stream_background;
+    stream = std::make_unique<telemetry::BinaryStream>(*params.telemetry.stream, stream_options);
+    stream_sink = std::make_unique<telemetry::BinaryStreamSink>(*stream);
+    network.set_stream_sink(stream_sink.get());
+  }
+  std::unique_ptr<telemetry::JsonlEventWriter> jsonl;
+  if (params.telemetry.events_jsonl != nullptr) {
+    jsonl = std::make_unique<telemetry::JsonlEventWriter>(*params.telemetry.events_jsonl);
+    network.add_sink(jsonl.get());
+  }
 
   TaskPatternParams flow_params;
   flow_params.per_flow_rate = params.per_flow_rate;
@@ -226,6 +243,7 @@ TaskExperimentResult run_task_experiment(Fabric fabric, const FabricConfig& conf
   }
 
   network.run_until(params.duration + milliseconds(1));
+  if (stream != nullptr) stream->finish();
 
   // Fig. 18 measures the localized task alone; Fig. 17 averages every
   // task's packets.
@@ -290,6 +308,8 @@ ReplicaSweepResult run_task_replicas(Fabric fabric, const FabricConfig& config,
   QUARTZ_REQUIRE(replicas > 0, "need at least one replica");
   QUARTZ_REQUIRE(params.telemetry.metrics == nullptr || resolve_jobs(sweep.jobs) == 1,
                  "a MetricRegistry is thread-confined; drop it or run with jobs = 1");
+  QUARTZ_REQUIRE(params.telemetry.events_jsonl == nullptr || resolve_jobs(sweep.jobs) == 1,
+                 "a JSONL event stream is thread-confined; drop it or run with jobs = 1");
   std::vector<int> points(static_cast<std::size_t>(replicas));
   SweepRunner runner(sweep);
   ReplicaSweepResult out;
@@ -298,6 +318,14 @@ ReplicaSweepResult run_task_replicas(Fabric fabric, const FabricConfig& config,
   out.replicas = runner.run(points, [&](const int&, SweepContext ctx) {
     TaskExperimentParams p = params;
     p.seed = ctx.seed;
+    if (p.telemetry.stream != nullptr) {
+      // One stream per replica, tagged with the replica index so the
+      // decoder's (time, stream, seq) merge is byte-identical for any
+      // worker count; workers seal inline rather than spawning a
+      // drainer thread each.
+      p.telemetry.stream_id = static_cast<std::uint32_t>(ctx.index);
+      p.telemetry.stream_background = false;
+    }
     return run_task_experiment(fabric, config, p);
   });
   for (const TaskExperimentResult& r : out.replicas) {

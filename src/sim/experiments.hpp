@@ -21,6 +21,7 @@
 #include "routing/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/binary_stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -99,6 +100,22 @@ struct TaskTelemetryOptions {
   /// If set, the run publishes simulator counters and the measured
   /// latency distribution into this registry under "sim." / "task.".
   telemetry::MetricRegistry* metrics = nullptr;
+  /// If set, the run captures its full event stream as compact binary
+  /// records (telemetry::BinaryStream) sealed into this page sink.
+  /// PageSinks synchronize internally, so replica sweeps may share one
+  /// StreamFile — each replica writes under its own stream id and the
+  /// decoder merges deterministically (telemetry/decode.hpp).
+  telemetry::PageSink* stream = nullptr;
+  /// Stream id stamped on this run's pages (run_task_replicas
+  /// overrides it with the replica index).
+  std::uint32_t stream_id = 0;
+  /// Seal pages to a background drainer thread (long interactive
+  /// runs); false seals inline, which sweep workers use.
+  bool stream_background = false;
+  /// If set, every event is mirrored as one JSON line through the
+  /// legacy direct-export path (telemetry::JsonlEventWriter).  The
+  /// ostream is thread-confined: rejected when jobs > 1.
+  std::ostream* events_jsonl = nullptr;
 };
 
 struct TaskExperimentParams {

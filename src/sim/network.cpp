@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "routing/fib.hpp"
+#include "telemetry/stream_sink.hpp"
 
 namespace quartz::sim {
 
@@ -36,12 +37,18 @@ void Network::remove_sink(TelemetrySink* sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
+void Network::set_stream_sink(telemetry::BinaryStreamSink* sink) {
+  assert_owning_thread();
+  stream_ = sink;
+}
+
 void Network::fail_link(topo::LinkId link) {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
   auto& up = link_up_[static_cast<std::size_t>(link)];
   if (!up) return;
   up = 0;
   ++link_failures_;
+  if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/false, now());
   for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/false, now());
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   // The routing plane learns one detection delay later — unless the
@@ -56,6 +63,7 @@ void Network::repair_link(topo::LinkId link) {
   if (up) return;
   up = 1;
   ++link_repairs_;
+  if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/true, now());
   for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/true, now());
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   events_.schedule_fault(now() + config_.failure_detection_delay,
@@ -65,6 +73,7 @@ void Network::repair_link(topo::LinkId link) {
 void Network::on_fault_event(const FaultEvent& event) {
   if (link_seq_[static_cast<std::size_t>(event.link)] != event.link_seq) return;
   failure_view_.set_dead(event.link, event.dead);
+  if (stream_ != nullptr) stream_->on_link_detected(event.link, event.dead, now());
   for (TelemetrySink* sink : sinks_) sink->on_link_detected(event.link, event.dead, now());
 }
 
@@ -77,6 +86,7 @@ void Network::set_link_loss(topo::LinkId link, double p) {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_loss_.size(), "unknown link");
   QUARTZ_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability must be in [0,1]");
   link_loss_[static_cast<std::size_t>(link)] = p;
+  if (stream_ != nullptr) stream_->on_link_degraded(link, p, now());
   for (TelemetrySink* sink : sinks_) sink->on_link_degraded(link, p, now());
 }
 
@@ -92,15 +102,18 @@ routing::LinkHealth Network::link_health(topo::LinkId link) const {
 }
 
 void Network::emit_probe(topo::LinkId link, bool delivered, TimePs when) {
+  if (stream_ != nullptr) stream_->on_probe(link, delivered, when);
   for (TelemetrySink* sink : sinks_) sink->on_probe(link, delivered, when);
 }
 
 void Network::emit_health_transition(topo::LinkId link, routing::LinkHealth from,
                                      routing::LinkHealth to, TimePs when) {
+  if (stream_ != nullptr) stream_->on_health_transition(link, from, to, when);
   for (TelemetrySink* sink : sinks_) sink->on_health_transition(link, from, to, when);
 }
 
 void Network::emit_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) {
+  if (stream_ != nullptr) stream_->on_flap_damped(link, suppressed_until, when);
   for (TelemetrySink* sink : sinks_) sink->on_flap_damped(link, suppressed_until, when);
 }
 
@@ -109,6 +122,7 @@ void Network::drop(const Packet& packet, DropReason reason) {
   ++dropped_by_reason_[static_cast<std::size_t>(reason)];
   ++task_drops_[static_cast<std::size_t>(packet.task)];
   for (const DropHandler& hook : drop_hooks_) hook(packet, reason);
+  if (stream_ != nullptr) stream_->on_drop(packet, reason, now());
   for (TelemetrySink* sink : sinks_) sink->on_drop(packet, reason, now());
 }
 
@@ -163,6 +177,7 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
   ++packets_sent_;
 
   const TimePs ready = now() + config_.host_send_overhead;
+  if (stream_ != nullptr) stream_->on_send(packet, ready);
   for (TelemetrySink* sink : sinks_) sink->on_send(packet, ready);
   PacketEvent event;
   event.packet = packet;
@@ -197,6 +212,9 @@ void Network::on_packet_event(EventType type, PacketEvent& event) {
     case EventType::kDelivery: {
       ++packets_delivered_;
       const TimePs delivered = event.t0;
+      if (stream_ != nullptr) {
+        stream_->on_delivery(event.packet, delivered, delivered - event.packet.created);
+      }
       for (TelemetrySink* sink : sinks_) {
         sink->on_delivery(event.packet, delivered, delivered - event.packet.created);
       }
@@ -212,6 +230,7 @@ void Network::on_packet_event(EventType type, PacketEvent& event) {
 void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit) {
   const topo::Graph& graph = topo_->graph;
   for (const ArrivalHook& hook : arrival_hooks_) hook(packet, node, first_bit);
+  if (stream_ != nullptr) stream_->on_arrival(packet, node, first_bit, last_bit);
   for (TelemetrySink* sink : sinks_) sink->on_arrival(packet, node, first_bit, last_bit);
 
   if (node == packet.key.dst) {
@@ -242,6 +261,7 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
     min_finish = decision;
     kind = telemetry::HopKind::kServerRelay;
   }
+  if (stream_ != nullptr) stream_->on_forward(packet, node, kind, first_bit, last_bit, decision);
   for (TelemetrySink* sink : sinks_) {
     sink->on_forward(packet, node, kind, first_bit, last_bit, decision);
   }
@@ -282,6 +302,9 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   busy_until = finish;
   line_active_[line] += finish - start;
   line_bits_[line] += packet.size;
+  if (stream_ != nullptr) {
+    stream_->on_transmit(packet, node, link_id, node == link.a ? 0 : 1, ready, start, finish);
+  }
   for (TelemetrySink* sink : sinks_) {
     sink->on_transmit(packet, node, link_id, node == link.a ? 0 : 1, ready, start, finish);
   }

@@ -33,6 +33,10 @@ namespace quartz::routing {
 class Fib;
 }  // namespace quartz::routing
 
+namespace quartz::telemetry {
+class BinaryStreamSink;
+}  // namespace quartz::telemetry
+
 namespace quartz::sim {
 
 struct SimConfig {
@@ -107,6 +111,16 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   void add_sink(TelemetrySink* sink);
   /// Detach a previously attached sink (no-op if absent).
   void remove_sink(TelemetrySink* sink);
+
+  /// Dedicated fast path for binary event-stream capture: unlike
+  /// add_sink's virtual fan-out, the BinaryStreamSink is a known
+  /// `final` type the event sites call directly, so its record
+  /// encoders inline into the simulator (a few stores per event; see
+  /// telemetry/stream_sink.hpp).  The sink must outlive the
+  /// simulation; nullptr detaches.  Like every sink it is passive and
+  /// thread-confined with the network.
+  void set_stream_sink(telemetry::BinaryStreamSink* sink);
+  telemetry::BinaryStreamSink* stream_sink() const { return stream_; }
 
   /// Add a tracing hook observing every node arrival.  Hooks accumulate:
   /// each registered hook fires on every arrival, so independent
@@ -267,6 +281,7 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   std::vector<ArrivalHook> arrival_hooks_;
   std::vector<DropHandler> drop_hooks_;
   std::vector<TelemetrySink*> sinks_;
+  telemetry::BinaryStreamSink* stream_ = nullptr;
   std::vector<std::uint64_t> task_drops_;
   std::uint64_t next_packet_id_ = 0;
   std::uint64_t packets_sent_ = 0;

@@ -1,0 +1,184 @@
+#include "telemetry/binary_stream.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace quartz::telemetry {
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-wise table, the
+// other seven advance a byte through k more zero bytes, letting the
+// hot loop fold eight bytes per iteration (~8x over byte-at-a-time —
+// page sealing CRCs 64 KiB at a time, so this matters).
+struct Crc32Table {
+  std::uint32_t entries[8][256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        const std::uint32_t prev = entries[k - 1][i];
+        entries[k][i] = entries[0][prev & 0xFFu] ^ (prev >> 8);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  static const Crc32Table table;
+  const auto& t = table.entries;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (bytes >= 8) {
+      std::uint32_t lo, hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+      p += 8;
+      bytes -= 8;
+    }
+  }
+  for (std::size_t i = 0; i < bytes; ++i) c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- StreamFile -------------------------------------------------------------
+
+StreamFile::StreamFile(std::ostream& os) : os_(&os) {
+  const StreamFileHeader header;
+  os_->write(reinterpret_cast<const char*>(&header), sizeof(header));
+}
+
+void StreamFile::accept(const Page& page) {
+  static constexpr char kPad[8] = {};
+  const std::size_t payload = page.header.payload_bytes;
+  QUARTZ_CHECK(payload <= kPagePayloadBytes, "sealed page overflows the page size");
+  const std::size_t padded = (payload + 7) & ~std::size_t{7};
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(reinterpret_cast<const char*>(&page.header), sizeof(page.header));
+  os_->write(reinterpret_cast<const char*>(page.payload), static_cast<std::streamsize>(payload));
+  if (padded != payload) {
+    os_->write(kPad, static_cast<std::streamsize>(padded - payload));
+  }
+  pages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(sizeof(page.header) + padded, std::memory_order_relaxed);
+}
+
+void NullPageSink::accept(const Page& page) {
+  pages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(sizeof(page.header) + page.header.payload_bytes, std::memory_order_relaxed);
+}
+
+// --- BinaryStream -----------------------------------------------------------
+
+BinaryStream::BinaryStream(PageSink& sink, Options options)
+    : sink_(&sink), options_(options) {
+  const int pages = options_.background ? kPoolPages : 1;
+  pool_.reserve(static_cast<std::size_t>(pages));
+  for (int i = 0; i < pages; ++i) pool_.push_back(std::make_unique<Page>());
+  current_ = pool_.front().get();
+  for (int i = 1; i < pages; ++i) {
+    const bool ok = free_.push(pool_[static_cast<std::size_t>(i)].get());
+    QUARTZ_CHECK(ok, "free ring smaller than the page pool");
+  }
+  start_page(current_);
+  if (options_.background) {
+    drainer_ = std::thread([this] { drain_loop(); });
+  }
+}
+
+BinaryStream::~BinaryStream() {
+  try {
+    finish();
+  } catch (...) {
+    // The destructor must not throw; callers that care about sink
+    // errors call finish() explicitly.
+  }
+}
+
+void BinaryStream::start_page(Page* page) {
+  page->header = PageHeader{};
+  page->header.stream_id = options_.stream_id;
+  page->header.page_seq = next_page_seq_++;
+  page->header.first_record_seq = records_;
+  page->header.base_time_ps = last_time_;
+  cursor_ = page->payload;
+  page_end_ = page->payload + kPagePayloadBytes;
+  current_ = page;
+}
+
+void BinaryStream::seal() {
+  Page* page = current_;
+  page->header.payload_bytes = static_cast<std::uint32_t>(cursor_ - page->payload);
+  ++pages_sealed_;
+  if (!options_.background) {
+    page->header.crc = crc32(page->payload, page->header.payload_bytes);
+    sink_->accept(*page);
+    return;  // the single page buffer is reused by the next start_page
+  }
+  // Background mode: the CRC is the drainer's job — 64 KiB of checksum
+  // on the engine thread would dwarf the record stores it protects.
+  // Hand off to the drainer; the ring holds the whole pool, so a full
+  // ring means the drainer owns every page and will free slots soon.
+  while (!sealed_.push(page)) std::this_thread::yield();
+  work_gen_.fetch_add(1, std::memory_order_release);
+  work_gen_.notify_one();
+  current_ = nullptr;
+}
+
+Page* BinaryStream::acquire_page() {
+  if (Page* page = free_.pop()) return page;
+  // The drainer fell behind; grow the pool rather than stall the
+  // engine.  (Writer-thread only: the drainer never touches pool_.)
+  ++emergency_pages_;
+  pool_.push_back(std::make_unique<Page>());
+  return pool_.back().get();
+}
+
+void BinaryStream::roll() {
+  seal();
+  start_page(options_.background ? acquire_page() : current_);
+}
+
+void BinaryStream::drain_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    if (Page* page = sealed_.pop()) {
+      page->header.crc = crc32(page->payload, page->header.payload_bytes);
+      sink_->accept(*page);
+      // A failed push retires the page to the pool (emergency growth
+      // made more pages than the ring holds).
+      free_.push(page);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    work_gen_.wait(seen, std::memory_order_acquire);
+    seen = work_gen_.load(std::memory_order_acquire);
+  }
+}
+
+void BinaryStream::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (current_ != nullptr && cursor_ != current_->payload) seal();
+  if (options_.background) {
+    stop_.store(true, std::memory_order_release);
+    work_gen_.fetch_add(1, std::memory_order_release);
+    work_gen_.notify_one();
+    if (drainer_.joinable()) drainer_.join();
+  }
+  current_ = nullptr;
+  cursor_ = page_end_ = nullptr;
+}
+
+}  // namespace quartz::telemetry

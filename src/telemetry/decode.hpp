@@ -1,0 +1,98 @@
+// Post-hoc decoding of .qtz binary event streams.
+//
+// decode_streams() parses one or more stream files, merges every
+// contained stream deterministically by (time, stream, record seq) and
+// replays the records into ordinary TelemetrySinks — so PacketTracer,
+// PeriodicSampler, FaultTimeline and JsonlEventWriter double as
+// decoders: anything that can watch a live simulation can re-watch a
+// recorded one.  Packet state (task, size, endpoints, creation time,
+// accumulated queueing, hop count) is carried once on the send record
+// and rebuilt per packet id, so replayed sink calls see the same
+// arguments the live sink saw.
+//
+// Robustness: a page whose CRC fails, whose header is implausible or
+// whose tail is cut off is skipped — the decoder re-syncs on the next
+// page magic (pages are 8-byte aligned) and reports a StreamGap
+// instead of crashing.  Records referring to a packet whose send
+// record was lost to a gap are counted as orphans and dropped.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "telemetry/sink.hpp"
+
+namespace quartz::telemetry {
+
+/// A damaged or missing region the decoder skipped.
+struct StreamGap {
+  /// Stream the gap belongs to; 0xFFFFFFFF when the damage made the
+  /// owner unidentifiable (torn page header).
+  std::uint32_t stream_id = 0xFFFFFFFFu;
+  std::size_t file_index = 0;   ///< which input file
+  std::uint64_t byte_offset = 0;  ///< where in that file
+  std::string reason;
+};
+
+struct DecodeStats {
+  std::uint64_t pages = 0;
+  std::uint64_t records = 0;
+  std::uint64_t record_bytes = 0;  ///< payload bytes decoded
+  std::uint64_t streams = 0;
+  /// Records whose packet's send record was lost to a gap.
+  std::uint64_t orphan_records = 0;
+  std::vector<StreamGap> gaps;
+};
+
+/// Decode every stream in `files`, merge by (time, file, stream id,
+/// record seq) and replay into each sink in order.  Sinks may be
+/// empty (pure validation / stats pass).
+DecodeStats decode_streams(const std::vector<std::istream*>& files,
+                           const std::vector<TelemetrySink*>& sinks);
+
+/// Single-file convenience.
+DecodeStats decode_stream(std::istream& in, const std::vector<TelemetrySink*>& sinks);
+
+/// The canonical JSONL projection of the event stream: one compact
+/// JSON object per event, integer-picosecond times, only fields the
+/// binary stream preserves.  Attach it live (the legacy direct-export
+/// path) or feed it from decode_streams(): the two outputs are
+/// byte-identical, which is the determinism digest CI relies on.
+class JsonlEventWriter final : public TelemetrySink {
+ public:
+  explicit JsonlEventWriter(std::ostream& os) : os_(&os) {}
+
+  std::uint64_t events() const { return events_; }
+
+  void on_send(const sim::Packet& packet, TimePs ready) override;
+  void on_transmit(const sim::Packet& packet, topo::NodeId from, topo::LinkId link, int direction,
+                   TimePs ready, TimePs start, TimePs finish) override;
+  void on_arrival(const sim::Packet& packet, topo::NodeId node, TimePs first_bit,
+                  TimePs last_bit) override;
+  void on_forward(const sim::Packet& packet, topo::NodeId node, HopKind kind, TimePs first_bit,
+                  TimePs last_bit, TimePs decision_ready) override;
+  void on_delivery(const sim::Packet& packet, TimePs delivered, TimePs latency) override;
+  void on_drop(const sim::Packet& packet, DropReason reason, TimePs when) override;
+  void on_link_state(topo::LinkId link, bool up, TimePs when) override;
+  void on_link_detected(topo::LinkId link, bool dead, TimePs when) override;
+  void on_link_degraded(topo::LinkId link, double loss_rate, TimePs when) override;
+  void on_probe(topo::LinkId link, bool delivered, TimePs when) override;
+  void on_health_transition(topo::LinkId link, routing::LinkHealth from, routing::LinkHealth to,
+                            TimePs when) override;
+  void on_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) override;
+
+ private:
+  std::ostream* os_;
+  std::uint64_t events_ = 0;
+};
+
+/// FNV-1a over a byte range — the digest CI compares between the
+/// decoded and the live-exported JSONL.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 1469598103934665603ull);
+
+}  // namespace quartz::telemetry

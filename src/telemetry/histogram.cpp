@@ -1,0 +1,192 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace quartz::telemetry {
+
+int StreamingHistogram::bucket_index(double value) {
+  if (!(value > 0.0)) return -1;  // underflow bucket (also catches NaN)
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // value = mantissa * 2^exp, m in [0.5,1)
+  // Re-normalize to value = frac * 2^e with frac in [1, 2).
+  const int e = exponent - 1;
+  if (e < kMinExponent) return -1;
+  if (e > kMaxExponent) return kBuckets - 1;
+  const double frac = mantissa * 2.0;  // [1, 2)
+  int sub = static_cast<int>((frac - 1.0) * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return (e - kMinExponent) * kSubBuckets + sub;
+}
+
+double StreamingHistogram::bucket_lower(int index) {
+  const int e = index / kSubBuckets + kMinExponent;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e);
+}
+
+double StreamingHistogram::bucket_upper(int index) {
+  const int e = index / kSubBuckets + kMinExponent;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, e);
+}
+
+void StreamingHistogram::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  const int index = bucket_index(value);
+  if (index < 0) {
+    underflow_ += weight;
+  } else {
+    counts_[static_cast<std::size_t>(index)] += weight;
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += weight;
+  sum_ += value * static_cast<double>(weight);
+}
+
+double StreamingHistogram::percentile(double p) const {
+  QUARTZ_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (count_ == 0) return 0.0;
+  // Target rank matching SampleSet::percentile's nearest-rank flavour:
+  // the smallest value with at least ceil(p/100 * n) samples at or
+  // below it.
+  const double want = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  // Rank 1 is the minimum by definition — return it exactly rather
+  // than a bucket interpolation, mirroring the exact-max case below.
+  if (target == 1) return min_;
+
+  std::uint64_t cumulative = underflow_;
+  if (cumulative >= target) return std::min(0.0, min_);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = counts_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Interpolate linearly inside the bucket, then clamp into the
+      // observed range so p0/p100 are exact.
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double frac =
+          static_cast<double>(target - cumulative) / static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+  }
+  underflow_ += other.underflow_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  QUARTZ_REQUIRE(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const auto& h = heights_;
+  const auto& n = positions_;
+  return h[static_cast<std::size_t>(i)] +
+         d / (n[static_cast<std::size_t>(i + 1)] - n[static_cast<std::size_t>(i - 1)]) *
+             ((n[static_cast<std::size_t>(i)] - n[static_cast<std::size_t>(i - 1)] + d) *
+                  (h[static_cast<std::size_t>(i + 1)] - h[static_cast<std::size_t>(i)]) /
+                  (n[static_cast<std::size_t>(i + 1)] - n[static_cast<std::size_t>(i)]) +
+              (n[static_cast<std::size_t>(i + 1)] - n[static_cast<std::size_t>(i)] - d) *
+                  (h[static_cast<std::size_t>(i)] - h[static_cast<std::size_t>(i - 1)]) /
+                  (n[static_cast<std::size_t>(i)] - n[static_cast<std::size_t>(i - 1)]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto& h = heights_;
+  const auto& n = positions_;
+  const int j = i + static_cast<int>(d);
+  return h[static_cast<std::size_t>(i)] +
+         d * (h[static_cast<std::size_t>(j)] - h[static_cast<std::size_t>(i)]) /
+             (n[static_cast<std::size_t>(j)] - n[static_cast<std::size_t>(i)]);
+}
+
+void P2Quantile::add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[static_cast<std::size_t>(i)] = i + 1;
+    }
+    return;
+  }
+
+  int cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[static_cast<std::size_t>(cell + 1)]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) positions_[static_cast<std::size_t>(i)] += 1.0;
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<std::size_t>(i)] += increments_[static_cast<std::size_t>(i)];
+  }
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[static_cast<std::size_t>(i)] - positions_[static_cast<std::size_t>(i)];
+    const double right =
+        positions_[static_cast<std::size_t>(i + 1)] - positions_[static_cast<std::size_t>(i)];
+    const double left =
+        positions_[static_cast<std::size_t>(i - 1)] - positions_[static_cast<std::size_t>(i)];
+    if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+      const double step = d >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (candidate <= heights_[static_cast<std::size_t>(i - 1)] ||
+          candidate >= heights_[static_cast<std::size_t>(i + 1)]) {
+        candidate = linear(i, step);
+      }
+      heights_[static_cast<std::size_t>(i)] = candidate;
+      positions_[static_cast<std::size_t>(i)] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(count_));
+    const auto rank = static_cast<std::size_t>(q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, static_cast<std::size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+}  // namespace quartz::telemetry

@@ -12,9 +12,9 @@
 #include <ostream>
 #include <string>
 
-#include "common/stats.hpp"
 #include "common/units.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace quartz::telemetry {
 
@@ -36,22 +36,26 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Latency distribution in microseconds with exact percentiles
-/// (retains samples; bounded by simulated packet counts).
+/// Latency distribution in microseconds with O(1) memory: a
+/// StreamingHistogram (log2 buckets x 16 linear sub-buckets) replaces
+/// the old retain-every-sample SampleSet, so billion-event runs cost a
+/// fixed ~8 KiB per recorder.  count/mean/min/max stay exact;
+/// percentiles are within one sub-bucket (<= 6.25% relative) and exact
+/// at both extremes.
 class LatencyRecorder {
  public:
-  void add_us(double us) { samples_.add(us); }
-  void add(TimePs t) { samples_.add(to_microseconds(t)); }
+  void add_us(double us) { histogram_.add(us); }
+  void add(TimePs t) { histogram_.add(to_microseconds(t)); }
 
-  std::size_t count() const { return samples_.count(); }
-  bool empty() const { return samples_.empty(); }
-  double mean_us() const { return samples_.mean(); }
-  double percentile_us(double p) const { return samples_.percentile(p); }
-  double max_us() const { return samples_.max(); }
-  const SampleSet& samples() const { return samples_; }
+  std::size_t count() const { return static_cast<std::size_t>(histogram_.count()); }
+  bool empty() const { return histogram_.empty(); }
+  double mean_us() const { return histogram_.mean(); }
+  double percentile_us(double p) const { return histogram_.percentile(p); }
+  double max_us() const { return histogram_.max(); }
+  const StreamingHistogram& histogram() const { return histogram_; }
 
  private:
-  SampleSet samples_;
+  StreamingHistogram histogram_;
 };
 
 class MetricRegistry {

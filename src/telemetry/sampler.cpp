@@ -88,6 +88,10 @@ std::vector<BucketSummary> PeriodicSampler::summaries() const {
       a.max_queue_wait_us = to_microseconds(cell.max_queue_wait);
       lines.push_back(a);
     }
+    // Strict total order even under ties: equal-bits directions rank
+    // by link id, then direction.  This keeps top-K membership and
+    // order independent of unordered_map iteration order, so merged
+    // sweep outputs are byte-stable at any --jobs value.
     const auto hotter = [](const LinkActivity& x, const LinkActivity& y) {
       if (x.bits != y.bits) return x.bits > y.bits;
       if (x.link != y.link) return x.link < y.link;

@@ -1,0 +1,189 @@
+// TelemetrySink → BinaryStream encoder: the record vocabulary.
+//
+// Every sink event becomes one fixed-size record.  The encoding leans
+// on invariants of the simulator's event stream so that most fields
+// need not be stored at all (the decoder reconstructs them from
+// per-packet state; see telemetry/decode.cpp):
+//  * packet identity (task, size, src, dst, created) is carried once,
+//    on the kSend record, and looked up by packet id afterwards;
+//  * on_arrival's last_bit - first_bit always equals finish - start of
+//    the packet's preceding transmit, so kArrival stores nothing but
+//    the node;
+//  * on_delivery fires exactly at created + latency, so kDelivery is a
+//    bare packet id.
+// Record sizes (header word included): kSend 40 B, kTransmit 32 B,
+// kArrival 24 B, kForward 24 B, kDelivery 16 B — ~26 B/event at the
+// fig18 traffic mix, comfortably under the 32 B/event budget.  Wide
+// variants (kTransmitWide, kForwardWide) kick in when a queue wait or
+// decision delta overflows its packed field (> ~4.3 ms / ~1 ms), so
+// pathological congestion costs bytes, never correctness.
+#pragma once
+
+#include <cstring>
+
+#include "sim/packet.hpp"
+#include "telemetry/binary_stream.hpp"
+#include "telemetry/sink.hpp"
+
+namespace quartz::telemetry {
+
+enum class StreamEventId : std::uint8_t {
+  kSend = 1,
+  kTransmit = 2,
+  kTransmitWide = 3,
+  kArrival = 4,
+  kForward = 5,
+  kForwardWide = 6,
+  kDelivery = 7,
+  kDrop = 8,
+  kLinkState = 9,
+  kLinkDetected = 10,
+  kLinkDegraded = 11,
+  kProbe = 12,
+  kHealthTransition = 13,
+  kFlapDamped = 14,
+};
+
+inline const char* stream_event_name(StreamEventId id) {
+  switch (id) {
+    case StreamEventId::kSend: return "send";
+    case StreamEventId::kTransmit:
+    case StreamEventId::kTransmitWide: return "transmit";
+    case StreamEventId::kArrival: return "arrival";
+    case StreamEventId::kForward:
+    case StreamEventId::kForwardWide: return "forward";
+    case StreamEventId::kDelivery: return "delivery";
+    case StreamEventId::kDrop: return "drop";
+    case StreamEventId::kLinkState: return "link_state";
+    case StreamEventId::kLinkDetected: return "link_detected";
+    case StreamEventId::kLinkDegraded: return "link_degraded";
+    case StreamEventId::kProbe: return "probe";
+    case StreamEventId::kHealthTransition: return "health_transition";
+    case StreamEventId::kFlapDamped: return "flap_damped";
+  }
+  return "unknown";
+}
+
+/// Encodes the full sink vocabulary into a BinaryStream.  `final` so
+/// sim::Network's dedicated fast path devirtualizes the calls; the
+/// encoders are header-inline for the same reason.
+class BinaryStreamSink final : public TelemetrySink {
+ public:
+  explicit BinaryStreamSink(BinaryStream& stream) : stream_(&stream) {}
+
+  BinaryStream& stream() { return *stream_; }
+
+  void on_send(const sim::Packet& packet, TimePs ready) override {
+    // now() == packet.created when on_send fires.
+    stream_->emit4(
+        id(StreamEventId::kSend), packet.created, packet.id,
+        pack32(static_cast<std::uint32_t>(packet.size), static_cast<std::uint32_t>(packet.task)),
+        pack32(static_cast<std::uint32_t>(packet.key.src),
+               static_cast<std::uint32_t>(packet.key.dst)),
+        static_cast<std::uint64_t>(ready - packet.created));
+  }
+
+  void on_transmit(const sim::Packet& packet, topo::NodeId from, topo::LinkId link, int direction,
+                   TimePs ready, TimePs start, TimePs finish) override {
+    const std::uint64_t wait = static_cast<std::uint64_t>(start - ready);
+    const std::uint64_t wire = static_cast<std::uint64_t>(finish - start);
+    const std::uint64_t line = pack32(static_cast<std::uint32_t>(from),
+                                      (static_cast<std::uint32_t>(link) << 1) |
+                                          static_cast<std::uint32_t>(direction));
+    if ((wait | wire) < (1ull << 32)) {
+      stream_->emit3(id(StreamEventId::kTransmit), ready, packet.id, line,
+                     (wait << 32) | wire);
+    } else {
+      stream_->emit4(id(StreamEventId::kTransmitWide), ready, packet.id, line, wait, wire);
+    }
+  }
+
+  void on_arrival(const sim::Packet& packet, topo::NodeId node, TimePs first_bit,
+                  TimePs last_bit) override {
+    // last_bit - first_bit == the preceding transmit's finish - start;
+    // the decoder reconstructs it from per-packet state.
+    (void)last_bit;
+    stream_->emit2(id(StreamEventId::kArrival), first_bit, packet.id,
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+  }
+
+  void on_forward(const sim::Packet& packet, topo::NodeId node, HopKind kind, TimePs first_bit,
+                  TimePs last_bit, TimePs decision_ready) override {
+    // on_forward fires at first_bit, right after the matching
+    // on_arrival, so last_bit is already reconstructible.
+    (void)last_bit;
+    const std::uint64_t delta = static_cast<std::uint64_t>(decision_ready - first_bit);
+    const std::uint32_t node_kind =
+        static_cast<std::uint32_t>(kind) << 30 | static_cast<std::uint32_t>(delta & 0x3FFFFFFFu);
+    if (delta < (1ull << 30)) {
+      stream_->emit2(id(StreamEventId::kForward), first_bit, packet.id,
+                     pack32(static_cast<std::uint32_t>(node), node_kind));
+    } else {
+      stream_->emit3(id(StreamEventId::kForwardWide), first_bit, packet.id,
+                     pack32(static_cast<std::uint32_t>(node),
+                            static_cast<std::uint32_t>(kind) << 30),
+                     delta);
+    }
+  }
+
+  void on_delivery(const sim::Packet& packet, TimePs delivered, TimePs latency) override {
+    // delivered == created + latency; both reconstruct from kSend.
+    (void)latency;
+    stream_->emit1(id(StreamEventId::kDelivery), delivered, packet.id);
+  }
+
+  void on_drop(const sim::Packet& packet, DropReason reason, TimePs when) override {
+    stream_->emit2(id(StreamEventId::kDrop), when, packet.id,
+                   static_cast<std::uint64_t>(reason));
+  }
+
+  void on_link_state(topo::LinkId link, bool up, TimePs when) override {
+    stream_->emit1(id(StreamEventId::kLinkState), when, link_flag(link, up));
+  }
+
+  void on_link_detected(topo::LinkId link, bool dead, TimePs when) override {
+    stream_->emit1(id(StreamEventId::kLinkDetected), when, link_flag(link, dead));
+  }
+
+  void on_link_degraded(topo::LinkId link, double loss_rate, TimePs when) override {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(loss_rate));
+    std::memcpy(&bits, &loss_rate, sizeof(bits));
+    stream_->emit2(id(StreamEventId::kLinkDegraded), when,
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)), bits);
+  }
+
+  void on_probe(topo::LinkId link, bool delivered, TimePs when) override {
+    stream_->emit1(id(StreamEventId::kProbe), when, link_flag(link, delivered));
+  }
+
+  void on_health_transition(topo::LinkId link, routing::LinkHealth from, routing::LinkHealth to,
+                            TimePs when) override {
+    stream_->emit1(id(StreamEventId::kHealthTransition), when,
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)) << 8 |
+                       static_cast<std::uint64_t>(static_cast<std::uint32_t>(from) & 0xF) << 4 |
+                       static_cast<std::uint64_t>(static_cast<std::uint32_t>(to) & 0xF));
+  }
+
+  void on_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) override {
+    stream_->emit2(id(StreamEventId::kFlapDamped), when,
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)),
+                   static_cast<std::uint64_t>(suppressed_until - when));
+  }
+
+ private:
+  static constexpr std::uint8_t id(StreamEventId event) {
+    return static_cast<std::uint8_t>(event);
+  }
+  static constexpr std::uint64_t pack32(std::uint32_t hi, std::uint32_t lo) {
+    return static_cast<std::uint64_t>(hi) << 32 | lo;
+  }
+  static constexpr std::uint64_t link_flag(topo::LinkId link, bool flag) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)) << 1 |
+           static_cast<std::uint64_t>(flag ? 1 : 0);
+  }
+
+  BinaryStream* stream_;
+};
+
+}  // namespace quartz::telemetry

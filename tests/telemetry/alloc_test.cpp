@@ -1,0 +1,96 @@
+// Allocation-freedom contracts of the telemetry hot paths, enforced
+// with a counting operator-new hook (which is why this suite lives in
+// its own test binary: the hook is global to the process).
+//
+//  * a disabled MetricRegistry's scratch LatencyRecorder: zero heap
+//    traffic per add — instrumented code in the off state is free;
+//  * an enabled LatencyRecorder: StreamingHistogram is a fixed array,
+//    so the steady state allocates nothing no matter how many samples;
+//  * a synchronous BinaryStream: page roll reuses the single page
+//    buffer, so capture allocates nothing after construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+
+#include "telemetry/binary_stream.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/stream_sink.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+std::uint64_t alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  const std::size_t al = std::max(static_cast<std::size_t>(align), sizeof(void*));
+  if (posix_memalign(&p, al, size ? size : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace quartz::telemetry {
+namespace {
+
+TEST(TelemetryAllocation, DisabledRegistryLatencyAddIsAllocationFree) {
+  MetricRegistry registry(/*enabled=*/false);
+  LatencyRecorder& latency = registry.latency("sim.packet_latency_us");
+  latency.add_us(1.0);  // warm up
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 1'000'000; ++i) latency.add_us(static_cast<double>(i % 997));
+  const std::uint64_t after = alloc_count();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(TelemetryAllocation, EnabledRecorderSteadyStateIsAllocationFree) {
+  MetricRegistry registry(/*enabled=*/true);
+  LatencyRecorder& latency = registry.latency("task.latency_us");
+  latency.add_us(3.5);  // any setup cost lands here, before the probe
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 1'000'000; ++i) latency.add_us(0.1 * static_cast<double>(i % 4096));
+  const std::uint64_t after = alloc_count();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(latency.count(), 1'000'001u);
+}
+
+TEST(TelemetryAllocation, SyncBinaryStreamEmitAndPageRollAreAllocationFree) {
+  NullPageSink sink;
+  BinaryStream stream(sink);
+  BinaryStreamSink events(stream);
+  events.on_probe(1, true, 0);  // warm up
+  const std::uint64_t before = alloc_count();
+  // 16-byte records, 4093 per page: 100k emits cross ~24 page rolls.
+  for (std::uint64_t i = 1; i <= 100'000; ++i) {
+    events.on_probe(static_cast<topo::LinkId>(i % 31), (i & 1) != 0,
+                    static_cast<TimePs>(i * 64));
+  }
+  const std::uint64_t after = alloc_count();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GE(stream.pages_sealed(), 24u);
+  stream.finish();
+  EXPECT_EQ(stream.records(), 100'001u);
+  EXPECT_EQ(stream.emergency_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace quartz::telemetry

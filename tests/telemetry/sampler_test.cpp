@@ -85,6 +85,33 @@ TEST(PeriodicSampler, TracksHottestLinksAndUtilization) {
   EXPECT_GE(hottest.front().bits, 10u * 400u * 8u);
 }
 
+TEST(PeriodicSampler, TopKTieBreakIsByteStable) {
+  // Four directions with identical bits: the top-K order must not
+  // depend on observation order or hash-map iteration order.  Ties
+  // rank by link id, then direction — the documented total order that
+  // keeps merged sweep outputs byte-stable at any --jobs value.
+  PeriodicSampler::Options options;
+  options.bucket = milliseconds(1);
+  options.top_k = 3;
+  PeriodicSampler sampler(options);
+  sim::Packet p;
+  p.size = bytes(400);
+  const std::pair<topo::LinkId, int> lines[] = {{9, 0}, {2, 1}, {5, 1}, {2, 0}};
+  for (const auto& [link, direction] : lines) {
+    sampler.on_transmit(p, 0, link, direction, 1000, 1000, 321'000);
+  }
+  const auto buckets = sampler.summaries();
+  ASSERT_EQ(buckets.size(), 1u);
+  const auto& hottest = buckets[0].hottest;
+  ASSERT_EQ(hottest.size(), 3u);
+  EXPECT_EQ(hottest[0].link, 2);
+  EXPECT_EQ(hottest[0].direction, 0);
+  EXPECT_EQ(hottest[1].link, 2);
+  EXPECT_EQ(hottest[1].direction, 1);
+  EXPECT_EQ(hottest[2].link, 5);
+  EXPECT_EQ(hottest[2].direction, 1);
+}
+
 TEST(PeriodicSampler, CountsDropsByReason) {
   auto f = Fixture::single_switch();
   sim::SimConfig config;
