@@ -1,53 +1,13 @@
 #include "chaos/soak.hpp"
 
-#include <algorithm>
-#include <memory>
 #include <sstream>
 
+#include "chaos/storm_run.hpp"
 #include "common/check.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "optical/budget.hpp"
-#include "routing/health_monitor.hpp"
-#include "sim/fault_injection.hpp"
-#include "sim/network.hpp"
-#include "sim/probes.hpp"
 #include "sim/sweep.hpp"
-#include "topo/builders.hpp"
-#include "topo/failures.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::chaos {
-namespace {
-
-/// Mesh lightpaths of the fabric (the links faults target).
-std::vector<topo::LinkId> wdm_links(const topo::BuiltTopology& topo) {
-  std::vector<topo::LinkId> out;
-  for (const auto& link : topo.graph.links()) {
-    if (link.wdm_channel >= 0) out.push_back(link.id);
-  }
-  return out;
-}
-
-/// A time uniform in [lo, hi) on the storm clock.
-TimePs uniform_time(Rng& rng, TimePs lo, TimePs hi) {
-  return lo + static_cast<TimePs>(rng.next_below(static_cast<std::uint64_t>(hi - lo)));
-}
-
-/// Gray-failure drop probability from the optical plant: erode the
-/// ring's worst-case margin down to `residual_db` (negative = below
-/// sensitivity) and convert margin → Q → BER → per-packet loss.
-double gray_drop_probability(std::size_t ring_size, double residual_db, Bits packet_bits) {
-  optical::RingBudgetParams budget;
-  budget.ring_size = ring_size;
-  const optical::AmplifierPlan plan = optical::plan_ring_amplifiers(budget);
-  QUARTZ_CHECK(plan.feasible, "storm fabric has no feasible amplifier plan");
-  const double margin = optical::worst_case_margin_db(budget, plan);
-  const double extra = std::max(0.0, margin - residual_db);
-  return optical::degraded_drop_probability(budget, plan, extra,
-                                            static_cast<std::uint64_t>(packet_bits));
-}
-
-}  // namespace
 
 std::string StormReport::summary() const {
   std::ostringstream os;
@@ -64,224 +24,23 @@ std::string StormReport::summary() const {
 }
 
 StormReport run_storm(const StormParams& params) {
-  QUARTZ_REQUIRE(params.switches >= 4, "storm fabric needs at least four switches");
-  QUARTZ_REQUIRE(params.packets > 0 && params.packet_gap > 0, "storm needs traffic");
-  QUARTZ_REQUIRE(
-      0 <= params.storm_start && params.storm_start < params.storm_end &&
-          params.storm_end < params.quiesce_at && params.quiesce_at < params.run_until,
-      "storm phases must be ordered: start < end < quiesce < run_until");
-  const TimePs traffic_end = params.packet_gap * params.packets;
-  QUARTZ_REQUIRE(params.quiesce_at < traffic_end && traffic_end <= params.run_until,
-                 "traffic must outlast the quiescence point and fit the run");
+  StormRun run(params);
+  run.arm();
+  if (!params.restore_rehearsal) return run.finish();
 
-  topo::QuartzRingParams ring;
-  ring.switches = static_cast<int>(params.switches);
-  ring.hosts_per_switch = params.hosts_per_switch;
-  const topo::BuiltTopology topo = topo::quartz_ring(ring);
-  const std::vector<topo::LinkId> mesh = wdm_links(topo);
-  QUARTZ_CHECK(!mesh.empty(), "storm fabric has no mesh lightpaths");
-
-  routing::EcmpRouting routing(topo.graph);
-  routing::EcmpOracle oracle(routing);
-  sim::SimConfig config;
-  config.corruption_seed = params.seed ^ 0x434F5252ull;  // "CORR"
-  if (params.mode == DetectionMode::kFixedDelay) {
-    config.failure_detection_delay = params.fixed_detection_delay;
-  }
-  sim::Network net(topo, oracle, config);
-
-  // Detection plane: probe-based monitor or the omniscient fixed-delay
-  // view.  Storm timescales are milliseconds, so the monitor's default
-  // BGP-scale hold-downs are tightened to keep recovery inside the run.
-  routing::HealthMonitorConfig monitor_config;
-  monitor_config.hold_down = microseconds(200);
-  monitor_config.hold_down_cap = milliseconds(20);
-  monitor_config.flap_memory = milliseconds(10);
-  routing::HealthMonitor monitor(topo.graph.link_count(), monitor_config);
-  std::unique_ptr<sim::ProbePlane> probes;
-  if (params.mode == DetectionMode::kHealthMonitor) {
-    sim::ProbePlane::Options probe_options;
-    probe_options.interval = params.probe_interval;
-    probe_options.seed = params.seed ^ 0x50524FBEull;
-    probes = std::make_unique<sim::ProbePlane>(net, monitor, probe_options);
-    probes->start(mesh);
-    oracle.attach_failure_view(&monitor.view());
-    oracle.attach_loss_view(&monitor);
-  } else {
-    oracle.attach_failure_view(&net.failure_view());
-  }
-
-  // Workload: random host pairs on a fixed cadence, one flow per packet.
-  struct Delivery {
-    TimePs when = 0;
-    TimePs latency = 0;
-    int hops = 0;
-  };
-  std::vector<Delivery> deliveries;
-  deliveries.reserve(static_cast<std::size_t>(params.packets));
-  const int task = net.new_task([&net, &deliveries](const sim::Packet& p, TimePs latency) {
-    deliveries.push_back({net.now(), latency, p.hops});
-  });
-  Rng traffic_rng(params.seed ^ 0x545241FFull);
-  for (int i = 0; i < params.packets; ++i) {
-    net.at(params.packet_gap * i, [&net, &topo, &traffic_rng, &deliveries, task, &params] {
-      const auto& hosts = topo.hosts;
-      const topo::NodeId src = hosts[traffic_rng.next_below(hosts.size())];
-      topo::NodeId dst = hosts[traffic_rng.next_below(hosts.size())];
-      while (dst == src) dst = hosts[traffic_rng.next_below(hosts.size())];
-      net.send(src, dst, params.packet_size, task, traffic_rng.next_u64());
-    });
-  }
-  // Storm script.
-  sim::FaultScheduler faults(net);
-  Rng storm_rng(params.seed ^ 0x53544F52ull);  // "STOR"
-  const TimePs window = params.storm_end - params.storm_start;
-  auto cut_window = [&](TimePs& fail_at, TimePs& repair_at) {
-    fail_at = uniform_time(storm_rng, params.storm_start, params.storm_end);
-    repair_at = uniform_time(storm_rng, fail_at + 1, params.quiesce_at);
-  };
-  for (int c = 0; c < params.cuts; ++c) {
-    const topo::LinkId victim = mesh[storm_rng.next_below(mesh.size())];
-    TimePs fail_at = 0, repair_at = 0;
-    cut_window(fail_at, repair_at);
-    faults.schedule_cut(fail_at, {victim}, repair_at);
-    if (c == 0 && params.cuts >= 2) {
-      // Deliberately overlap a second window on the same link: the
-      // first repair must not resurrect it while the second holds.
-      const TimePs fail2 = uniform_time(storm_rng, fail_at, repair_at);
-      const TimePs repair2 = uniform_time(storm_rng, repair_at + 1, params.quiesce_at);
-      faults.schedule_cut(fail2, {victim}, repair2);
-      ++c;
-    }
-  }
-  for (int a = 0; a < params.amplifier_failures; ++a) {
-    const topo::FiberCut span{0, static_cast<int>(storm_rng.next_below(params.switches))};
-    const double residual = -2.2 - storm_rng.next_double();  // margin in [-3.2, -2.2] dB
-    const double p = gray_drop_probability(params.switches, residual, params.packet_size);
-    TimePs fail_at = 0, repair_at = 0;
-    cut_window(fail_at, repair_at);
-    faults.schedule_amplifier_failure(fail_at, span, p, repair_at);
-  }
-  for (int x = 0; x < params.transceiver_agings; ++x) {
-    const topo::LinkId victim = mesh[storm_rng.next_below(mesh.size())];
-    const double residual = -2.2 - storm_rng.next_double();
-    const double p = gray_drop_probability(params.switches, residual, params.packet_size);
-    TimePs fail_at = 0, repair_at = 0;
-    cut_window(fail_at, repair_at);
-    faults.schedule_transceiver_aging(fail_at, victim, p, repair_at);
-  }
-  for (int f = 0; f < params.flapping_links; ++f) {
-    const topo::LinkId victim = mesh[storm_rng.next_below(mesh.size())];
-    const TimePs down = microseconds(300);
-    const TimePs up = microseconds(300);
-    const int cycles = static_cast<int>(std::min<TimePs>(20, window / (down + up)));
-    if (cycles > 0) {
-      faults.schedule_flapping(params.storm_start, victim, down, up, cycles);
-    }
-  }
-  if (params.poisson_churn) {
-    sim::PoissonFaultParams churn;
-    churn.failures_per_link_per_hour = 7.2e4;  // mean TTF 50 ms per lightpath
-    churn.mean_repair_hours = 1e-7;            // mean TTR 0.36 ms
-    churn.start = params.storm_start;
-    churn.stop = params.storm_end;
-    faults.run_poisson(churn, mesh, Rng(params.seed ^ 0x504F4953ull));  // "POIS"
-  }
-
-  net.run_until(params.run_until);
-
-  // Harvest.
-  StormReport report;
-  report.seed = params.seed;
-  report.mode = params.mode;
-  report.sent = net.packets_sent();
-  report.delivered = net.packets_delivered();
-  report.queue_drops = net.packets_dropped(telemetry::DropReason::kQueueOverflow);
-  report.link_down_drops = net.packets_dropped(telemetry::DropReason::kLinkDown);
-  report.corrupted_drops = net.packets_dropped(telemetry::DropReason::kCorrupted);
-  report.cuts = faults.cuts();
-  report.repairs = faults.repairs();
-  report.degradations = faults.degradations();
-  report.restorations = faults.restorations();
-  report.probes = monitor.probes();
-  report.missed_probes = monitor.missed_probes();
-  report.deaths = monitor.deaths();
-  report.revivals = monitor.revivals();
-  report.damped_recoveries = monitor.damped_recoveries();
-  report.hop_bound = static_cast<int>(params.switches);
-
-  // Invariant 1: exact per-reason packet conservation.
-  const std::uint64_t drops =
-      report.queue_drops + report.link_down_drops + report.corrupted_drops;
-  report.invariants.conservation = report.sent == static_cast<std::uint64_t>(params.packets) &&
-                                   report.delivered + drops == report.sent &&
-                                   drops == net.packets_dropped() &&
-                                   net.task_drops(task) == net.packets_dropped();
-  if (!report.invariants.conservation) {
-    std::ostringstream os;
-    os << "conservation: sent=" << report.sent << " delivered=" << report.delivered
-       << " drops=" << drops << " (dropped=" << net.packets_dropped() << ")";
-    report.violations.push_back(os.str());
-  }
-
-  // Invariant 2: hop bound on every delivered packet.
-  for (const Delivery& d : deliveries) report.max_hops = std::max(report.max_hops, d.hops);
-  report.invariants.hop_bound = report.max_hops <= report.hop_bound;
-  if (!report.invariants.hop_bound) {
-    report.violations.push_back("hop bound: a packet crossed " + std::to_string(report.max_hops) +
-                                " switches (bound " + std::to_string(report.hop_bound) + ")");
-  }
-
-  // Invariant 3: the detector's view matches the physical truth on
-  // every link once everything is repaired.
-  bool converged = true;
-  for (const auto& link : topo.graph.links()) {
-    const routing::LinkHealth physical = net.link_health(link.id);
-    if (physical != routing::LinkHealth::kHealthy) {
-      converged = false;
-      report.violations.push_back("convergence: link " + std::to_string(link.id) +
-                                  " still physically " +
-                                  routing::link_health_name(physical) + " after quiescence");
-      continue;
-    }
-    if (params.mode == DetectionMode::kHealthMonitor) {
-      const routing::LinkHealth seen = monitor.health(link.id);
-      if (seen != physical) {
-        converged = false;
-        report.violations.push_back("convergence: monitor sees link " +
-                                    std::to_string(link.id) + " as " +
-                                    routing::link_health_name(seen) + ", physically healthy");
-      }
-    } else if (net.failure_view().is_dead(link.id)) {
-      converged = false;
-      report.violations.push_back("convergence: fixed-delay view still holds link " +
-                                  std::to_string(link.id) + " dead");
-    }
-  }
-  report.invariants.converged = converged;
-
-  // Invariant 4: post-storm latency back to the pre-storm baseline.
-  RunningStats baseline_us;
-  RunningStats tail_us;
-  const TimePs tail_start = (params.quiesce_at + traffic_end) / 2;
-  for (const Delivery& d : deliveries) {
-    if (d.when < params.storm_start) baseline_us.add(to_microseconds(d.latency));
-    if (d.when >= tail_start) tail_us.add(to_microseconds(d.latency));
-  }
-  report.baseline_mean_us = baseline_us.count() > 0 ? baseline_us.mean() : 0.0;
-  report.tail_mean_us = tail_us.count() > 0 ? tail_us.mean() : 0.0;
-  report.invariants.latency_recovered =
-      baseline_us.count() > 0 && tail_us.count() > 0 &&
-      report.tail_mean_us <= report.baseline_mean_us * (1.0 + params.latency_tolerance);
-  if (!report.invariants.latency_recovered) {
-    std::ostringstream os;
-    os << "latency recovery: baseline " << report.baseline_mean_us << " us (n="
-       << baseline_us.count() << "), tail " << report.tail_mean_us << " us (n=" << tail_us.count()
-       << ")";
-    report.violations.push_back(os.str());
-  }
-
-  return report;
+  // Rehearsal: drive to mid-storm, snapshot through an in-memory
+  // round trip (same validation path as a file), restore into a fresh
+  // run and finish there.  Callers compare against the uninterrupted
+  // report to prove bit-exactness.
+  run.run_to(params.storm_start + (params.storm_end - params.storm_start) / 2);
+  snapshot::Writer writer;
+  run.save(writer);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(writer, 0), &error);
+  QUARTZ_CHECK(reader.has_value(), "mid-storm snapshot failed validation: " + error);
+  StormRun resumed(params);
+  resumed.restore(*reader);
+  return resumed.finish();
 }
 
 std::vector<StormReport> run_sweep(const StormParams& base, int storms, int jobs) {

@@ -82,6 +82,13 @@ struct StormParams {
   /// Tail latency may exceed the pre-storm baseline by this factor
   /// before the recovery invariant fails.
   double latency_tolerance = 0.25;
+
+  /// Rehearse crash recovery inside the run: snapshot mid-storm,
+  /// restore into a fresh StormRun, and finish there.  The report
+  /// (digests included) must be identical to the uninterrupted run —
+  /// sweeping this across jobs exercises checkpoint/restore under the
+  /// parallel runner.
+  bool restore_rehearsal = false;
 };
 
 /// Pass/fail per invariant (see file comment for definitions).
@@ -120,6 +127,12 @@ struct StormReport {
   int hop_bound = 0;
   double baseline_mean_us = 0;
   double tail_mean_us = 0;
+
+  /// Bit-exactness oracle (FNV-1a over the delivery and drop streams)
+  /// plus engine progress — checkpoint/restore equality compares these.
+  std::uint64_t delivery_digest = 0;
+  std::uint64_t drop_digest = 0;
+  std::uint64_t events_dispatched = 0;
 
   InvariantReport invariants;
   /// Human-readable description of each violated invariant (empty when

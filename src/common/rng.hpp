@@ -15,6 +15,14 @@
 
 namespace quartz {
 
+/// The complete engine state of an Rng, exposed so checkpointing can
+/// serialize every generator exactly.  A generator restored through
+/// set_state() continues the identical output stream — no generator in
+/// a checkpointable component may hold entropy outside this struct.
+struct RngState {
+  std::uint64_t word[4]{};
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
@@ -99,6 +107,18 @@ class Rng {
 
   /// Independent child generator; distinct streams for sub-components.
   Rng fork() { return Rng(next_u64()); }
+
+  /// Snapshot of the full engine state (for checkpointing).
+  RngState state() const {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.word[i] = state_[i];
+    return s;
+  }
+
+  /// Resume exactly where a state() snapshot left off.
+  void set_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.word[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

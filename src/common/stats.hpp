@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace quartz {
@@ -57,6 +58,14 @@ class SampleSet {
   double confidence_half_width(double level = 0.95) const;
 
   const std::vector<double>& samples() const { return samples_; }
+
+  /// Replace the retained samples wholesale (checkpoint restore);
+  /// invalidates the sorted cache.
+  void assign(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
  private:
   void ensure_sorted() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::routing {
 
@@ -118,6 +119,50 @@ std::size_t HealthMonitor::lossy_count() const {
   std::size_t n = 0;
   for (const LinkState& s : states_) n += s.health == LinkHealth::kLossy ? 1 : 0;
   return n;
+}
+
+void HealthMonitor::save(snapshot::Writer& w) const {
+  w.put_u64(states_.size());
+  for (const LinkState& s : states_) {
+    w.put_u8(static_cast<std::uint8_t>(s.health));
+    w.put_f64(s.ewma);
+    w.put_i32(s.misses);
+    w.put_i32(s.acks);
+    w.put_i32(s.flaps);
+    w.put_i64(s.last_death);
+    w.put_i64(s.suppressed_until);
+    w.put_bool(s.damp_announced);
+  }
+  w.put_u64(probes_);
+  w.put_u64(missed_);
+  w.put_u64(deaths_);
+  w.put_u64(revivals_);
+  w.put_u64(damped_);
+}
+
+void HealthMonitor::restore(snapshot::Reader& r) {
+  QUARTZ_REQUIRE(r.get_u64() == states_.size(),
+                 "snapshot link count does not match this monitor");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    LinkState& s = states_[i];
+    s.health = static_cast<LinkHealth>(r.get_u8());
+    s.ewma = r.get_f64();
+    s.misses = r.get_i32();
+    s.acks = r.get_i32();
+    s.flaps = r.get_i32();
+    s.last_death = r.get_i64();
+    s.suppressed_until = r.get_i64();
+    s.damp_announced = r.get_bool();
+    // The owned FailureView mirrors the dead set; replaying it through
+    // set_dead keeps the epoch monotone (attached oracles/FIBs simply
+    // see one bump and recompile lazily).
+    view_.set_dead(static_cast<topo::LinkId>(i), s.health == LinkHealth::kDead);
+  }
+  probes_ = r.get_u64();
+  missed_ = r.get_u64();
+  deaths_ = r.get_u64();
+  revivals_ = r.get_u64();
+  damped_ = r.get_u64();
 }
 
 }  // namespace quartz::routing

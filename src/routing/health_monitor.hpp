@@ -33,6 +33,11 @@
 #include "common/units.hpp"
 #include "routing/failure_view.hpp"
 
+namespace quartz::snapshot {
+class Writer;
+class Reader;
+}  // namespace quartz::snapshot
+
 namespace quartz::routing {
 
 struct HealthMonitorConfig {
@@ -99,6 +104,15 @@ class HealthMonitor final : public LossView {
   void set_damp_hook(DampHook hook) { damp_hook_ = std::move(hook); }
 
   const HealthMonitorConfig& config() const { return config_; }
+
+  /// Serialize every per-link state machine plus the counters.  The
+  /// owned FailureView is NOT written separately: its dead set is a
+  /// pure function of the per-link health, and restore() replays it.
+  void save(snapshot::Writer& w) const;
+  /// Restore into a fresh monitor of the same size and config.  Hooks
+  /// are not serialized — reinstall them (ProbePlane construction does)
+  /// before restoring.
+  void restore(snapshot::Reader& r);
 
  private:
   struct LinkState {

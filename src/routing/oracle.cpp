@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "routing/fib.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::routing {
 namespace {
@@ -438,6 +439,48 @@ void PinnedDetourOracle::rebuild_pin_to_dst() {
     (void)via;
     pin_to_dst_.at(static_cast<std::size_t>(key & 0xFFFFFFFFull)) = 1;
   }
+}
+
+void PinnedDetourOracle::save(snapshot::Writer& w) const {
+  // Sort by pin key: unordered_map iteration order must not leak into
+  // the snapshot bytes.
+  std::vector<std::pair<std::uint64_t, topo::NodeId>> pins(pinned_.begin(),
+                                                           pinned_.end());
+  std::sort(pins.begin(), pins.end());
+  w.put_u64(pins.size());
+  for (const auto& [key, via] : pins) {
+    w.put_u64(key);
+    w.put_i32(via);
+  }
+  w.put_bool(regrooming_);
+  w.put_u64(staged_.size());
+  for (const StagedChange& change : staged_) {
+    w.put_i32(change.src);
+    w.put_i32(change.dst);
+    w.put_i32(change.via);
+  }
+}
+
+void PinnedDetourOracle::restore(snapshot::Reader& r) {
+  QUARTZ_REQUIRE(pinned_.empty() && !regrooming_,
+                 "restore requires a fresh PinnedDetourOracle");
+  const std::uint64_t pin_count = r.get_u64();
+  for (std::uint64_t i = 0; i < pin_count; ++i) {
+    const std::uint64_t key = r.get_u64();
+    pinned_[key] = r.get_i32();
+  }
+  regrooming_ = r.get_bool();
+  const std::uint64_t staged_count = r.get_u64();
+  staged_.reserve(staged_count);
+  for (std::uint64_t i = 0; i < staged_count; ++i) {
+    StagedChange change;
+    change.src = r.get_i32();
+    change.dst = r.get_i32();
+    change.via = r.get_i32();
+    staged_.push_back(change);
+  }
+  rebuild_pin_to_dst();
+  bump_version();
 }
 
 topo::LinkId PinnedDetourOracle::next_link(topo::NodeId node, FlowKey& key) const {

@@ -28,6 +28,11 @@
 #include "routing/flowlet_table.hpp"
 #include "topo/builders.hpp"
 
+namespace quartz::snapshot {
+class Writer;
+class Reader;
+}  // namespace quartz::snapshot
+
 namespace quartz::routing {
 
 class FibCompiler;
@@ -266,6 +271,13 @@ class PinnedDetourOracle : public MeshAwareOracle {
 
   topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
   void compile_entry(topo::NodeId node, std::int32_t group, FibCompiler& out) const override;
+
+  /// Serialize live pins plus any open regroom transaction (staged but
+  /// uncommitted changes survive a checkpoint verbatim).
+  void save(snapshot::Writer& w) const;
+  /// Restore into a fresh oracle built over the same routing/rings.
+  /// Bumps the oracle version once so attached FIBs recompile.
+  void restore(snapshot::Reader& r);
 
  private:
   struct StagedChange {

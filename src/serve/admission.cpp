@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::serve {
 
@@ -112,6 +113,38 @@ void AdmissionController::on_window(const telemetry::SloWindow& window) {
       state_ = State::kStable;
       break;
   }
+}
+
+void AdmissionController::save(snapshot::Writer& w) const {
+  w.put_u8(static_cast<std::uint8_t>(state_));
+  w.put_i32(limit_);
+  w.put_i32(stable_limit_);
+  w.put_f64(smoothed_);
+  w.put_f64(probe_base_);
+  w.put_i32(shed_classes_);
+  w.put_i32(breach_streak_);
+  w.put_i32(clean_streak_);
+  w.put_i32(knee_limit_);
+  w.put_f64(knee_goodput_);
+  w.put_u64(windows_seen_);
+  w.put_u64(shed_events_);
+  w.put_u64(restore_events_);
+}
+
+void AdmissionController::restore(snapshot::Reader& r) {
+  state_ = static_cast<State>(r.get_u8());
+  limit_ = r.get_i32();
+  stable_limit_ = r.get_i32();
+  smoothed_ = r.get_f64();
+  probe_base_ = r.get_f64();
+  shed_classes_ = r.get_i32();
+  breach_streak_ = r.get_i32();
+  clean_streak_ = r.get_i32();
+  knee_limit_ = r.get_i32();
+  knee_goodput_ = r.get_f64();
+  windows_seen_ = r.get_u64();
+  shed_events_ = r.get_u64();
+  restore_events_ = r.get_u64();
 }
 
 }  // namespace quartz::serve

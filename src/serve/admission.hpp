@@ -24,6 +24,11 @@
 
 #include "telemetry/slo.hpp"
 
+namespace quartz::snapshot {
+class Writer;
+class Reader;
+}  // namespace quartz::snapshot
+
 namespace quartz::serve {
 
 class AdmissionController {
@@ -76,6 +81,11 @@ class AdmissionController {
   std::uint64_t windows_seen() const { return windows_seen_; }
   std::uint64_t shed_events() const { return shed_events_; }
   std::uint64_t restore_events() const { return restore_events_; }
+
+  /// Serialize the probe state machine + shedding level (config is
+  /// reconstructed by the owner, not serialized).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   Config config_;

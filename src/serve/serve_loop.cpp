@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::serve {
 namespace {
@@ -74,18 +75,17 @@ ServeLoop::ServeLoop(ServeConfig config)
   oracle_->attach_failure_view(&network_->failure_view());
   network_->set_fib(fib_.get());
 
-  // Request delivery at the server: reply after the service time.  The
-  // server answers every (re)transmission it sees — duplicate replies
-  // for a retried call are ignored at the client by the outstanding
-  // table.
+  // Request delivery at the server: reply after the service time (a
+  // kReplyTag timer packing server and client ids — checkpointable,
+  // unlike a closure).  The server answers every (re)transmission it
+  // sees — duplicate replies for a retried call are ignored at the
+  // client by the outstanding table.
   request_task_ = network_->new_task([this](const sim::Packet& p, TimePs) {
-    const std::uint64_t id = p.tag;
-    const topo::NodeId server = p.key.dst;
-    const topo::NodeId client = p.key.src;
-    network_->after(config_.service_time, [this, id, server, client] {
-      network_->send(server, client, config_.reply_size, reply_task_,
-                     routing::mix_hash(id ^ 0x5245504Cull), id);  // "REPL"
-    });
+    const auto server = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.key.dst));
+    const auto client = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.key.src));
+    network_->schedule_timer(
+        network_->now() + config_.service_time,
+        {this, kReplyTag, p.tag, (server << 32) | client});
   });
   reply_task_ = network_->new_task([this](const sim::Packet& p, TimePs) {
     const auto it = outstanding_.find(p.tag);
@@ -94,36 +94,107 @@ ServeLoop::ServeLoop(ServeConfig config)
   });
 }
 
-ServeReport ServeLoop::run() {
-  QUARTZ_CHECK(!ran_, "a ServeLoop runs once");
-  ran_ = true;
+void ServeLoop::start() {
+  QUARTZ_CHECK(!started_, "a ServeLoop starts once (restore replaces start)");
+  started_ = true;
 
   if (config_.replay != nullptr) {
-    schedule_replay_arrivals();
+    // The replay walks the trace with one live timer (a = next index);
+    // traces are recorded in arrival order, which the walk relies on.
+    const auto& replay = *config_.replay;
+    for (std::size_t i = 1; i < replay.size(); ++i) {
+      QUARTZ_REQUIRE(replay[i - 1].at <= replay[i].at,
+                     "replay trace must be sorted by arrival time");
+    }
+    if (!replay.empty() && replay.front().at < config_.duration) {
+      network_->schedule_timer(replay.front().at, {this, kReplayTag, 0, 0});
+    }
   } else {
     const double mean_gap_ps = 1e12 / config_.arrivals_per_sec;
     const auto first =
         std::max<TimePs>(1, static_cast<TimePs>(rng_.next_exponential(mean_gap_ps)));
-    network_->at(first, [this] { next_poisson_arrival(); });
+    network_->schedule_timer(first, {this, kArrivalTag, 0, 0});
   }
 
   for (std::size_t i = 0; i < config_.shifts.size(); ++i) {
-    const DemandShift& shift = config_.shifts[i];
-    network_->at(shift.at, [this, i] {
-      active_shift_ = static_cast<int>(i);
-      if (config_.reconfigure_on_shift) {
-        network_->after(config_.reconfigure_delay, [this] { regroom_now(); });
+    network_->schedule_timer(config_.shifts[i].at, {this, kShiftTag, i, 0});
+  }
+
+  if (config_.slo.window <= config_.duration + config_.drain) {
+    network_->schedule_timer(config_.slo.window, {this, kWindowRollTag, 0, 0});
+  }
+}
+
+void ServeLoop::run_to(TimePs t) {
+  QUARTZ_CHECK(started_, "start (or restore) the ServeLoop before driving it");
+  network_->run_until(t);
+}
+
+ServeReport ServeLoop::finish() {
+  QUARTZ_CHECK(started_ && !finished_, "a ServeLoop finishes once, after starting");
+  finished_ = true;
+  network_->run_until(config_.duration + config_.drain);
+  return harvest();
+}
+
+ServeReport ServeLoop::run() {
+  start();
+  return finish();
+}
+
+void ServeLoop::on_timer(const sim::TimerEvent& event) {
+  switch (event.tag) {
+    case kArrivalTag:
+      next_poisson_arrival();
+      break;
+    case kReplayTag: {
+      const auto& replay = *config_.replay;
+      const std::size_t index = event.a;
+      const TraceEvent& ev = replay[index];
+      QUARTZ_REQUIRE(ev.cls >= 0 && static_cast<std::size_t>(ev.cls) < classes_.size(),
+                     "trace event class out of range");
+      on_arrival(ev);
+      for (std::size_t next = index + 1; next < replay.size(); ++next) {
+        if (replay[next].at >= config_.duration) continue;
+        network_->schedule_timer(replay[next].at, {this, kReplayTag, next, 0});
+        break;
       }
-    });
+      break;
+    }
+    case kShiftTag:
+      active_shift_ = static_cast<int>(event.a);
+      if (config_.reconfigure_on_shift) {
+        network_->schedule_timer(network_->now() + config_.reconfigure_delay,
+                                 {this, kRegroomTag, 0, 0});
+      }
+      break;
+    case kRegroomTag:
+      regroom_now();
+      break;
+    case kWindowRollTag: {
+      roll_window();
+      const TimePs next = network_->now() + config_.slo.window;
+      if (next <= config_.duration + config_.drain) {
+        network_->schedule_timer(next, {this, kWindowRollTag, 0, 0});
+      }
+      break;
+    }
+    case kReplyTag: {
+      const auto server = static_cast<topo::NodeId>(event.b >> 32);
+      const auto client = static_cast<topo::NodeId>(event.b & 0xFFFFFFFFull);
+      network_->send(server, client, config_.reply_size, reply_task_,
+                     routing::mix_hash(event.a ^ 0x5245504Cull), event.a);  // "REPL"
+      break;
+    }
+    case kTimeoutTag:
+      on_timeout(event.a, static_cast<int>(event.b));
+      break;
+    default:
+      QUARTZ_CHECK(false, "unknown serve timer tag");
   }
+}
 
-  const TimePs end = config_.duration + config_.drain;
-  for (TimePs t = config_.slo.window; t <= end; t += config_.slo.window) {
-    network_->at(t, [this] { roll_window(); });
-  }
-
-  network_->run_until(end);
-
+ServeReport ServeLoop::harvest() {
   ServeReport report;
   report.arrivals = arrivals_;
   report.admitted = admitted_;
@@ -166,16 +237,7 @@ void ServeLoop::next_poisson_arrival() {
   on_arrival(sample_arrival(network_->now()));
   const double mean_gap_ps = 1e12 / config_.arrivals_per_sec;
   const auto gap = std::max<TimePs>(1, static_cast<TimePs>(rng_.next_exponential(mean_gap_ps)));
-  network_->after(gap, [this] { next_poisson_arrival(); });
-}
-
-void ServeLoop::schedule_replay_arrivals() {
-  for (const TraceEvent& ev : *config_.replay) {
-    if (ev.at >= config_.duration) continue;
-    QUARTZ_REQUIRE(ev.cls >= 0 && static_cast<std::size_t>(ev.cls) < classes_.size(),
-                   "trace event class out of range");
-    network_->at(ev.at, [this, ev] { on_arrival(ev); });
-  }
+  network_->schedule_timer(network_->now() + gap, {this, kArrivalTag, 0, 0});
 }
 
 TraceEvent ServeLoop::sample_arrival(TimePs when) {
@@ -249,8 +311,8 @@ void ServeLoop::send_attempt(std::uint64_t id) {
   // than the transmission that just timed out.
   network_->send(call.src, call.dst, config_.request_size, request_task_,
                  call.flow_id + static_cast<std::uint64_t>(call.attempt), id);
-  const int attempt = call.attempt;
-  network_->after(config_.timeout, [this, id, attempt] { on_timeout(id, attempt); });
+  network_->schedule_timer(network_->now() + config_.timeout,
+                           {this, kTimeoutTag, id, static_cast<std::uint64_t>(call.attempt)});
 }
 
 void ServeLoop::on_timeout(std::uint64_t id, int attempt) {
@@ -353,6 +415,220 @@ void ServeLoop::regroom_now() {
 void ServeLoop::roll_window() {
   const telemetry::SloWindow& window = slo_.roll(network_->now());
   if (config_.use_admission) admission_.on_window(window);
+}
+
+void ServeLoop::save_snapshot(snapshot::Writer& w) const {
+  QUARTZ_REQUIRE(started_, "save requires a started ServeLoop");
+  sim::HandlerMap handlers;
+  handlers.timers.push_back(const_cast<ServeLoop*>(this));
+
+  // Config echo: restore refuses a snapshot from a different service.
+  w.begin_chunk(snapshot::chunk_id("SRVC"));
+  w.put_u64(config_.seed);
+  w.put_i64(config_.duration);
+  w.put_i64(config_.drain);
+  w.put_f64(config_.arrivals_per_sec);
+  w.put_u64(classes_.size());
+  w.put_u64(config_.shifts.size());
+  w.put_u64(config_.replay != nullptr ? config_.replay->size() : 0);
+  w.end_chunk();
+
+  // Serve bookkeeping.  The outstanding table is serialized sorted by
+  // call id so the snapshot bytes are a pure function of state.
+  w.begin_chunk(snapshot::chunk_id("SRVS"));
+  w.put_rng(rng_);
+  w.put_u64(next_id_);
+  w.put_f64(min_rtt_us_);
+  w.put_i32(active_shift_);
+  w.put_u64(arrivals_);
+  w.put_u64(admitted_);
+  w.put_u64(shed_class_);
+  w.put_u64(shed_limit_);
+  w.put_u64(completed_);
+  w.put_u64(late_);
+  w.put_u64(failed_);
+  w.put_u64(retries_);
+  w.put_u64(budget_denied_);
+  w.put_u64(hopeless_dropped_);
+  w.put_u64(first_sends_);
+  w.put_u64(total_sends_);
+  w.put_u64(reconfigurations_);
+  w.put_u64(pins_applied_);
+  w.put_u64(pins_rejected_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(outstanding_.size());
+  for (const auto& [id, call] : outstanding_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.put_u64(ids.size());
+  for (const std::uint64_t id : ids) {
+    const Call& call = outstanding_.at(id);
+    w.put_u64(id);
+    w.put_i32(call.cls);
+    w.put_i32(call.src);
+    w.put_i32(call.dst);
+    w.put_i64(call.issued_at);
+    w.put_i64(call.deadline);
+    w.put_u64(call.flow_id);
+    w.put_i32(call.attempt);
+    w.put_bool(call.holding_retry_slot);
+  }
+  w.put_u64(trace_.size());
+  for (const TraceEvent& ev : trace_) {
+    w.put_i64(ev.at);
+    w.put_i32(ev.cls);
+    w.put_i32(ev.src);
+    w.put_i32(ev.dst);
+  }
+  w.put_u64(live_pins_.size());
+  for (const auto& [src, dst] : live_pins_) {
+    w.put_i32(src);
+    w.put_i32(dst);
+  }
+  w.end_chunk();
+
+  w.begin_chunk(snapshot::chunk_id("ADMC"));
+  admission_.save(w);
+  w.end_chunk();
+
+  w.begin_chunk(snapshot::chunk_id("SLO "));
+  slo_.save(w);
+  w.end_chunk();
+
+  w.begin_chunk(snapshot::chunk_id("RTRY"));
+  retry_budget_.save(w);
+  w.end_chunk();
+
+  w.begin_chunk(snapshot::chunk_id("ORCL"));
+  oracle_->save(w);
+  w.end_chunk();
+
+  // The network chunk (embedding the engine) goes last, mirroring the
+  // restore order: components first, then the events pointing at them.
+  w.begin_chunk(snapshot::chunk_id("NETW"));
+  network_->save(w, handlers);
+  w.end_chunk();
+}
+
+void ServeLoop::restore_snapshot(snapshot::Reader& r) {
+  QUARTZ_REQUIRE(!started_, "restore requires a freshly constructed (never started) ServeLoop");
+  started_ = true;
+  restored_ = true;
+  sim::HandlerMap handlers;
+  handlers.timers.push_back(this);
+
+  r.open_chunk(snapshot::chunk_id("SRVC"));
+  QUARTZ_REQUIRE(r.get_u64() == config_.seed && r.get_i64() == config_.duration &&
+                     r.get_i64() == config_.drain && r.get_f64() == config_.arrivals_per_sec &&
+                     r.get_u64() == classes_.size() && r.get_u64() == config_.shifts.size() &&
+                     r.get_u64() ==
+                         (config_.replay != nullptr ? config_.replay->size() : 0),
+                 "snapshot was taken from a service with different config");
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("SRVS"));
+  r.get_rng(rng_);
+  next_id_ = r.get_u64();
+  min_rtt_us_ = r.get_f64();
+  active_shift_ = r.get_i32();
+  arrivals_ = r.get_u64();
+  admitted_ = r.get_u64();
+  shed_class_ = r.get_u64();
+  shed_limit_ = r.get_u64();
+  completed_ = r.get_u64();
+  late_ = r.get_u64();
+  failed_ = r.get_u64();
+  retries_ = r.get_u64();
+  budget_denied_ = r.get_u64();
+  hopeless_dropped_ = r.get_u64();
+  first_sends_ = r.get_u64();
+  total_sends_ = r.get_u64();
+  reconfigurations_ = r.get_u64();
+  pins_applied_ = r.get_u64();
+  pins_rejected_ = r.get_u64();
+  const std::uint64_t calls = r.get_u64();
+  outstanding_.clear();
+  outstanding_.reserve(calls);
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    const std::uint64_t id = r.get_u64();
+    Call call;
+    call.cls = r.get_i32();
+    call.src = r.get_i32();
+    call.dst = r.get_i32();
+    call.issued_at = r.get_i64();
+    call.deadline = r.get_i64();
+    call.flow_id = r.get_u64();
+    call.attempt = r.get_i32();
+    call.holding_retry_slot = r.get_bool();
+    outstanding_.emplace(id, call);
+  }
+  const std::uint64_t traced = r.get_u64();
+  trace_.clear();
+  trace_.reserve(traced);
+  for (std::uint64_t i = 0; i < traced; ++i) {
+    TraceEvent ev;
+    ev.at = r.get_i64();
+    ev.cls = r.get_i32();
+    ev.src = r.get_i32();
+    ev.dst = r.get_i32();
+    trace_.push_back(ev);
+  }
+  const std::uint64_t pins = r.get_u64();
+  live_pins_.clear();
+  live_pins_.reserve(pins);
+  for (std::uint64_t i = 0; i < pins; ++i) {
+    const topo::NodeId src = r.get_i32();
+    const topo::NodeId dst = r.get_i32();
+    live_pins_.emplace_back(src, dst);
+  }
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("ADMC"));
+  admission_.restore(r);
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("SLO "));
+  slo_.restore(r);
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("RTRY"));
+  retry_budget_.restore(r);
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("ORCL"));
+  oracle_->restore(r);
+  r.close_chunk();
+
+  r.open_chunk(snapshot::chunk_id("NETW"));
+  network_->restore(r, handlers);
+  r.close_chunk();
+}
+
+std::optional<std::uint64_t> ServeLoop::restore_latest(const std::string& dir,
+                                                       std::string* warnings) {
+  auto reader = snapshot::load_latest_intact(dir, warnings);
+  if (!reader.has_value()) return std::nullopt;
+  restore_snapshot(*reader);
+  return reader->sequence();
+}
+
+ServeReport ServeLoop::run_with_checkpoints(const CheckpointOptions& options) {
+  QUARTZ_REQUIRE(!options.dir.empty(), "checkpointing needs a directory");
+  QUARTZ_REQUIRE(options.every > 0, "checkpoint cadence must be positive");
+  if (!started_) start();
+  const TimePs end = config_.duration + config_.drain;
+  std::uint64_t sequence = options.start_sequence;
+  // Resume on the cadence grid: the next boundary strictly after now.
+  TimePs next = (network_->now() / options.every + 1) * options.every;
+  while (next < end) {
+    run_to(next);
+    snapshot::Writer writer;
+    save_snapshot(writer);
+    ++sequence;
+    snapshot::write_file_atomic(snapshot::checkpoint_path(options.dir, sequence), writer,
+                                sequence);
+    next += options.every;
+  }
+  return finish();
 }
 
 void ServeLoop::publish_metrics(telemetry::MetricRegistry& registry,

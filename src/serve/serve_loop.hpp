@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -144,7 +145,7 @@ struct ServeReport {
   bool conservation_ok = false;
 };
 
-class ServeLoop {
+class ServeLoop : public sim::TimerHandler {
  public:
   explicit ServeLoop(ServeConfig config);
   ServeLoop(const ServeLoop&) = delete;
@@ -159,8 +160,52 @@ class ServeLoop {
   const telemetry::SloTracker& slo() const { return slo_; }
   const sim::RetryBudget& retry_budget() const { return retry_budget_; }
 
+  /// Arm the loop: schedule the arrival process, the demand shifts and
+  /// the SLO window cadence.  Implicit in run(); call it explicitly
+  /// when driving the loop in slices with run_to()/finish().  A
+  /// restored loop is already armed — the engine snapshot holds every
+  /// pending timer.
+  void start();
+  /// Drive the armed loop to simulated time `t`.
+  void run_to(TimePs t);
+  /// Drive the armed loop to duration + drain and harvest the report.
+  ServeReport finish();
+
   /// Run to duration + drain and harvest.  Call once.
   ServeReport run();
+
+  // --- checkpoint / restore -------------------------------------------------
+
+  /// Periodic-checkpoint driving of the run (see run_with_checkpoints).
+  struct CheckpointOptions {
+    /// Checkpoint directory (must exist).
+    std::string dir;
+    /// Simulated-time cadence between checkpoints.
+    TimePs every = milliseconds(5);
+    /// First checkpoint gets sequence start_sequence + 1 — pass the
+    /// restored sequence so resumed runs keep numbering monotonically.
+    std::uint64_t start_sequence = 0;
+  };
+
+  /// Serialize the full serve state: the serve bookkeeping (outstanding
+  /// calls, trace, counters, RNG), admission, SLO, retry budget, the
+  /// detour oracle (a staged-but-uncommitted regroom survives verbatim)
+  /// and the network with its engine.  Call only between events.
+  void save_snapshot(snapshot::Writer& w) const;
+  /// Restore into a freshly constructed (never started) loop built from
+  /// the same config.  Replaces start().
+  void restore_snapshot(snapshot::Reader& r);
+  /// Restore from the newest intact checkpoint in `dir`; damaged files
+  /// are skipped with a structured line each in `warnings`.  Returns
+  /// the restored sequence, or nullopt (loop untouched) when no intact
+  /// checkpoint exists.
+  std::optional<std::uint64_t> restore_latest(const std::string& dir, std::string* warnings);
+
+  /// run(), but pausing every `options.every` of simulated time to
+  /// write an atomic checkpoint — the kill-resumable serve mode.  A
+  /// process killed mid-run loses at most one cadence of progress; a
+  /// fresh loop restored via restore_latest() continues bit-exactly.
+  ServeReport run_with_checkpoints(const CheckpointOptions& options);
 
   /// Every arrival of the run, replayable via ServeConfig::replay.
   const std::vector<TraceEvent>& trace() const { return trace_; }
@@ -186,8 +231,22 @@ class ServeLoop {
     bool holding_retry_slot = false;
   };
 
+  /// Everything the loop schedules is a typed timer (checkpointable),
+  /// never a closure.  `a`/`b` carry the operands noted per tag.
+  enum TimerTag : std::uint32_t {
+    kArrivalTag = 1,     ///< next Poisson arrival (self-chained)
+    kReplayTag = 2,      ///< replay arrival; a = trace index
+    kShiftTag = 3,       ///< demand shift lands; a = shift index
+    kRegroomTag = 4,     ///< delayed regroom reaction
+    kWindowRollTag = 5,  ///< SLO window close (self-chained)
+    kReplyTag = 6,       ///< server reply; a = call id, b = server<<32 | client
+    kTimeoutTag = 7,     ///< client RPC timeout; a = call id, b = attempt
+  };
+
+  void on_timer(const sim::TimerEvent& event) override;
+  ServeReport harvest();
+
   void next_poisson_arrival();
-  void schedule_replay_arrivals();
   void on_arrival(const TraceEvent& ev);
   void send_attempt(std::uint64_t id);
   void on_timeout(std::uint64_t id, int attempt);
@@ -222,7 +281,9 @@ class ServeLoop {
   /// Pins applied by the previous regroom (unpinned by the next).
   std::vector<std::pair<topo::NodeId, topo::NodeId>> live_pins_;
   double min_rtt_us_ = -1.0;  ///< fastest completion seen (deadline propagation)
-  bool ran_ = false;
+  bool started_ = false;      ///< armed (or restored)
+  bool restored_ = false;
+  bool finished_ = false;
 
   // counters (mirrored into ServeReport)
   std::uint64_t arrivals_ = 0;

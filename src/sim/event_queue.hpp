@@ -25,6 +25,7 @@
 // that SweepRunner instantiates once per worker.  See docs/performance.md.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <functional>
@@ -34,6 +35,11 @@
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/packet.hpp"
+
+namespace quartz::snapshot {
+class Writer;
+class Reader;
+}  // namespace quartz::snapshot
 
 namespace quartz::sim {
 
@@ -46,7 +52,8 @@ enum class EventType : std::uint8_t {
   kDelivery,          ///< last bit + host receive overhead at the destination
   kFaultTransition,   ///< delayed routing-plane detection of a link state flip
   kProbe,             ///< probe-plane fire / probe-result
-  kCallback,          ///< generic std::function fallback
+  kTimer,             ///< typed control-plane timer (checkpointable)
+  kCallback,          ///< generic std::function fallback (NOT checkpointable)
 };
 
 /// Payload of the packet-carrying event types.  The two times mean,
@@ -86,6 +93,22 @@ struct ProbeEvent {
   bool corrupted = false;
 };
 
+class TimerHandler;
+
+/// Payload of kTimer: the checkpointable control-plane event.  Unlike
+/// kCallback (whose std::function closure cannot be serialized), a
+/// timer is pure data — a handler, a dispatch tag and two integer
+/// operands — so pending timers survive snapshot/restore.  Every
+/// component that wants its scheduling to be checkpointable (fault
+/// scripts, workload arrival chains, serve-loop timeouts) encodes its
+/// state machine in (tag, a, b) and implements TimerHandler.
+struct TimerEvent {
+  TimerHandler* handler = nullptr;
+  std::uint32_t tag = 0;  ///< handler-private dispatch discriminator
+  std::uint64_t a = 0;    ///< handler-private operand
+  std::uint64_t b = 0;    ///< handler-private operand
+};
+
 /// Receiver of typed packet and fault events — implemented by Network.
 class EventHandler {
  public:
@@ -100,6 +123,42 @@ class ProbeHandler {
  public:
   virtual ~ProbeHandler() = default;
   virtual void on_probe_event(const ProbeEvent& event) = 0;
+};
+
+/// Receiver of typed timer events.
+class TimerHandler {
+ public:
+  virtual ~TimerHandler() = default;
+  virtual void on_timer(const TimerEvent& event) = 0;
+};
+
+/// Translation table between handler pointers and stable indices for
+/// snapshot/restore.  The harness that owns the components registers
+/// them in a fixed order before save and again (same order, possibly
+/// different addresses) before restore; pending events serialize the
+/// index, never the pointer.
+struct HandlerMap {
+  std::vector<ProbeHandler*> probes;
+  std::vector<TimerHandler*> timers;
+
+  std::uint32_t probe_id(const ProbeHandler* handler) const {
+    const auto it = std::find(probes.begin(), probes.end(), handler);
+    QUARTZ_REQUIRE(it != probes.end(), "probe handler not registered in HandlerMap");
+    return static_cast<std::uint32_t>(it - probes.begin());
+  }
+  std::uint32_t timer_id(const TimerHandler* handler) const {
+    const auto it = std::find(timers.begin(), timers.end(), handler);
+    QUARTZ_REQUIRE(it != timers.end(), "timer handler not registered in HandlerMap");
+    return static_cast<std::uint32_t>(it - timers.begin());
+  }
+  ProbeHandler* probe(std::uint32_t id) const {
+    QUARTZ_REQUIRE(id < probes.size(), "probe handler index out of range");
+    return probes[id];
+  }
+  TimerHandler* timer(std::uint32_t id) const {
+    QUARTZ_REQUIRE(id < timers.size(), "timer handler index out of range");
+    return timers[id];
+  }
 };
 
 /// Fixed-type slot arena with free-list recycling.  acquire() reuses a
@@ -124,6 +183,11 @@ class SlotPool {
   /// Slots ever created (the high-water mark of in-flight events).
   std::size_t capacity() const { return slots_.size(); }
   std::size_t in_use() const { return slots_.size() - free_.size(); }
+  /// Drop every slot (restore repopulates a fresh pool).
+  void clear() {
+    slots_.clear();
+    free_.clear();
+  }
 
  private:
   std::vector<T> slots_;
@@ -172,6 +236,13 @@ class EventQueue {
     push_entry(when, EventType::kProbe, slot);
   }
 
+  void schedule_timer(TimePs when, const TimerEvent& event) {
+    QUARTZ_REQUIRE(event.handler != nullptr, "timer event without a handler");
+    const std::uint32_t slot = timers_.acquire();
+    timers_[slot] = event;
+    push_entry(when, EventType::kTimer, slot);
+  }
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
   TimePs now() const { return now_; }
@@ -206,16 +277,46 @@ class EventQueue {
 
   /// Run every event with time <= end; now() lands on `end`.
   void run_until(TimePs end) {
-    while (size_ != 0) {
-      while (active_.empty()) advance_window();
-      if (active_.front().time > end) break;
-      run_one();
+    while (run_one_until(end)) {
     }
+    settle(end);
+  }
+
+  /// Run ONE event with time <= end if any is pending; returns whether
+  /// an event ran.  This is run_until() unrolled to event granularity,
+  /// so a checkpointing driver can stop at an exact event boundary.
+  bool run_one_until(TimePs end) {
+    if (size_ == 0) return false;
+    while (active_.empty()) advance_window();
+    if (active_.front().time > end) return false;
+    run_one();
+    return true;
+  }
+
+  /// Land now() on `end` once run_one_until() is exhausted.
+  void settle(TimePs end) {
     if (end > now_) now_ = end;
   }
 
   /// Total events dispatched so far (all types).
   std::uint64_t events_run() const { return events_run_; }
+
+  /// True while any pending event is a kCallback closure.  Closures
+  /// cannot be serialized; save() refuses while one is pending, and
+  /// checkpointable harnesses schedule through timers instead.
+  bool has_pending_callbacks() const { return callbacks_.in_use() != 0; }
+
+  /// Serialize now(), the sequence counters and every pending event
+  /// (with its exact (time, seq) ordering key) in seq order.  Handler
+  /// pointers are written as HandlerMap indices.  Refuses pending
+  /// kCallback events.
+  void save(snapshot::Writer& w, const HandlerMap& handlers) const;
+
+  /// Rebuild the pending set into this freshly constructed engine.
+  /// Every entry is re-pushed with its saved (time, seq) key, so the
+  /// dispatch order — and therefore the simulation — continues
+  /// bit-exactly.
+  void restore(snapshot::Reader& r, const HandlerMap& handlers);
 
   // Pool high-water marks, for the zero-allocation regression tests and
   // bench_engine: once these plateau, scheduling stops allocating.
@@ -223,6 +324,7 @@ class EventQueue {
   std::size_t callback_pool_capacity() const { return callbacks_.capacity(); }
   std::size_t fault_pool_capacity() const { return faults_.capacity(); }
   std::size_t probe_pool_capacity() const { return probes_.capacity(); }
+  std::size_t timer_pool_capacity() const { return timers_.capacity(); }
 
  private:
   /// One pending event: tiers order these 24-byte records by
@@ -254,24 +356,34 @@ class EventQueue {
   }
 
   void push_entry(TimePs when, EventType type, std::uint32_t slot) {
+    push_entry_at(when, next_seq_++, type, slot);
+  }
+
+  /// Tier-routing core, with an explicit ordering sequence so restore
+  /// can re-push entries under their original (time, seq) keys.  The
+  /// tiers partition time by bucket index, so placement relative to the
+  /// cursor is a pure function of `when` — re-pushing in any order
+  /// reproduces an equivalent pending set.
+  void push_entry_at(TimePs when, std::uint64_t seq, EventType type,
+                     std::uint32_t slot) {
     QUARTZ_REQUIRE(when >= now_, "cannot schedule into the past");
     const std::uint64_t idx = bucket_index(when);
     ++size_;
     if (idx <= cursor_) {
       // Inside (or behind) the active window: exact heap.
-      heap_push(active_, HeapEntry{when, next_seq_++, type, slot});
+      heap_push(active_, HeapEntry{when, seq, type, slot});
     } else if (idx - cursor_ <= kBucketCount) {
       // Within the wheel horizon: O(1) append.  Each slot holds at
       // most one bucket index at a time because the live range
       // (cursor_, cursor_ + kBucketCount] is exactly one revolution.
       const std::size_t b = idx & kBucketMask;
-      buckets_[b].push_back(HeapEntry{when, next_seq_++, type, slot});
+      buckets_[b].push_back(HeapEntry{when, seq, type, slot});
       bitmap_[b >> 6] |= std::uint64_t{1} << (b & 63);
       ++wheel_count_;
     } else {
       // Beyond the horizon: overflow heap, migrated when its window
       // becomes active.
-      heap_push(far_, HeapEntry{when, next_seq_++, type, slot});
+      heap_push(far_, HeapEntry{when, seq, type, slot});
     }
   }
 
@@ -385,6 +497,12 @@ class EventQueue {
         event.handler->on_probe_event(event);
         return;
       }
+      case EventType::kTimer: {
+        const TimerEvent event = timers_[entry.slot];
+        timers_.release(entry.slot);
+        event.handler->on_timer(event);
+        return;
+      }
       case EventType::kCallback: {
         // Move the action out first: the slot may be reacquired by a
         // schedule() the action itself performs.
@@ -407,6 +525,7 @@ class EventQueue {
   SlotPool<PacketEvent> packets_;
   SlotPool<FaultEvent> faults_;
   SlotPool<ProbeEvent> probes_;
+  SlotPool<TimerEvent> timers_;
   SlotPool<Action> callbacks_;
   EventHandler* handler_ = nullptr;
   TimePs now_ = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::sim {
 namespace {
@@ -53,19 +54,68 @@ void FaultScheduler::inject_repair(topo::LinkId link) {
   }
 }
 
+std::uint64_t FaultScheduler::add_action(ScriptedAction action) {
+  actions_.push_back(std::move(action));
+  return actions_.size() - 1;
+}
+
+void FaultScheduler::apply_action(const ScriptedAction& action) {
+  switch (action.kind) {
+    case ScriptedAction::Kind::kFail:
+      for (const topo::LinkId link : action.links) inject_fail(link);
+      return;
+    case ScriptedAction::Kind::kRepair:
+      for (const topo::LinkId link : action.links) inject_repair(link);
+      return;
+    case ScriptedAction::Kind::kDegrade:
+      for (const topo::LinkId link : action.links) add_degradation(link, action.drop_p);
+      return;
+    case ScriptedAction::Kind::kRestore:
+      for (const topo::LinkId link : action.links) remove_degradation(link, action.drop_p);
+      return;
+  }
+  QUARTZ_CHECK(false, "unknown scripted action kind");
+}
+
+void FaultScheduler::on_timer(const TimerEvent& event) {
+  switch (event.tag) {
+    case kScriptTag: {
+      QUARTZ_CHECK(event.a < actions_.size(), "scripted action index out of range");
+      apply_action(actions_[event.a]);
+      return;
+    }
+    case kPoissonFailTag: {
+      const auto link = static_cast<topo::LinkId>(event.a);
+      inject_fail(link);
+      const double mean_repair_ps = poisson_.mean_repair_hours * kPsPerHour;
+      const TimePs repair_at = network_.now() + exponential_delay(rng_, mean_repair_ps);
+      network_.schedule_timer(
+          repair_at, TimerEvent{this, kPoissonRepairTag, event.a, 0});
+      return;
+    }
+    case kPoissonRepairTag: {
+      const auto link = static_cast<topo::LinkId>(event.a);
+      inject_repair(link);
+      schedule_poisson_failure(link, network_.now());
+      return;
+    }
+  }
+  QUARTZ_CHECK(false, "unknown fault timer tag");
+}
+
 void FaultScheduler::schedule_cut(TimePs fail_at, std::vector<topo::LinkId> links,
                                   TimePs repair_at) {
   QUARTZ_REQUIRE(!links.empty(), "a cut needs at least one link");
   QUARTZ_REQUIRE(fail_at >= 0, "cut time cannot be negative");
   QUARTZ_REQUIRE(repair_at < 0 || repair_at > fail_at, "repair must follow the cut");
   for (const topo::LinkId link : links) require_valid_link(link);
-  network_.at(fail_at, [this, links] {
-    for (const topo::LinkId link : links) inject_fail(link);
-  });
+  const std::uint64_t fail_action =
+      add_action({ScriptedAction::Kind::kFail, 0.0, links});
+  network_.schedule_timer(fail_at, TimerEvent{this, kScriptTag, fail_action, 0});
   if (repair_at >= 0) {
-    network_.at(repair_at, [this, links = std::move(links)] {
-      for (const topo::LinkId link : links) inject_repair(link);
-    });
+    const std::uint64_t repair_action =
+        add_action({ScriptedAction::Kind::kRepair, 0.0, std::move(links)});
+    network_.schedule_timer(repair_at, TimerEvent{this, kScriptTag, repair_action, 0});
   }
 }
 
@@ -104,13 +154,13 @@ void FaultScheduler::schedule_degradation(TimePs fail_at, std::vector<topo::Link
   QUARTZ_REQUIRE(drop_p > 0.0 && drop_p <= 1.0, "drop probability must be in (0,1]");
   QUARTZ_REQUIRE(repair_at < 0 || repair_at > fail_at, "repair must follow the degradation");
   for (const topo::LinkId link : links) require_valid_link(link);
-  network_.at(fail_at, [this, links, drop_p] {
-    for (const topo::LinkId link : links) add_degradation(link, drop_p);
-  });
+  const std::uint64_t degrade_action =
+      add_action({ScriptedAction::Kind::kDegrade, drop_p, links});
+  network_.schedule_timer(fail_at, TimerEvent{this, kScriptTag, degrade_action, 0});
   if (repair_at >= 0) {
-    network_.at(repair_at, [this, links = std::move(links), drop_p] {
-      for (const topo::LinkId link : links) remove_degradation(link, drop_p);
-    });
+    const std::uint64_t restore_action =
+        add_action({ScriptedAction::Kind::kRestore, drop_p, std::move(links)});
+    network_.schedule_timer(repair_at, TimerEvent{this, kScriptTag, restore_action, 0});
   }
 }
 
@@ -158,15 +208,80 @@ void FaultScheduler::schedule_poisson_failure(topo::LinkId link, TimePs from) {
   const double mean_ttf_ps = kPsPerHour / poisson_.failures_per_link_per_hour;
   const TimePs fail_at = from + exponential_delay(rng_, mean_ttf_ps);
   if (fail_at >= poisson_.stop) return;
-  network_.at(fail_at, [this, link] {
-    inject_fail(link);
-    const double mean_repair_ps = poisson_.mean_repair_hours * kPsPerHour;
-    const TimePs repair_at = network_.now() + exponential_delay(rng_, mean_repair_ps);
-    network_.at(repair_at, [this, link] {
-      inject_repair(link);
-      schedule_poisson_failure(link, network_.now());
-    });
-  });
+  network_.schedule_timer(
+      fail_at,
+      TimerEvent{this, kPoissonFailTag, static_cast<std::uint64_t>(link), 0});
+}
+
+void FaultScheduler::save(snapshot::Writer& w) const {
+  w.put_u64(actions_.size());
+  for (const ScriptedAction& action : actions_) {
+    w.put_u8(static_cast<std::uint8_t>(action.kind));
+    w.put_f64(action.drop_p);
+    w.put_u64(action.links.size());
+    for (const topo::LinkId link : action.links) w.put_i32(link);
+  }
+  w.put_f64(poisson_.failures_per_link_per_hour);
+  w.put_f64(poisson_.mean_repair_hours);
+  w.put_i64(poisson_.start);
+  w.put_i64(poisson_.stop);
+  w.put_rng(rng_);
+  w.put_u64(cuts_);
+  w.put_u64(repairs_);
+  w.put_u64(degradations_);
+  w.put_u64(restorations_);
+  // unordered_map iteration order is not deterministic; sort so the
+  // snapshot bytes are a pure function of the simulation state.
+  std::vector<std::pair<topo::LinkId, int>> down(down_refs_.begin(), down_refs_.end());
+  std::sort(down.begin(), down.end());
+  w.put_u64(down.size());
+  for (const auto& [link, refs] : down) {
+    w.put_i32(link);
+    w.put_i32(refs);
+  }
+  std::vector<std::pair<topo::LinkId, std::vector<double>>> degrades(
+      degrade_contribs_.begin(), degrade_contribs_.end());
+  std::sort(degrades.begin(), degrades.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u64(degrades.size());
+  for (const auto& [link, contribs] : degrades) {
+    w.put_i32(link);
+    w.put_f64_vec(contribs);
+  }
+}
+
+void FaultScheduler::restore(snapshot::Reader& r) {
+  QUARTZ_REQUIRE(actions_.empty(), "restore requires a fresh FaultScheduler");
+  const std::uint64_t action_count = r.get_u64();
+  actions_.reserve(action_count);
+  for (std::uint64_t i = 0; i < action_count; ++i) {
+    ScriptedAction action;
+    action.kind = static_cast<ScriptedAction::Kind>(r.get_u8());
+    action.drop_p = r.get_f64();
+    const std::uint64_t link_count = r.get_u64();
+    action.links.reserve(link_count);
+    for (std::uint64_t j = 0; j < link_count; ++j) action.links.push_back(r.get_i32());
+    actions_.push_back(std::move(action));
+  }
+  poisson_.failures_per_link_per_hour = r.get_f64();
+  poisson_.mean_repair_hours = r.get_f64();
+  poisson_.start = r.get_i64();
+  poisson_.stop = r.get_i64();
+  r.get_rng(rng_);
+  cuts_ = r.get_u64();
+  repairs_ = r.get_u64();
+  degradations_ = r.get_u64();
+  restorations_ = r.get_u64();
+  const std::uint64_t down_count = r.get_u64();
+  for (std::uint64_t i = 0; i < down_count; ++i) {
+    const topo::LinkId link = r.get_i32();
+    down_refs_[link] = r.get_i32();
+  }
+  const std::uint64_t degrade_count = r.get_u64();
+  for (std::uint64_t i = 0; i < degrade_count; ++i) {
+    const topo::LinkId link = r.get_i32();
+    degrade_contribs_[link] = r.get_f64_vec();
+  }
 }
 
 void FaultScheduler::publish_metrics(telemetry::MetricRegistry& registry,

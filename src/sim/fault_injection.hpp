@@ -42,7 +42,7 @@ struct PoissonFaultParams {
                                               TimePs start, TimePs stop);
 };
 
-class FaultScheduler {
+class FaultScheduler : public TimerHandler {
  public:
   explicit FaultScheduler(Network& network) : network_(network) {}
   FaultScheduler(const FaultScheduler&) = delete;
@@ -98,7 +98,38 @@ class FaultScheduler {
   /// Export injection counters under `<prefix>.cuts` / `<prefix>.repairs`.
   void publish_metrics(telemetry::MetricRegistry& registry, const std::string& prefix) const;
 
+  /// Serialize the scripted-action table, the Poisson process (params +
+  /// RNG stream), counters and the reference-counted down/degrade
+  /// state.  Pending timeline events live in the engine's snapshot and
+  /// point back here through the HandlerMap.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore into a freshly constructed scheduler on the restored
+  /// network.  Must run before the engine restore dispatches any timer.
+  void restore(snapshot::Reader& r);
+
  private:
+  /// Timelines are scheduled as typed timer events (checkpointable),
+  /// never as closures.  A scripted fail/repair/degrade/restore stores
+  /// its operand bundle in actions_ and passes the index through the
+  /// timer's `a`; the Poisson chain passes the link id directly.
+  enum TimerTag : std::uint32_t {
+    kScriptTag = 1,
+    kPoissonFailTag = 2,
+    kPoissonRepairTag = 3,
+  };
+
+  struct ScriptedAction {
+    enum class Kind : std::uint8_t { kFail, kRepair, kDegrade, kRestore };
+    Kind kind = Kind::kFail;
+    double drop_p = 0.0;
+    std::vector<topo::LinkId> links;
+  };
+
+  void on_timer(const TimerEvent& event) override;
+  std::uint64_t add_action(ScriptedAction action);
+  void apply_action(const ScriptedAction& action);
+
   void schedule_poisson_failure(topo::LinkId link, TimePs from);
   void require_valid_link(topo::LinkId link) const;
 
@@ -117,6 +148,7 @@ class FaultScheduler {
                             TimePs repair_at);
 
   Network& network_;
+  std::vector<ScriptedAction> actions_;
   PoissonFaultParams poisson_{};
   Rng rng_{0};
   std::uint64_t cuts_ = 0;

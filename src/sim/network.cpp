@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "routing/fib.hpp"
+#include "snapshot/io.hpp"
 #include "telemetry/stream_sink.hpp"
 
 namespace quartz::sim {
@@ -323,6 +324,65 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   event.t0 = first_bit;
   event.t1 = last_bit;
   events_.schedule_packet(first_bit, EventType::kTransmitComplete, event);
+}
+
+void Network::save(snapshot::Writer& w, const HandlerMap& handlers) const {
+  const std::size_t links = link_up_.size();
+  w.put_u64(links);
+  for (std::size_t i = 0; i < links * 2; ++i) w.put_i64(line_busy_[i]);
+  for (std::size_t i = 0; i < links * 2; ++i) w.put_i64(line_active_[i]);
+  for (std::size_t i = 0; i < links * 2; ++i) w.put_i64(line_bits_[i]);
+  for (std::size_t i = 0; i < links; ++i) w.put_u8(static_cast<std::uint8_t>(link_up_[i]));
+  for (std::size_t i = 0; i < links; ++i) w.put_u32(link_seq_[i]);
+  for (std::size_t i = 0; i < links; ++i) w.put_f64(link_loss_[i]);
+  w.put_rng(loss_rng_);
+  for (std::size_t i = 0; i < links; ++i)
+    w.put_bool(failure_view_.is_dead(static_cast<topo::LinkId>(i)));
+  w.put_u64(task_drops_.size());
+  for (const std::uint64_t drops : task_drops_) w.put_u64(drops);
+  w.put_u64(next_packet_id_);
+  w.put_u64(packets_sent_);
+  w.put_u64(packets_delivered_);
+  w.put_u64(packets_dropped_);
+  w.put_u64(telemetry::kDropReasonCount);
+  for (const std::uint64_t n : dropped_by_reason_) w.put_u64(n);
+  w.put_u64(link_failures_);
+  w.put_u64(link_repairs_);
+  events_.save(w, handlers);
+}
+
+void Network::restore(snapshot::Reader& r, const HandlerMap& handlers) {
+  assert_owning_thread();
+  const std::size_t links = link_up_.size();
+  QUARTZ_REQUIRE(r.get_u64() == links,
+                 "snapshot topology does not match this network");
+  for (std::size_t i = 0; i < links * 2; ++i) line_busy_[i] = r.get_i64();
+  for (std::size_t i = 0; i < links * 2; ++i) line_active_[i] = r.get_i64();
+  for (std::size_t i = 0; i < links * 2; ++i) line_bits_[i] = r.get_i64();
+  for (std::size_t i = 0; i < links; ++i) link_up_[i] = static_cast<char>(r.get_u8());
+  for (std::size_t i = 0; i < links; ++i) link_seq_[i] = r.get_u32();
+  for (std::size_t i = 0; i < links; ++i) link_loss_[i] = r.get_f64();
+  r.get_rng(loss_rng_);
+  // Replaying the dead bits through set_dead rebuilds the view; the
+  // epoch value itself need not match the saved run — consumers only
+  // require monotonicity, and a fresh FIB (epoch 0) recompiles lazily
+  // with bit-identical decisions.
+  for (std::size_t i = 0; i < links; ++i)
+    failure_view_.set_dead(static_cast<topo::LinkId>(i), r.get_bool());
+  QUARTZ_REQUIRE(r.get_u64() == task_drops_.size(),
+                 "snapshot task count does not match; re-register the same tasks "
+                 "in the same order before restore");
+  for (std::uint64_t& drops : task_drops_) drops = r.get_u64();
+  next_packet_id_ = r.get_u64();
+  packets_sent_ = r.get_u64();
+  packets_delivered_ = r.get_u64();
+  packets_dropped_ = r.get_u64();
+  QUARTZ_REQUIRE(r.get_u64() == telemetry::kDropReasonCount,
+                 "snapshot drop-reason vocabulary mismatch");
+  for (std::uint64_t& n : dropped_by_reason_) n = r.get_u64();
+  link_failures_ = r.get_u64();
+  link_repairs_ = r.get_u64();
+  events_.restore(r, handlers);
 }
 
 }  // namespace quartz::sim

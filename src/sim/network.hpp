@@ -148,11 +148,42 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
     events_.run_until(end);
   }
 
+  /// Run at most one event with time <= end (run_until at event
+  /// granularity, for checkpointing drivers); returns whether one ran.
+  bool step_until(TimePs end) {
+    assert_owning_thread();
+    return events_.run_one_until(end);
+  }
+
+  /// Land now() on `end` after step_until() is exhausted.
+  void settle(TimePs end) { events_.settle(end); }
+
   /// Schedule a typed probe event (the ProbePlane's zero-allocation
   /// path; the event carries its own handler).
   void schedule_probe(TimePs when, const ProbeEvent& event) {
     events_.schedule_probe(when, event);
   }
+
+  /// Schedule a typed timer event — the checkpointable alternative to
+  /// at()/after() closures (see TimerEvent).
+  void schedule_timer(TimePs when, const TimerEvent& event) {
+    events_.schedule_timer(when, event);
+  }
+
+  /// Serialize the full simulation state: the engine (with every
+  /// pending event) plus link/line/loss state, RNG, failure view and
+  /// packet counters.  Structural members (topology, oracle, FIB,
+  /// sinks, hooks, task handlers) are NOT serialized — the restoring
+  /// harness reconstructs them identically and then calls restore().
+  /// FIB/oracle epochs need no serialization either: a fresh FIB starts
+  /// at epoch 0, never matches a bumped view epoch, and recompiles
+  /// lazily with bit-identical decisions.
+  void save(snapshot::Writer& w, const HandlerMap& handlers) const;
+
+  /// Restore into a freshly constructed Network built from the same
+  /// topology/oracle/config.  Tasks must be re-registered (same count,
+  /// same order) before calling this.
+  void restore(snapshot::Reader& r, const HandlerMap& handlers);
 
   /// Events the engine has dispatched so far (all types).
   std::uint64_t events_processed() const { return events_.events_run(); }

@@ -1,6 +1,7 @@
 #include "sim/probes.hpp"
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::sim {
 
@@ -75,6 +76,17 @@ void ProbePlane::fire(topo::LinkId link) {
   next.link = link;
   next.kind = ProbeEvent::Kind::kFire;
   network_.schedule_probe(sent_at + options_.interval, next);
+}
+
+void ProbePlane::save(snapshot::Writer& w) const {
+  w.put_rng(rng_);
+  w.put_u64(sent_);
+}
+
+void ProbePlane::restore(snapshot::Reader& r) {
+  QUARTZ_REQUIRE(sent_ == 0, "restore requires a fresh (unstarted) ProbePlane");
+  r.get_rng(rng_);
+  sent_ = r.get_u64();
 }
 
 }  // namespace quartz::sim

@@ -59,6 +59,13 @@ class ProbePlane : public ProbeHandler {
 
   const Options& options() const { return options_; }
 
+  /// Serialize the probe plane's mutable state (corruption stream +
+  /// counter); pending kFire/kResult events live in the engine snapshot.
+  void save(snapshot::Writer& w) const;
+  /// Restore into a fresh plane (constructed with the same options, NOT
+  /// started — the restored engine already holds the probe schedule).
+  void restore(snapshot::Reader& r);
+
  private:
   /// ProbeHandler: the engine hands kFire/kResult events back here.
   void on_probe_event(const ProbeEvent& event) override;

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::sim {
 
@@ -92,6 +93,24 @@ class RetryBudget {
   }
 
   const Config& config() const { return config_; }
+
+  /// Serialize tokens, in-flight slots and counters (config is
+  /// reconstructed by the owner).
+  void save(snapshot::Writer& w) const {
+    w.put_f64(tokens_);
+    w.put_i32(inflight_);
+    w.put_u64(first_attempts_);
+    w.put_u64(granted_);
+    w.put_u64(denied_);
+  }
+
+  void restore(snapshot::Reader& r) {
+    tokens_ = r.get_f64();
+    inflight_ = r.get_i32();
+    first_attempts_ = r.get_u64();
+    granted_ = r.get_u64();
+    denied_ = r.get_u64();
+  }
 
  private:
   Config config_;

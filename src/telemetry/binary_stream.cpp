@@ -1,5 +1,8 @@
 #include "telemetry/binary_stream.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstring>
 
@@ -59,19 +62,61 @@ StreamFile::StreamFile(std::ostream& os) : os_(&os) {
   os_->write(reinterpret_cast<const char*>(&header), sizeof(header));
 }
 
+StreamFile::StreamFile(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    ok_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const StreamFileHeader header;
+  write_raw(&header, sizeof(header));
+}
+
+StreamFile::~StreamFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StreamFile::write_raw(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd_, p, bytes);
+    if (n < 0) {
+      ok_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
 void StreamFile::accept(const Page& page) {
   static constexpr char kPad[8] = {};
   const std::size_t payload = page.header.payload_bytes;
   QUARTZ_CHECK(payload <= kPagePayloadBytes, "sealed page overflows the page size");
   const std::size_t padded = (payload + 7) & ~std::size_t{7};
   std::lock_guard<std::mutex> lock(mutex_);
-  os_->write(reinterpret_cast<const char*>(&page.header), sizeof(page.header));
-  os_->write(reinterpret_cast<const char*>(page.payload), static_cast<std::streamsize>(payload));
-  if (padded != payload) {
-    os_->write(kPad, static_cast<std::streamsize>(padded - payload));
+  if (fd_ >= 0) {
+    write_raw(&page.header, sizeof(page.header));
+    write_raw(page.payload, payload);
+    if (padded != payload) write_raw(kPad, padded - payload);
+  } else {
+    os_->write(reinterpret_cast<const char*>(&page.header), sizeof(page.header));
+    os_->write(reinterpret_cast<const char*>(page.payload), static_cast<std::streamsize>(payload));
+    if (padded != payload) {
+      os_->write(kPad, static_cast<std::streamsize>(padded - payload));
+    }
   }
   pages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(sizeof(page.header) + padded, std::memory_order_relaxed);
+}
+
+void StreamFile::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    if (::fsync(fd_) != 0) ok_.store(false, std::memory_order_relaxed);
+  } else if (os_ != nullptr) {
+    os_->flush();
+  }
 }
 
 void NullPageSink::accept(const Page& page) {

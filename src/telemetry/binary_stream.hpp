@@ -95,20 +95,48 @@ class PageSink {
   virtual void accept(const Page& page) = 0;
 };
 
-/// Appends sealed pages to a std::ostream in the on-disk format.  The
-/// file header is written on construction; pages are padded to 8-byte
-/// boundaries so the decoder can re-sync on torn writes.  Thread-safe:
-/// multiple streams (sweep workers) may share one file.
+/// Appends sealed pages to a std::ostream or a file descriptor in the
+/// on-disk format.  The file header is written on construction; pages
+/// are padded to 8-byte boundaries so the decoder can re-sync on torn
+/// writes.  Thread-safe: multiple streams (sweep workers) may share one
+/// file.
+///
+/// The path constructor opens the file descriptor directly, which is
+/// what makes flush() crash-durable: it fsyncs, so every page sealed
+/// before the flush survives a SIGKILL (the decoder then reports at
+/// most a tail-truncation gap for pages sealed after it).  The ostream
+/// constructor keeps the old in-memory/test-friendly behaviour; there
+/// flush() only flushes the stream buffer.
 class StreamFile final : public PageSink {
  public:
   explicit StreamFile(std::ostream& os);
+  /// Open (create/truncate) `path` fd-backed.  Check ok() afterwards.
+  explicit StreamFile(const std::string& path);
+  ~StreamFile() override;
+
+  StreamFile(const StreamFile&) = delete;
+  StreamFile& operator=(const StreamFile&) = delete;
+
   void accept(const Page& page) override;
+
+  /// Push every accepted page to stable storage.  fsync when fd-backed
+  /// (checkpoint barriers call this so the .qtz file never lags the
+  /// .qsnap it accompanies); plain stream flush otherwise.
+  void flush();
+
+  /// False once the file failed to open or any write/fsync failed.
+  bool ok() const { return ok_.load(std::memory_order_relaxed); }
+
   std::uint64_t pages() const { return pages_.load(std::memory_order_relaxed); }
   std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
+  void write_raw(const void* data, std::size_t bytes);
+
   std::mutex mutex_;
-  std::ostream* os_;
+  std::ostream* os_ = nullptr;
+  int fd_ = -1;
+  std::atomic<bool> ok_{true};
   std::atomic<std::uint64_t> pages_{0};
   std::atomic<std::uint64_t> bytes_{0};
 };

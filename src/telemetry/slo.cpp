@@ -1,6 +1,7 @@
 #include "telemetry/slo.hpp"
 
 #include "common/check.hpp"
+#include "snapshot/io.hpp"
 
 namespace quartz::telemetry {
 
@@ -60,6 +61,66 @@ void SloTracker::publish(MetricRegistry& registry, const std::string& prefix) co
   registry.counter(prefix + ".in_deadline").inc(total_in_deadline_);
   auto& lat = registry.latency(prefix + ".latency_us");
   for (const double us : cumulative_.samples()) lat.add_us(us);
+}
+
+namespace {
+
+void save_window(snapshot::Writer& w, const SloWindow& window) {
+  w.put_i64(window.start);
+  w.put_i64(window.end);
+  w.put_u64(window.completed);
+  w.put_u64(window.in_deadline);
+  w.put_f64(window.p50_us);
+  w.put_f64(window.p99_us);
+  w.put_f64(window.p999_us);
+  w.put_f64(window.max_us);
+  w.put_f64(window.goodput_per_sec);
+  w.put_bool(window.p99_breach);
+  w.put_bool(window.p999_breach);
+}
+
+SloWindow restore_window(snapshot::Reader& r) {
+  SloWindow window;
+  window.start = r.get_i64();
+  window.end = r.get_i64();
+  window.completed = r.get_u64();
+  window.in_deadline = r.get_u64();
+  window.p50_us = r.get_f64();
+  window.p99_us = r.get_f64();
+  window.p999_us = r.get_f64();
+  window.max_us = r.get_f64();
+  window.goodput_per_sec = r.get_f64();
+  window.p99_breach = r.get_bool();
+  window.p999_breach = r.get_bool();
+  return window;
+}
+
+}  // namespace
+
+void SloTracker::save(snapshot::Writer& w) const {
+  w.put_i64(window_start_);
+  w.put_f64_vec(window_samples_.samples());
+  w.put_u64(window_in_deadline_);
+  save_window(w, last_);
+  w.put_u64(windows_closed_);
+  w.put_u64(windows_breached_);
+  w.put_i32(consecutive_breaches_);
+  w.put_f64_vec(cumulative_.samples());
+  w.put_u64(total_completed_);
+  w.put_u64(total_in_deadline_);
+}
+
+void SloTracker::restore(snapshot::Reader& r) {
+  window_start_ = r.get_i64();
+  window_samples_.assign(r.get_f64_vec());
+  window_in_deadline_ = r.get_u64();
+  last_ = restore_window(r);
+  windows_closed_ = r.get_u64();
+  windows_breached_ = r.get_u64();
+  consecutive_breaches_ = r.get_i32();
+  cumulative_.assign(r.get_f64_vec());
+  total_completed_ = r.get_u64();
+  total_in_deadline_ = r.get_u64();
 }
 
 }  // namespace quartz::telemetry

@@ -21,6 +21,11 @@
 #include "common/units.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace quartz::snapshot {
+class Writer;
+class Reader;
+}  // namespace quartz::snapshot
+
 namespace quartz::telemetry {
 
 /// One closed observation window.
@@ -84,6 +89,11 @@ class SloTracker {
   /// `.window_p999_us`, `.window_goodput_per_sec`), breach counters and
   /// the cumulative distribution under `<prefix>.latency_us`.
   void publish(MetricRegistry& registry, const std::string& prefix) const;
+
+  /// Serialize the open window, the last closed window and the
+  /// cumulative distribution (config is reconstructed by the owner).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   Config config_;

@@ -1,0 +1,190 @@
+// Checkpoint/restore of the serve loop: a loop restored mid-run (from
+// memory or from the newest intact checkpoint on disk) finishes with a
+// report identical to the uninterrupted run — admission state, retry
+// budget, SLO windows, outstanding RPCs and even a staged-but-
+// uncommitted regroom transaction all survive.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "serve/serve_loop.hpp"
+#include "snapshot/io.hpp"
+
+namespace quartz::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServeConfig test_config() {
+  ServeConfig config;
+  config.ring.switches = 6;
+  config.ring.hosts_per_switch = 2;
+  config.duration = milliseconds(8);
+  config.drain = milliseconds(4);
+  config.arrivals_per_sec = 300'000.0;
+  config.shifts = {{milliseconds(3), 0, 3, 0.8}};
+  config.seed = 42;
+  return config;
+}
+
+void expect_identical(const ServeReport& a, const ServeReport& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed_class, b.shed_class);
+  EXPECT_EQ(a.shed_limit, b.shed_limit);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.in_deadline, b.in_deadline);
+  EXPECT_EQ(a.late, b.late);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.budget_denied, b.budget_denied);
+  EXPECT_EQ(a.hopeless_dropped, b.hopeless_dropped);
+  EXPECT_EQ(a.goodput_per_sec, b.goodput_per_sec);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.p999_us, b.p999_us);
+  EXPECT_EQ(a.windows_closed, b.windows_closed);
+  EXPECT_EQ(a.windows_breached, b.windows_breached);
+  EXPECT_EQ(a.final_limit, b.final_limit);
+  EXPECT_EQ(a.knee_limit, b.knee_limit);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_EQ(a.pins_applied, b.pins_applied);
+  EXPECT_EQ(a.retry_amplification, b.retry_amplification);
+  EXPECT_TRUE(a.conservation_ok);
+  EXPECT_TRUE(b.conservation_ok);
+}
+
+ServeReport reference_report() {
+  ServeLoop loop(test_config());
+  return loop.run();
+}
+
+TEST(ServeSnapshot, MidRunRestoreFinishesIdentically) {
+  const ServeReport reference = reference_report();
+  ServeLoop first(test_config());
+  first.start();
+  first.run_to(milliseconds(5));  // past the shift: live pins + hot matrix in flight
+  snapshot::Writer w;
+  first.save_snapshot(w);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(w, 0), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ServeLoop second(test_config());
+  second.restore_snapshot(*reader);
+  expect_identical(reference, second.finish());
+}
+
+TEST(ServeSnapshot, CheckpointedRunMatchesPlainRun) {
+  const std::string dir = (fs::temp_directory_path() / "serve_snapshot_ckpt").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const ServeReport reference = reference_report();
+
+  // Checkpointing itself must not perturb the run...
+  ServeLoop checkpointed(test_config());
+  ServeLoop::CheckpointOptions options;
+  options.dir = dir;
+  options.every = milliseconds(2);
+  expect_identical(reference, checkpointed.run_with_checkpoints(options));
+  const auto files = snapshot::list_checkpoints(dir);
+  ASSERT_GT(files.size(), 1u);
+
+  // ...and a fresh loop resumed from the newest checkpoint on disk must
+  // finish with the same report.
+  ServeLoop resumed(test_config());
+  std::string warnings;
+  const auto sequence = resumed.restore_latest(dir, &warnings);
+  ASSERT_TRUE(sequence.has_value());
+  EXPECT_EQ(*sequence, files.back().sequence);
+  EXPECT_TRUE(warnings.empty()) << warnings;
+  expect_identical(reference, resumed.finish());
+  fs::remove_all(dir);
+}
+
+TEST(ServeSnapshot, RestoreLatestFallsBackPastTornCheckpoint) {
+  const std::string dir = (fs::temp_directory_path() / "serve_snapshot_torn").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ServeLoop checkpointed(test_config());
+  ServeLoop::CheckpointOptions options;
+  options.dir = dir;
+  options.every = milliseconds(2);
+  const ServeReport reference = checkpointed.run_with_checkpoints(options);
+
+  auto files = snapshot::list_checkpoints(dir);
+  ASSERT_GT(files.size(), 1u);
+  fs::resize_file(files.back().path, fs::file_size(files.back().path) - 9);
+
+  ServeLoop resumed(test_config());
+  std::string warnings;
+  const auto sequence = resumed.restore_latest(dir, &warnings);
+  ASSERT_TRUE(sequence.has_value());
+  EXPECT_EQ(*sequence, files.back().sequence - 1);
+  EXPECT_NE(warnings.find("rejected"), std::string::npos) << warnings;
+  expect_identical(reference, resumed.finish());
+  fs::remove_all(dir);
+}
+
+TEST(ServeSnapshot, StagedRegroomTransactionSurvives) {
+  // Open a regroom transaction mid-run, checkpoint with it staged, and
+  // prove the restored loop carries the open transaction: committing on
+  // both sides yields the same result and the runs stay identical.
+  ServeLoop first(test_config());
+  first.start();
+  first.run_to(milliseconds(4));
+  const topo::BuiltTopology& topo = first.topology();
+  ASSERT_GE(topo.hosts.size(), 4u);
+  routing::PinnedDetourOracle& oracle = first.oracle();
+  oracle.begin_regroom();
+  oracle.stage_pin(topo.hosts.front(), topo.hosts.back(), topo.quartz_rings.front()[2]);
+  ASSERT_TRUE(oracle.regrooming());
+
+  snapshot::Writer w;
+  first.save_snapshot(w);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(w, 0), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ServeLoop second(test_config());
+  second.restore_snapshot(*reader);
+  ASSERT_TRUE(second.oracle().regrooming());
+
+  const auto a = first.oracle().commit_regroom();
+  const auto b = second.oracle().commit_regroom();
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.removed, b.removed);
+  expect_identical(first.finish(), second.finish());
+}
+
+TEST(ServeSnapshot, RestoreRefusesStartedLoop) {
+  ServeLoop first(test_config());
+  first.start();
+  first.run_to(milliseconds(2));
+  snapshot::Writer w;
+  first.save_snapshot(w);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(w, 0), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ServeLoop started(test_config());
+  started.start();
+  EXPECT_THROW(started.restore_snapshot(*reader), std::invalid_argument);
+}
+
+TEST(ServeSnapshot, RestoreRefusesDifferentConfig) {
+  ServeLoop first(test_config());
+  first.start();
+  first.run_to(milliseconds(2));
+  snapshot::Writer w;
+  first.save_snapshot(w);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(w, 0), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ServeConfig other = test_config();
+  other.seed = 43;
+  ServeLoop loop(other);
+  EXPECT_THROW(loop.restore_snapshot(*reader), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quartz::serve
