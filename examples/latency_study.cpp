@@ -12,11 +12,13 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
+#include "topo/composite.hpp"
 #include "sim/sweep.hpp"
 #include "sim/workloads.hpp"
 #include "telemetry/binary_stream.hpp"
@@ -39,15 +41,19 @@ std::string fmt(double v) {
 
 int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown_keys({"tasks", "duration-ms", "trace", "sample-every",
-                                           "metrics-out", "jobs", "fib", "telemetry", "help"});
+  const auto unknown =
+      flags.unknown_keys({"tasks", "duration-ms", "trace", "sample-every", "metrics-out",
+                          "jobs", "fib", "telemetry", "topology", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     std::printf(
         "usage: %s [--tasks=N] [--duration-ms=D] [--trace] [--sample-every=N]\n"
         "          [--metrics-out=FILE] [--jobs=N] [--fib=on|off]\n"
-        "          [--telemetry=binary|jsonl|off]\n"
+        "          [--telemetry=binary|jsonl|off] [--topology=composite:SPEC]\n"
         "\n"
+        "  --topology=composite:SPEC  add a hierarchical composed fabric as a\n"
+        "            third study column; SPEC is kind:D0xD1[...][@h][+m], e.g.\n"
+        "            composite:ring-of-rings:4x4@2 (see docs/scale.md)\n"
         "  --telemetry=binary  capture every cell's event stream as compact\n"
         "            binary records in <metrics-out>.qtz (decode with\n"
         "            quartz_decode)\n"
@@ -66,6 +72,21 @@ int run(int argc, char** argv) {
   if (fib_mode != "on" && fib_mode != "off") {
     std::printf("--fib must be 'on' or 'off', got '%s'\n", fib_mode.c_str());
     return 1;
+  }
+  std::string composite_spec;
+  if (flags.has("topology")) {
+    const std::string topology = flags.get("topology");
+    constexpr std::string_view kPrefix = "composite:";
+    if (topology.rfind(kPrefix, 0) != 0) {
+      std::printf("--topology only knows composite:<spec>, got '%s'\n", topology.c_str());
+      return 1;
+    }
+    composite_spec = topology.substr(kPrefix.size());
+    std::string spec_error;
+    if (!topo::CompositeSpec::parse(composite_spec, &spec_error).has_value()) {
+      std::printf("bad composite spec '%s': %s\n", composite_spec.c_str(), spec_error.c_str());
+      return 1;
+    }
   }
   // Positional task count kept for compatibility with the old argv form.
   int positional_tasks = 4;
@@ -131,27 +152,44 @@ int run(int argc, char** argv) {
 
   std::printf("Latency study: %d concurrent tasks per pattern, 64-host fabrics\n\n", tasks);
 
+  // The studied fabrics, in column order; --topology appends a composed
+  // fabric as a third column.
+  struct StudyFabric {
+    std::string label;
+    Fabric fabric;
+  };
+  std::vector<StudyFabric> study = {{"three-tier tree", Fabric::kThreeTierTree},
+                                    {"quartz edge+core", Fabric::kQuartzInEdgeAndCore}};
+  if (!composite_spec.empty()) study.push_back({"composite", Fabric::kComposite});
+  FabricConfig fabric_config;
+  fabric_config.use_fib = fib_mode == "on";
+  if (!composite_spec.empty()) fabric_config.composite = composite_spec;
+
   // ---- topology-level view --------------------------------------------
   {
-    const BuiltFabric tree = build_fabric(Fabric::kThreeTierTree);
-    const BuiltFabric quartz = build_fabric(Fabric::kQuartzInEdgeAndCore);
-    const auto tree_props = topo::analyze(tree.topo);
-    const auto quartz_props = topo::analyze(quartz.topo);
-    Table table({"metric", "three-tier tree", "quartz edge+core"});
-    table.add_row({"switches", std::to_string(tree_props.switch_count),
-                   std::to_string(quartz_props.switch_count)});
-    table.add_row({"worst switch hops", std::to_string(tree_props.switch_hops),
-                   std::to_string(quartz_props.switch_hops)});
-    table.add_row({"zero-load latency", format_time(tree_props.zero_load_latency),
-                   format_time(quartz_props.zero_load_latency)});
-    table.add_row({"path diversity", std::to_string(tree_props.path_diversity),
-                   std::to_string(quartz_props.path_diversity)});
+    std::vector<std::string> header = {"metric"};
+    for (const auto& f : study) header.push_back(f.label);
+    Table table(header);
+    std::vector<topo::TopologyProperties> props;
+    for (const auto& f : study) props.push_back(topo::analyze(build_fabric(f.fabric, fabric_config).topo));
+    auto row = [&](const std::string& metric, auto&& value) {
+      std::vector<std::string> cells = {metric};
+      for (const auto& p : props) cells.push_back(value(p));
+      table.add_row(cells);
+    };
+    row("switches", [](const auto& p) { return std::to_string(p.switch_count); });
+    row("worst switch hops", [](const auto& p) { return std::to_string(p.switch_hops); });
+    row("zero-load latency", [](const auto& p) { return format_time(p.zero_load_latency); });
+    row("path diversity", [](const auto& p) { return std::to_string(p.path_diversity); });
     std::printf("structure:\n%s\n", table.to_text().c_str());
   }
 
   // ---- workload-level view ---------------------------------------------
-  Table table({"pattern", "tree mean (us)", "quartz mean (us)", "tree p99", "quartz p99",
-               "reduction"});
+  std::vector<std::string> header = {"pattern"};
+  for (const auto& f : study) header.push_back(f.label + " mean (us)");
+  for (const auto& f : study) header.push_back(f.label + " p99");
+  header.push_back("reduction");
+  Table table(header);
   Table breakdown({"pattern", "fabric", "host (us)", "queueing (us)", "serialization (us)",
                    "switching (us)", "propagation (us)", "total (us)"});
   const std::vector<Pattern> patterns{Pattern::kScatter, Pattern::kGather,
@@ -162,9 +200,7 @@ int run(int argc, char** argv) {
   };
   std::vector<Cell> cells;
   for (Pattern pattern : patterns) {
-    for (Fabric fabric : {Fabric::kThreeTierTree, Fabric::kQuartzInEdgeAndCore}) {
-      cells.push_back({pattern, fabric});
-    }
+    for (const auto& f : study) cells.push_back({pattern, f.fabric});
   }
   const std::uint32_t sample_every =
       static_cast<std::uint32_t>(flags.get_int("sample-every", 1));
@@ -185,28 +221,27 @@ int run(int argc, char** argv) {
       params.telemetry.stream_id = static_cast<std::uint32_t>(ctx.index);
     }
     if (events_os.is_open()) params.telemetry.events_jsonl = &events_os;  // jobs == 1 only
-    FabricConfig fabric_config;
-    fabric_config.use_fib = fib_mode == "on";
     return run_task_experiment(cell.fabric, fabric_config, params);
   });
+  const std::size_t columns = study.size();
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     const Pattern pattern = patterns[i];
-    const auto& tree = results[2 * i];
-    const auto& quartz = results[2 * i + 1];
+    const auto* row = &results[columns * i];  // fabric-major within the pattern
     char red[16];
+    // The headline reduction stays tree vs quartz edge+core.
     std::snprintf(red, sizeof(red), "%.0f%%",
-                  100.0 * (1.0 - quartz.mean_latency_us / tree.mean_latency_us));
-    table.add_row({pattern_name(pattern), fmt(tree.mean_latency_us),
-                   fmt(quartz.mean_latency_us), fmt(tree.p99_latency_us),
-                   fmt(quartz.p99_latency_us), red});
+                  100.0 * (1.0 - row[1].mean_latency_us / row[0].mean_latency_us));
+    std::vector<std::string> line = {pattern_name(pattern)};
+    for (std::size_t f = 0; f < columns; ++f) line.push_back(fmt(row[f].mean_latency_us));
+    for (std::size_t f = 0; f < columns; ++f) line.push_back(fmt(row[f].p99_latency_us));
+    line.push_back(red);
+    table.add_row(line);
     if (trace) {
-      const std::vector<std::pair<std::string, telemetry::DecompositionSummary>> rows = {
-          {"three-tier tree", tree.decomposition},
-          {"quartz edge+core", quartz.decomposition}};
-      for (const auto& [name, d] : rows) {
-        breakdown.add_row({pattern_name(pattern), name, fmt(d.host_us), fmt(d.queueing_us),
-                           fmt(d.serialization_us), fmt(d.switching_us), fmt(d.propagation_us),
-                           fmt(d.total_us)});
+      for (std::size_t f = 0; f < columns; ++f) {
+        const auto& d = row[f].decomposition;
+        breakdown.add_row({pattern_name(pattern), study[f].label, fmt(d.host_us),
+                           fmt(d.queueing_us), fmt(d.serialization_us), fmt(d.switching_us),
+                           fmt(d.propagation_us), fmt(d.total_us)});
       }
     }
   }

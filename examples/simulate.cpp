@@ -10,10 +10,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "sim/experiments.hpp"
+#include "topo/composite.hpp"
 #include "telemetry/binary_stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -40,12 +42,15 @@ const std::vector<std::pair<std::string, Pattern>> kPatterns = {
 
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s [--fabric=NAME] [--pattern=NAME] [--tasks=N] [--fanout=N]\n"
-      "          [--rate-mbps=R] [--duration-ms=D] [--seed=S] [--localized]\n"
-      "          [--vlb=K] [--fib=on|off] [--csv] [--list] [--replicas=N]\n"
-      "          [--jobs=N] [--trace] [--sample-every=N] [--metrics-out=FILE]\n"
-      "          [--telemetry=binary|jsonl|off]\n"
+      "usage: %s [--fabric=NAME] [--topology=composite:SPEC] [--pattern=NAME]\n"
+      "          [--tasks=N] [--fanout=N] [--rate-mbps=R] [--duration-ms=D]\n"
+      "          [--seed=S] [--localized] [--vlb=K] [--fib=on|off] [--csv]\n"
+      "          [--list] [--replicas=N] [--jobs=N] [--trace] [--sample-every=N]\n"
+      "          [--metrics-out=FILE] [--telemetry=binary|jsonl|off]\n"
       "\n"
+      "  --topology=composite:SPEC  hierarchical composed fabric instead of a\n"
+      "                named --fabric; SPEC is kind:D0xD1[...][@h][+m], e.g.\n"
+      "                composite:ring-of-rings:8x8@2 (see docs/scale.md)\n"
       "  --telemetry=binary  capture the full event stream as compact binary\n"
       "                records in <metrics-out>.qtz (decode with quartz_decode)\n"
       "  --telemetry=jsonl   mirror every event as one JSON line in\n"
@@ -75,21 +80,41 @@ int run(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_keys(
-      {"fabric", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed", "csv",
-       "localized", "vlb", "fib", "list", "trace", "sample-every", "metrics-out", "replicas",
-       "jobs", "telemetry"});
+      {"fabric", "topology", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed",
+       "csv", "localized", "vlb", "fib", "list", "trace", "sample-every", "metrics-out",
+       "replicas", "jobs", "telemetry"});
   if (!unknown.empty()) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
   }
 
-  const std::string fabric_name = flags.get("fabric", "quartz-edge-core");
+  std::string fabric_name = flags.get("fabric", "quartz-edge-core");
   const std::string pattern_name = flags.get("pattern", "scatter");
   Fabric fabric = Fabric::kQuartzInEdgeAndCore;
   Pattern pattern = Pattern::kScatter;
+  std::string composite_spec;
   bool found = false;
+  if (flags.has("topology")) {
+    // --topology=composite:<spec> builds a hierarchical composed fabric
+    // (topo::CompositeSpec grammar), e.g. composite:ring-of-rings:8x8@2.
+    const std::string topology = flags.get("topology");
+    constexpr std::string_view kPrefix = "composite:";
+    if (topology.rfind(kPrefix, 0) != 0) {
+      std::printf("--topology only knows composite:<spec>, got '%s'\n", topology.c_str());
+      return usage(argv[0]);
+    }
+    composite_spec = topology.substr(kPrefix.size());
+    std::string error;
+    if (!topo::CompositeSpec::parse(composite_spec, &error).has_value()) {
+      std::printf("bad composite spec '%s': %s\n", composite_spec.c_str(), error.c_str());
+      return usage(argv[0]);
+    }
+    fabric = Fabric::kComposite;
+    fabric_name = topology;
+    found = true;
+  }
   for (const auto& [name, value] : kFabrics) {
-    if (name == fabric_name) {
+    if (!found && name == fabric_name) {
       fabric = value;
       found = true;
     }
@@ -111,6 +136,7 @@ int run(int argc, char** argv) {
   }
 
   FabricConfig config;
+  if (!composite_spec.empty()) config.composite = composite_spec;
   config.vlb_fraction = flags.get_double("vlb", 0.0);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string fib_mode = flags.get("fib", "on");

@@ -17,8 +17,9 @@ std::string StormReport::summary() const {
      << " down=" << link_down_drops << " corrupt=" << corrupted_drops << "] cuts=" << cuts
      << " degradations=" << degradations << " probes=" << probes << " deaths=" << deaths
      << " damped=" << damped_recoveries << " max_hops=" << max_hops << "/" << hop_bound
-     << " latency_us=" << baseline_mean_us << "->" << tail_mean_us
-     << (passed() ? " PASS" : " FAIL");
+     << " latency_us=" << baseline_mean_us << "->" << tail_mean_us;
+  if (fluid_epochs > 0) os << " fluid_epochs=" << fluid_epochs;
+  os << (passed() ? " PASS" : " FAIL");
   for (const std::string& v : violations) os << "\n  violated: " << v;
   return os.str();
 }

@@ -89,6 +89,13 @@ struct StormParams {
   /// sweeping this across jobs exercises checkpoint/restore under the
   /// parallel runner.
   bool restore_rehearsal = false;
+
+  /// Run the storm in hybrid mode: a sim::FluidBackground evolves a
+  /// deterministic set of host-pair background demands over the same
+  /// fabric, so its queueing bias (and its epoch timer chain) ride the
+  /// storm, the faults, and every checkpoint.  The fluid digest joins
+  /// the report's bit-exactness oracle.
+  bool hybrid_background = false;
 };
 
 /// Pass/fail per invariant (see file comment for definitions).
@@ -133,6 +140,10 @@ struct StormReport {
   std::uint64_t delivery_digest = 0;
   std::uint64_t drop_digest = 0;
   std::uint64_t events_dispatched = 0;
+  /// Hybrid-mode fluid witness (zero unless hybrid_background was set):
+  /// epochs solved and the FNV-1a digest over every epoch's biases.
+  std::uint64_t fluid_epochs = 0;
+  std::uint64_t fluid_digest = 0;
 
   InvariantReport invariants;
   /// Human-readable description of each violated invariant (empty when

@@ -113,6 +113,22 @@ StormRun::StormRun(const StormParams& params)
   });
   // Digest sink: this object mixes the delivery and drop streams.
   net_.add_sink(this);
+
+  // Hybrid slice: a fluid background over deterministic host pairs
+  // (host i paired with its mirror) whose queueing bias shifts every
+  // storm packet.  Demands are a pure function of the fabric, so a
+  // restored run reconstructs the identical set.
+  if (params_.hybrid_background) {
+    const auto& hosts = topo_.hosts;
+    std::vector<sim::FluidDemand> demands;
+    for (std::size_t i = 0; i + 1 < hosts.size(); i += 2) {
+      demands.push_back({hosts[i], hosts[hosts.size() - 1 - i], 2e9});
+    }
+    sim::FluidParams fluid_params;
+    fluid_params.mean_packet = params_.packet_size;
+    fluid_ = std::make_unique<sim::FluidBackground>(net_, oracle_, std::move(demands),
+                                                    fluid_params);
+  }
 }
 
 sim::HandlerMap StormRun::handler_map() const {
@@ -120,6 +136,7 @@ sim::HandlerMap StormRun::handler_map() const {
   if (probes_ != nullptr) handlers.probes.push_back(probes_.get());
   handlers.timers.push_back(const_cast<sim::FaultScheduler*>(&faults_));
   handlers.timers.push_back(const_cast<StormRun*>(this));
+  if (fluid_ != nullptr) handlers.timers.push_back(fluid_.get());
   return handlers;
 }
 
@@ -128,6 +145,7 @@ void StormRun::arm() {
   armed_ = true;
 
   if (probes_ != nullptr) probes_->start(mesh_);
+  if (fluid_ != nullptr) fluid_->arm();
 
   // Workload: random host pairs on a fixed cadence, one flow per
   // packet, driven by a self-chained timer (each tick sends one packet
@@ -236,6 +254,7 @@ void StormRun::save(snapshot::Writer& w) const {
   w.put_u64(params_.switches);
   w.put_i32(params_.hosts_per_switch);
   w.put_i32(params_.packets);
+  w.put_u8(params_.hybrid_background ? 1 : 0);
   // Digest state and the deliveries harvested so far.
   w.put_u64(delivery_digest_);
   w.put_u64(drop_digest_);
@@ -264,6 +283,12 @@ void StormRun::save(snapshot::Writer& w) const {
     w.end_chunk();
   }
 
+  if (fluid_ != nullptr) {
+    w.begin_chunk(snapshot::chunk_id("FLUI"));
+    fluid_->save(w);
+    w.end_chunk();
+  }
+
   // The network chunk (which embeds the engine with every pending
   // event) goes last, mirroring the restore order: components first,
   // then the event queue that points back into them.
@@ -281,7 +306,8 @@ void StormRun::restore(snapshot::Reader& r) {
   QUARTZ_REQUIRE(r.get_u64() == params_.seed &&
                      r.get_u8() == static_cast<std::uint8_t>(params_.mode) &&
                      r.get_u64() == params_.switches && r.get_i32() == params_.hosts_per_switch &&
-                     r.get_i32() == params_.packets,
+                     r.get_i32() == params_.packets &&
+                     r.get_u8() == (params_.hybrid_background ? 1 : 0),
                  "snapshot was taken from a storm with different params");
   delivery_digest_ = r.get_u64();
   drop_digest_ = r.get_u64();
@@ -311,6 +337,12 @@ void StormRun::restore(snapshot::Reader& r) {
   if (probes_ != nullptr) {
     r.open_chunk(snapshot::chunk_id("PRBS"));
     probes_->restore(r);
+    r.close_chunk();
+  }
+
+  if (fluid_ != nullptr) {
+    r.open_chunk(snapshot::chunk_id("FLUI"));
+    fluid_->restore(r);
     r.close_chunk();
   }
 
@@ -344,6 +376,10 @@ StormReport StormRun::finish() {
   report.delivery_digest = delivery_digest_;
   report.drop_digest = drop_digest_;
   report.events_dispatched = net_.events_processed();
+  if (fluid_ != nullptr) {
+    report.fluid_epochs = fluid_->epochs();
+    report.fluid_digest = fluid_->digest();
+  }
 
   QUARTZ_CHECK(digest_deliveries_ == report.delivered && digest_drops_ == net_.packets_dropped(),
                "digest sink disagrees with the network's packet counters");

@@ -35,6 +35,7 @@
 #include "routing/health_monitor.hpp"
 #include "routing/oracle.hpp"
 #include "sim/fault_injection.hpp"
+#include "sim/fluid.hpp"
 #include "sim/network.hpp"
 #include "sim/probes.hpp"
 #include "telemetry/sink.hpp"
@@ -105,6 +106,10 @@ class StormRun final : public sim::TimerHandler, public telemetry::TelemetrySink
   sim::Network net_;
   std::unique_ptr<sim::ProbePlane> probes_;
   sim::FaultScheduler faults_;
+  /// Hybrid-mode fluid background (null unless params.hybrid_background).
+  /// Constructed after net_ so its bias vector attaches to a live
+  /// network and detaches before the network dies.
+  std::unique_ptr<sim::FluidBackground> fluid_;
   Rng traffic_rng_;
   int task_ = -1;
   bool armed_ = false;

@@ -16,106 +16,191 @@ std::size_t directed_index(topo::LinkId link, int direction) {
 
 }  // namespace
 
-MaxMinResult max_min_fair(const topo::Graph& graph, const std::vector<Flow>& flows,
-                          const std::vector<double>& initial_line_used) {
-  // Flatten subflows and build link incidence.
-  struct Subflow {
-    std::size_t flow = 0;
-    std::vector<std::size_t> lines;  ///< directed link indices
-    bool active = true;
-    double rate = 0.0;
-  };
-  std::vector<Subflow> subflows;
+MaxMinSolver::MaxMinSolver(const topo::Graph& graph) {
+  line_count_ = graph.link_count() * 2;
+  capacity_.assign(line_count_, 0.0);
+  for (const auto& link : graph.links()) {
+    capacity_[directed_index(link.id, 0)] = link.rate;
+    capacity_[directed_index(link.id, 1)] = link.rate;
+  }
+  line_slot_.assign(line_count_, -1);
+  result_.line_used.assign(line_count_, 0.0);
+}
+
+const MaxMinResult& MaxMinSolver::solve(const std::vector<Flow>& flows,
+                                        const std::vector<double>& initial_line_used) {
+  // Clear the previous solve's footprint (O(previous footprint), not
+  // O(total lines) — the property that makes per-epoch re-solves on a
+  // warehouse-scale graph affordable).
+  for (const std::size_t line : used_lines_) {
+    result_.line_used[line] = 0.0;
+    line_slot_[line] = -1;
+  }
+  used_lines_.clear();
+  if (!initial_line_used.empty()) {
+    QUARTZ_REQUIRE(initial_line_used.size() == line_count_,
+                   "initial_line_used size must match directed line count");
+    result_.line_used = initial_line_used;
+    for (std::size_t line = 0; line < line_count_; ++line) {
+      // Clamp tiny float overshoot so residual capacity is never negative.
+      result_.line_used[line] = std::min(result_.line_used[line], capacity_[line]);
+    }
+  }
+
+  // --- flatten routes into the subflow->line CSR, assigning compact
+  // slots to the directed lines actually crossed.
+  sub_offset_.clear();
+  sub_lines_.clear();
+  sub_flow_.clear();
+  sub_offset_.push_back(0);
+  flow_sub_begin_.assign(flows.size() + 1, 0);
   for (std::size_t f = 0; f < flows.size(); ++f) {
+    flow_sub_begin_[f] = sub_flow_.size();
     QUARTZ_REQUIRE(!flows[f].routes.empty(), "flow without routes");
     for (const Route& route : flows[f].routes) {
       QUARTZ_REQUIRE(!route.links.empty(), "empty route");
       QUARTZ_REQUIRE(route.links.size() == route.directions.size(),
                      "route links/directions mismatch");
-      Subflow s;
-      s.flow = f;
       for (std::size_t i = 0; i < route.links.size(); ++i) {
-        s.lines.push_back(directed_index(route.links[i], route.directions[i]));
+        const std::size_t line = directed_index(route.links[i], route.directions[i]);
+        std::int32_t slot = line_slot_[line];
+        if (slot < 0) {
+          slot = static_cast<std::int32_t>(used_lines_.size());
+          line_slot_[line] = slot;
+          used_lines_.push_back(line);
+        }
+        sub_lines_.push_back(slot);
       }
-      subflows.push_back(std::move(s));
+      sub_flow_.push_back(f);
+      sub_offset_.push_back(sub_lines_.size());
+    }
+  }
+  const std::size_t subflows = sub_flow_.size();
+  flow_sub_begin_[flows.size()] = subflows;
+  const std::size_t slots = used_lines_.size();
+
+  // --- invert into the line->subflow CSR (counting sort, no per-line
+  // vectors).
+  line_offset_.assign(slots + 1, 0);
+  for (const std::int32_t slot : sub_lines_) {
+    ++line_offset_[static_cast<std::size_t>(slot) + 1];
+  }
+  for (std::size_t s = 0; s < slots; ++s) line_offset_[s + 1] += line_offset_[s];
+  line_subs_.resize(sub_lines_.size());
+  {
+    std::vector<std::size_t> cursor(line_offset_.begin(), line_offset_.end() - 1);
+    for (std::size_t sub = 0; sub < subflows; ++sub) {
+      for (std::size_t i = sub_offset_[sub]; i < sub_offset_[sub + 1]; ++i) {
+        line_subs_[cursor[static_cast<std::size_t>(sub_lines_[i])]++] =
+            static_cast<std::int32_t>(sub);
+      }
     }
   }
 
-  const std::size_t line_count = graph.link_count() * 2;
-  std::vector<double> capacity(line_count, 0.0);
-  for (const auto& link : graph.links()) {
-    capacity[directed_index(link.id, 0)] = link.rate;
-    capacity[directed_index(link.id, 1)] = link.rate;
+  // --- per-line and per-flow waterfilling state.
+  frozen_.assign(slots, 0.0);
+  active_count_.assign(slots, 0);
+  for (std::size_t s = 0; s < slots; ++s) {
+    frozen_[s] = result_.line_used[used_lines_[s]];
+    active_count_[s] =
+        static_cast<std::int32_t>(line_offset_[s + 1] - line_offset_[s]);
   }
+  sub_active_.assign(subflows, 1);
+  sub_rate_.assign(subflows, 0.0);
+  flow_frozen_.assign(flows.size(), 0.0);
+  flow_active_subs_.assign(flows.size(), 0);
+  for (const std::size_t f : sub_flow_) ++flow_active_subs_[f];
 
-  std::vector<double> frozen_used(line_count, 0.0);
-  if (!initial_line_used.empty()) {
-    QUARTZ_REQUIRE(initial_line_used.size() == line_count,
-                   "initial_line_used size must match directed line count");
-    frozen_used = initial_line_used;
-    for (std::size_t line = 0; line < line_count; ++line) {
-      // Clamp tiny float overshoot so residual capacity is never negative.
-      frozen_used[line] = std::min(frozen_used[line], capacity[line]);
+  const auto freeze_subflow = [&](std::size_t sub, double level) {
+    sub_active_[sub] = 0;
+    sub_rate_[sub] = level;
+    const std::size_t f = sub_flow_[sub];
+    flow_frozen_[f] += level;
+    --flow_active_subs_[f];
+    for (std::size_t i = sub_offset_[sub]; i < sub_offset_[sub + 1]; ++i) {
+      const auto slot = static_cast<std::size_t>(sub_lines_[i]);
+      --active_count_[slot];
+      frozen_[slot] += level;
     }
-  }
-  std::vector<std::size_t> active_count(line_count, 0);
-  std::vector<std::vector<std::size_t>> line_subflows(line_count);
-  for (std::size_t s = 0; s < subflows.size(); ++s) {
-    for (std::size_t line : subflows[s].lines) {
-      ++active_count[line];
-      line_subflows[line].push_back(s);
-    }
-  }
+  };
 
   // Progressive filling: all active subflows share one rising water
-  // level; the next saturation determines each round's stop point.
-  std::size_t remaining = subflows.size();
+  // level; the next saturation — a line filling up, or a flow reaching
+  // its demand — determines each round's stop point.
+  std::size_t remaining = subflows;
   double level = 0.0;
   while (remaining > 0) {
     double next_level = std::numeric_limits<double>::infinity();
-    for (std::size_t line = 0; line < line_count; ++line) {
-      if (active_count[line] == 0) continue;
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (active_count_[s] == 0) continue;
       const double saturate_at =
-          (capacity[line] - frozen_used[line]) / static_cast<double>(active_count[line]);
+          (capacity_[used_lines_[s]] - frozen_[s]) / static_cast<double>(active_count_[s]);
+      next_level = std::min(next_level, saturate_at);
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (flow_active_subs_[f] == 0 || !std::isfinite(flows[f].demand)) continue;
+      const double saturate_at = (flows[f].demand - flow_frozen_[f]) /
+                                 static_cast<double>(flow_active_subs_[f]);
       next_level = std::min(next_level, saturate_at);
     }
     QUARTZ_CHECK(std::isfinite(next_level), "active subflow crosses no capacitated line");
     level = std::max(level, next_level);
+    const double tolerance = level * (1.0 + 1e-12) + 1e-9;
 
     // Freeze every active subflow crossing a line that saturates at
-    // this level (within floating tolerance).
+    // this level, and every flow whose demand is met (within floating
+    // tolerance).  Tied bottlenecks all freeze in this same round at
+    // the same level, which is what makes the outcome independent of
+    // input permutation.
     bool froze_any = false;
-    for (std::size_t line = 0; line < line_count; ++line) {
-      if (active_count[line] == 0) continue;
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (active_count_[s] == 0) continue;
       const double saturate_at =
-          (capacity[line] - frozen_used[line]) / static_cast<double>(active_count[line]);
-      if (saturate_at > level * (1.0 + 1e-12) + 1e-9) continue;
-      for (std::size_t s : line_subflows[line]) {
-        Subflow& sub = subflows[s];
-        if (!sub.active) continue;
-        sub.active = false;
-        sub.rate = level;
+          (capacity_[used_lines_[s]] - frozen_[s]) / static_cast<double>(active_count_[s]);
+      if (saturate_at > tolerance) continue;
+      for (std::size_t i = line_offset_[s]; i < line_offset_[s + 1]; ++i) {
+        const auto sub = static_cast<std::size_t>(line_subs_[i]);
+        if (!sub_active_[sub]) continue;
+        freeze_subflow(sub, level);
         froze_any = true;
         --remaining;
-        for (std::size_t l : sub.lines) {
-          --active_count[l];
-          frozen_used[l] += level;
-        }
+      }
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (flow_active_subs_[f] == 0 || !std::isfinite(flows[f].demand)) continue;
+      const double saturate_at = (flows[f].demand - flow_frozen_[f]) /
+                                 static_cast<double>(flow_active_subs_[f]);
+      if (saturate_at > tolerance) continue;
+      // Freeze the flow's remaining subflows (contiguous, flow-major).
+      for (std::size_t sub = flow_sub_begin_[f]; sub < flow_sub_begin_[f + 1]; ++sub) {
+        if (!sub_active_[sub]) continue;
+        freeze_subflow(sub, level);
+        froze_any = true;
+        --remaining;
       }
     }
     QUARTZ_CHECK(froze_any, "waterfilling made no progress");
   }
 
-  MaxMinResult result;
-  result.flow_rate.assign(flows.size(), 0.0);
-  result.subflow_rate.reserve(subflows.size());
-  for (const Subflow& s : subflows) {
-    result.subflow_rate.push_back(s.rate);
-    result.flow_rate[s.flow] += s.rate;
-    result.aggregate += s.rate;
+  // --- collect.
+  result_.flow_rate.assign(flows.size(), 0.0);
+  result_.subflow_rate.assign(subflows, 0.0);
+  result_.aggregate = 0.0;
+  for (std::size_t sub = 0; sub < subflows; ++sub) {
+    result_.subflow_rate[sub] = sub_rate_[sub];
+    result_.flow_rate[sub_flow_[sub]] += sub_rate_[sub];
+    result_.aggregate += sub_rate_[sub];
   }
-  result.line_used = std::move(frozen_used);
-  return result;
+  for (std::size_t s = 0; s < slots; ++s) {
+    result_.line_used[used_lines_[s]] = frozen_[s];
+  }
+  return result_;
+}
+
+MaxMinResult max_min_fair(const topo::Graph& graph, const std::vector<Flow>& flows,
+                          const std::vector<double>& initial_line_used) {
+  MaxMinSolver solver(graph);
+  return solver.solve(flows, initial_line_used);
 }
 
 MaxMinResult quartz_adaptive_allocate(const topo::Graph& graph, const std::vector<Flow>& flows) {

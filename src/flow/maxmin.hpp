@@ -11,6 +11,8 @@
 // capacity caps emerge naturally instead of via explicit demands.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "topo/graph.hpp"
@@ -31,6 +33,10 @@ struct Flow {
   topo::NodeId src = topo::kInvalidNode;
   topo::NodeId dst = topo::kInvalidNode;
   std::vector<Route> routes;
+  /// Offered load cap (bits/s) across all routes; the flow stops
+  /// rising once its subflow rates sum to this.  Infinity = greedy
+  /// (the Fig. 10 bisection semantics).
+  double demand = std::numeric_limits<double>::infinity();
 };
 
 struct MaxMinResult {
@@ -48,6 +54,54 @@ struct MaxMinResult {
 /// (empty = pristine network).
 MaxMinResult max_min_fair(const topo::Graph& graph, const std::vector<Flow>& flows,
                           const std::vector<double>& initial_line_used = {});
+
+/// Reusable progressive-filling solver.  All working state lives in
+/// flat preallocated arrays indexed by a *compact* used-line numbering
+/// (only the directed lines the routes actually cross), so repeated
+/// solves on a warehouse-scale graph cost O(route footprint) per epoch
+/// rather than O(total lines) — the property sim::FluidBackground's
+/// epoch clock depends on.  Results are permutation-stable: flow rates
+/// depend only on the set of (routes, demand), not input order, even
+/// through exact bottleneck ties (every tied subflow freezes in the
+/// same round at the same water level).
+class MaxMinSolver {
+ public:
+  explicit MaxMinSolver(const topo::Graph& graph);
+
+  /// Solve for `flows`; the returned reference stays valid until the
+  /// next solve() on this instance.
+  const MaxMinResult& solve(const std::vector<Flow>& flows,
+                            const std::vector<double>& initial_line_used = {});
+
+  /// Directed lines touched by the most recent solve (compact order).
+  const std::vector<std::size_t>& used_lines() const { return used_lines_; }
+
+ private:
+  std::size_t line_count_ = 0;
+  std::vector<double> capacity_;  ///< per directed line
+
+  // Compact used-line index, rebuilt per solve without reallocating.
+  std::vector<std::int32_t> line_slot_;    ///< directed line -> compact slot, -1 unused
+  std::vector<std::size_t> used_lines_;    ///< compact slot -> directed line
+
+  // CSR: subflow -> compact lines, and compact line -> subflows.
+  std::vector<std::int32_t> sub_lines_;
+  std::vector<std::size_t> sub_offset_;
+  std::vector<std::size_t> sub_flow_;
+  std::vector<std::int32_t> line_subs_;
+  std::vector<std::size_t> line_offset_;
+
+  // Waterfilling state, per compact line / subflow / flow.
+  std::vector<double> frozen_;
+  std::vector<std::int32_t> active_count_;
+  std::vector<char> sub_active_;
+  std::vector<double> sub_rate_;
+  std::vector<double> flow_frozen_;
+  std::vector<std::int32_t> flow_active_subs_;
+  std::vector<std::size_t> flow_sub_begin_;  ///< flow -> first subflow (flow-major)
+
+  MaxMinResult result_;
+};
 
 /// §3.4's adaptive VLB at the flow level: allocate over the direct
 /// lightpaths first (the ECMP stage), then spill each flow's residual

@@ -1,0 +1,96 @@
+// Level-aware routing for composed fabrics (topo/composite.hpp).
+//
+// HierOracle extends PR 5's per-ToR destination groups to hierarchy
+// *levels*: the dense FIB keys on (node, level-group), where the group
+// universe is sum(arity) — one group per sibling element at each level
+// plus one per leaf slot.  A core switch therefore stores one entry
+// per child element, not one per ToR or host, keeping FIB memory
+// sublinear in hosts: a 48x48x48 fabric (110k switches, millions of
+// modeled hosts) needs only 144 entries per touched switch.
+//
+// Routing rule (uniform rings-of-rings meta): at divergence level L the
+// packet leaves via the recorded trunk between its element and the
+// destination's sibling element; below the gateway it chains toward
+// the gateway switch (each hop strictly increases the divergence
+// level, so the walk terminates at the leaf full mesh).  Healing is
+// the paper's §3.5 two-hop story lifted per level: a dead leaf mesh
+// link detours through a third ring switch, a dead trunk detours
+// through a third sibling element's gateways — both deterministic in
+// the flow hash, budgeted by FlowKey::vlb_done.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/oracle.hpp"
+#include "topo/composite.hpp"
+
+namespace quartz::routing {
+
+class HierOracle final : public RoutingOracle {
+ public:
+  /// Requires topo.composite with uniform metadata (build_composite's
+  /// ring-of-rings output); throws otherwise.
+  explicit HierOracle(const topo::BuiltTopology& topo);
+
+  topo::LinkId next_link(topo::NodeId node, FlowKey& key) const override;
+
+  /// Level-group of `dst` (switch or host) as seen from switch `node`;
+  /// -1 when co-located.  Mirrors EcmpRouting::group_of but keys on
+  /// hierarchy levels instead of ToRs.
+  std::int32_t group_of(topo::NodeId node, topo::NodeId dst) const;
+  std::int32_t group_universe() const { return groups_; }
+
+  /// The equal-preference candidate set at the divergence level:
+  /// links[0] is the primary (direct trunk or mesh link), the rest are
+  /// the currently-alive healing alternates' first legs.
+  struct LevelCandidates {
+    int level = 0;
+    std::vector<topo::LinkId> links;
+  };
+  LevelCandidates candidates(topo::NodeId node, topo::NodeId dst) const;
+
+  /// One extracted path as (link, direction) steps; direction 0
+  /// traverses a->b (mirrors flow::Route without the layering
+  /// dependency — sim/fluid.cpp converts field-for-field).
+  struct Path {
+    std::vector<topo::LinkId> links;
+    std::vector<int> directions;
+  };
+  /// Extract the full primary route of a (src, dst) pair in O(hops) —
+  /// no BFS — for the fluid background solver.  Endpoints may be
+  /// switches or hosts.
+  Path route(topo::NodeId src, topo::NodeId dst) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< dense-FIB entry reuses
+    std::uint64_t misses = 0;      ///< entries computed
+    std::uint64_t arenas = 0;      ///< switches with an allocated arena
+    std::uint64_t entry_bytes = 0; ///< bytes held by allocated entries
+  };
+  Stats stats() const;
+
+ private:
+  void ensure_epoch() const;
+  topo::LinkId lookup(topo::NodeId node, topo::NodeId target) const;
+  topo::LinkId compute(topo::NodeId node, std::int32_t group) const;
+
+  const topo::BuiltTopology* topo_;
+  const topo::CompositeMeta* meta_;
+  int levels_ = 0;
+  int leaf_size_ = 0;
+  std::int32_t groups_ = 0;
+
+  std::vector<topo::NodeId> attach_;  ///< host -> attachment switch
+  std::vector<topo::LinkId> uplink_;  ///< host -> its access link
+  /// Leaf full-mesh matrix: mesh_[switch * leaf_size_ + slot].
+  std::vector<topo::LinkId> mesh_;
+
+  // Lazy dense FIB, wiped whole on any state_epoch() change.
+  mutable std::vector<std::int64_t> fib_base_;  ///< node -> arena offset, -1 untouched
+  mutable std::vector<topo::LinkId> arena_;
+  mutable std::uint64_t fib_epoch_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace quartz::routing

@@ -4,10 +4,12 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "routing/hierarchical.hpp"
 #include "sim/workloads.hpp"
 #include "telemetry/decode.hpp"
 #include "telemetry/stream_sink.hpp"
 #include "topo/builders.hpp"
+#include "topo/composite.hpp"
 
 namespace quartz::sim {
 namespace {
@@ -38,6 +40,7 @@ std::string fabric_name(Fabric fabric) {
     case Fabric::kQuartzInEdge: return "quartz in edge";
     case Fabric::kQuartzInEdgeAndCore: return "quartz in edge and core";
     case Fabric::kQuartzInJellyfish: return "quartz in jellyfish";
+    case Fabric::kComposite: return "composite";
   }
   return "unknown";
 }
@@ -124,6 +127,22 @@ BuiltFabric build_fabric(Fabric fabric, const FabricConfig& config) {
       built.topo = topo::quartz_in_jellyfish(params);
       break;
     }
+    case Fabric::kComposite: {
+      std::string error;
+      const auto spec = topo::CompositeSpec::parse(config.composite, &error);
+      QUARTZ_REQUIRE(spec.has_value(), "bad composite spec '" + config.composite + "': " + error);
+      built.topo = topo::build_composite(*spec);
+      break;
+    }
+  }
+
+  // Rings-of-rings route through the level-aware oracle, whose dense
+  // (node, level-group) FIB replaces both EcmpRouting's per-ToR groups
+  // and the compiled Fib.
+  if (fabric == Fabric::kComposite && built.topo.composite != nullptr &&
+      built.topo.composite->uniform) {
+    built.oracle = std::make_unique<routing::HierOracle>(built.topo);
+    return built;
   }
 
   built.routing = std::make_unique<routing::EcmpRouting>(built.topo.graph);

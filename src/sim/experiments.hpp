@@ -38,6 +38,9 @@ enum class Fabric {
   kQuartzInEdge,
   kQuartzInEdgeAndCore,
   kQuartzInJellyfish,
+  /// Hierarchical composed fabric (topo/composite.hpp) described by
+  /// FabricConfig::composite; rings-of-rings route via HierOracle.
+  kComposite,
 };
 
 std::string fabric_name(Fabric fabric);
@@ -58,7 +61,12 @@ struct FabricConfig {
   double vlb_fraction = 0.0;
   /// Route through the compiled FIB (routing/fib.hpp).  Decisions are
   /// bit-identical with the FIB off; only the per-packet cost changes.
+  /// Ignored for Fabric::kComposite rings-of-rings, whose HierOracle
+  /// already IS a (level-group) FIB.
   bool use_fib = true;
+  /// Fabric::kComposite spec, grammar `kind:D0xD1[...][@h][+m]`
+  /// (topo::CompositeSpec); e.g. "ring-of-rings:4x4@2".
+  std::string composite = "ring-of-rings:4x4@2";
   std::uint64_t seed = 1;
 };
 
@@ -66,6 +74,8 @@ struct FabricConfig {
 /// oracle and fib objects must outlive any Network bound to them.
 struct BuiltFabric {
   topo::BuiltTopology topo;
+  /// Null for kComposite rings-of-rings (HierOracle needs no ECMP
+  /// groups).
   std::unique_ptr<routing::EcmpRouting> routing;
   std::unique_ptr<routing::RoutingOracle> oracle;
   /// Present when FabricConfig::use_fib; pass to Network::set_fib.

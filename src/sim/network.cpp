@@ -153,9 +153,10 @@ double Network::utilization(topo::LinkId link, int direction) const {
 
 TimePs Network::queue_delay(topo::LinkId link, int direction) const {
   QUARTZ_REQUIRE(direction == 0 || direction == 1, "direction is 0 or 1");
-  const TimePs busy =
-      line_busy_[static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction)];
-  return std::max<TimePs>(0, busy - now());
+  const std::size_t line =
+      static_cast<std::size_t>(link) * 2 + static_cast<std::size_t>(direction);
+  const TimePs bias = queue_bias_ != nullptr ? (*queue_bias_)[line] : 0;
+  return std::max<TimePs>(0, line_busy_[line] - now()) + bias;
 }
 
 void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
@@ -293,7 +294,13 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
       static_cast<std::size_t>(link_id) * 2 + (node == link.a ? 0 : 1);
   TimePs& busy_until = line_busy_[line];
 
-  const TimePs start = std::max(ready, busy_until);
+  // Fluid-background coupling: the bias is the mean residual queueing
+  // the (unsimulated) background imposes on this output port, so the
+  // foreground packet waits through it exactly as it waits behind
+  // foreground occupancy — the wait counts as queueing and against the
+  // drop-tail budget.
+  const TimePs bias = queue_bias_ != nullptr ? (*queue_bias_)[line] : 0;
+  const TimePs start = std::max(ready + bias, busy_until);
   packet.queued += start - ready;
   if (start - ready > config_.max_queue_delay) {
     drop(packet, DropReason::kQueueOverflow);

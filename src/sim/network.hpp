@@ -239,6 +239,18 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   /// bit-identical either way — only the per-packet cost changes.
   void set_fib(routing::Fib* fib) { fib_ = fib; }
   const routing::Fib* fib() const { return fib_; }
+
+  /// Attach per-directed-line queueing bias (picoseconds per line,
+  /// indexed link*2 + direction; nullptr detaches).  The vector is the
+  /// hybrid fluid/packet coupling point: sim::FluidBackground owns it
+  /// and rewrites it each epoch, and the simulator adds the bias to a
+  /// packet's output-port readiness in transmit() and to queue_delay(),
+  /// so foreground packets experience background queueing without the
+  /// background's packets existing.  Must be sized 2*link_count and
+  /// outlive its attachment.  Not serialized: the owner re-attaches and
+  /// restores it (see FluidBackground::save/restore).
+  void set_queue_bias(const std::vector<TimePs>* bias) { queue_bias_ = bias; }
+  const std::vector<TimePs>* queue_bias() const { return queue_bias_; }
   std::uint64_t link_failures() const { return link_failures_; }
   std::uint64_t link_repairs() const { return link_repairs_; }
 
@@ -290,6 +302,7 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   const topo::BuiltTopology* topo_;
   const routing::RoutingOracle* oracle_;
   routing::Fib* fib_ = nullptr;
+  const std::vector<TimePs>* queue_bias_ = nullptr;
   SimConfig config_;
   EventQueue events_;
   /// busy-until per (link, direction); direction 0 is a->b.

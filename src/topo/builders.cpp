@@ -8,26 +8,28 @@
 #include "wavelength/multiring.hpp"
 
 namespace quartz::topo {
-namespace {
-
-std::string num(int v) { return std::to_string(v); }
 
 /// Mesh a set of switches with WDM lightpath links per the greedy
 /// channel plan; annotates each link with its channel and the physical
 /// ring (channel striped round-robin over the rings the mux capacity
-/// forces).
-void add_quartz_mesh(Graph& graph, const std::vector<NodeId>& ring, BitsPerSecond rate,
-                     TimePs propagation, int channels_per_mux) {
+/// forces).  Physical rings are numbered from `phys_ring_base`.
+int add_quartz_mesh(Graph& graph, const std::vector<NodeId>& ring, BitsPerSecond rate,
+                    TimePs propagation, int channels_per_mux, int phys_ring_base) {
   const int m = static_cast<int>(ring.size());
-  if (m < 2) return;
+  if (m < 2) return 0;
   const wavelength::Assignment plan = wavelength::greedy_assign(m);
   const int rings = wavelength::rings_required(plan.channels_used, channels_per_mux);
   for (const auto& p : plan.paths) {
-    const int phys = wavelength::ring_for_channel(p.channel, rings);
+    const int phys = phys_ring_base + wavelength::ring_for_channel(p.channel, rings);
     graph.add_link(ring[static_cast<std::size_t>(p.src)], ring[static_cast<std::size_t>(p.dst)],
                    rate, propagation, phys, p.channel);
   }
+  return rings;
 }
+
+namespace {
+
+std::string num(int v) { return std::to_string(v); }
 
 /// Attach `count` hosts to a switch, all in the switch's rack.
 std::vector<NodeId> add_hosts(Graph& graph, BuiltTopology& topo, NodeId sw, int count,

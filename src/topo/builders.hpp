@@ -8,6 +8,7 @@
 // the routing layer, the simulator and the property analyser consume.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "topo/graph.hpp"
 
 namespace quartz::topo {
+
+struct CompositeMeta;  // topo/composite.hpp
 
 struct BuiltTopology {
   std::string name;
@@ -28,6 +31,10 @@ struct BuiltTopology {
   /// Locality groups of hosts (per pod / per edge ring); used by the
   /// localized-traffic experiments (Fig. 18).
   std::vector<std::vector<NodeId>> host_groups;
+
+  /// Hierarchy metadata when this topology was produced by the
+  /// composite builder (topo/composite.hpp); null for flat builders.
+  std::shared_ptr<const CompositeMeta> composite;
 
   /// Rack of a host (delegates to the graph node).
   int rack_of(NodeId host) const { return graph.node(host).rack; }
@@ -133,6 +140,15 @@ struct QuartzRingParams {
   LinkDefaults links;
 };
 BuiltTopology quartz_ring(const QuartzRingParams& params);
+
+/// Adds the full-mesh WDM channel plan over `ring` to `graph`: one mesh
+/// link per switch pair, stamped with the greedy channel plan's
+/// wavelength and physical-ring metadata (§3.1.1).  Physical rings are
+/// numbered from `phys_ring_base` so composed fabrics can keep each
+/// element's ring range disjoint (topo/failures.cpp relies on that).
+/// Returns the number of physical rings the plan consumed.
+int add_quartz_mesh(Graph& graph, const std::vector<NodeId>& ring, BitsPerSecond rate,
+                    TimePs propagation, int channels_per_mux, int phys_ring_base = 0);
 
 /// Fig. 15(b): 3-tier tree whose core switches are replaced by one
 /// Quartz ring; every aggregation switch gets one fabric-rate link to a

@@ -1,0 +1,183 @@
+// Hierarchical composition of design elements — the paper's §4/Fig. 15
+// pitch taken to its limit.  Any BuiltTopology (Quartz ring, tree pod,
+// random graph) can occupy a node slot of a parent ring template,
+// producing rings-of-rings (the hierarchical WDM DCN architecture of
+// arXiv:1901.06450) and Quartz-core + Quartz-edge fabrics.
+//
+// The builder tags every node with its hierarchy path, records the
+// trunk matrix between sibling elements at every level (the substrate
+// for routing::HierOracle's (node, level-group) FIB), and can account
+// for "modeled" hosts that are never materialized as graph nodes —
+// which is how a 100k-switch / million-host fabric fits in one box
+// under the hybrid flow/packet evaluation mode (sim/fluid.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/builders.hpp"
+
+namespace quartz::topo {
+
+/// One inter-element trunk at some hierarchy level, as seen from the
+/// `from` element: the egress switch inside `from`, the ingress switch
+/// inside `to`, and the (bidirectional) link joining them.
+struct TrunkEntry {
+  NodeId gateway = kInvalidNode;
+  NodeId peer_gateway = kInvalidNode;
+  LinkId link = kInvalidLink;
+};
+
+/// Level-tagged hierarchy metadata attached to a composed topology.
+///
+/// Every node carries a path (p0, p1, ..., p_{L-1}), outermost
+/// coordinate first; hosts inherit the path of their attachment
+/// switch.  An *element at level l* is the subtree identified by a
+/// path prefix of length l+1; siblings at level l share the length-l
+/// prefix (their *parent*) and are joined pairwise by trunks[l].
+struct CompositeMeta {
+  /// Slots per level, outermost first (e.g. {8, 8} = ring of 8
+  /// elements, each an 8-switch ring).
+  std::vector<int> arity;
+  /// Flattened per-node path: path[node * levels() + l].
+  std::vector<std::int32_t> path;
+  /// True when every level is a uniform ring-of-equal-elements, which
+  /// is what HierOracle's closed-form gateway rule requires.
+  /// Heterogeneous compositions still get slot tags (arity = {n},
+  /// levels() == 1) but no trunk tables.
+  bool uniform = false;
+  /// parent_count[l] = number of distinct length-l prefixes
+  /// (= product of arity[0..l-1]; 1 at l = 0).
+  std::vector<std::int64_t> parent_count;
+  /// Exclusive prefix sums of arity (size levels()+1); the dense FIB
+  /// group universe is level_offset.back() = sum(arity).
+  std::vector<std::int32_t> level_offset;
+  /// trunks[l] for l in [0, levels()-2]: flattened
+  /// parent_count[l] x arity[l] x arity[l] matrix, indexed by
+  /// (parent * arity[l] + from) * arity[l] + to.  Diagonal unset.
+  std::vector<std::vector<TrunkEntry>> trunks;
+  /// Leaf-ring membership: member switch of leaf element e at slot s
+  /// is leaf_members[e * arity.back() + s]; leaf elements are indexed
+  /// by the mixed radix of their length-(levels()-1) prefix.
+  std::vector<NodeId> leaf_members;
+  /// Hosts the fabric models: materialized graph hosts plus
+  /// virtual_hosts_per_switch accounted on every leaf switch.
+  std::int64_t modeled_hosts = 0;
+  int virtual_hosts_per_switch = 0;
+
+  int levels() const { return static_cast<int>(arity.size()); }
+
+  std::int32_t path_at(NodeId node, int level) const {
+    return path[static_cast<std::size_t>(node) * static_cast<std::size_t>(levels()) +
+                static_cast<std::size_t>(level)];
+  }
+
+  /// First level at which the two paths differ; levels() when equal.
+  int divergence_level(NodeId a, NodeId b) const {
+    const int n = levels();
+    for (int l = 0; l < n; ++l) {
+      if (path_at(a, l) != path_at(b, l)) return l;
+    }
+    return n;
+  }
+
+  /// Mixed-radix index of the node's length-`level` path prefix.
+  std::int64_t parent_index(NodeId node, int level) const {
+    std::int64_t index = 0;
+    for (int l = 0; l < level; ++l) {
+      index = index * arity[static_cast<std::size_t>(l)] + path_at(node, l);
+    }
+    return index;
+  }
+
+  std::int64_t leaf_index(NodeId node) const { return parent_index(node, levels() - 1); }
+
+  const TrunkEntry& trunk(int level, std::int64_t parent, int from, int to) const {
+    const auto a = static_cast<std::int64_t>(arity[static_cast<std::size_t>(level)]);
+    return trunks[static_cast<std::size_t>(level)]
+                 [static_cast<std::size_t>((parent * a + from) * a + to)];
+  }
+
+  /// Dense-FIB key space: one group per sibling element per level.
+  std::int32_t group_universe() const { return level_offset.back(); }
+
+  /// Level group of `dst` as seen from `node` (both switches): keyed by
+  /// the divergence level and dst's coordinate there, so every
+  /// destination inside the same remote element shares one group (and
+  /// one FIB entry).  -1 when the paths are identical (same switch, or
+  /// co-located destinations needing only the host port).
+  std::int32_t group_of(NodeId node, NodeId dst) const {
+    const int l = divergence_level(node, dst);
+    if (l == levels()) return -1;
+    return level_offset[static_cast<std::size_t>(l)] + path_at(dst, l);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+
+/// Parsed `composite:<spec>` preset: `kind:D0xD1[xD2...][@h][+m]`,
+/// e.g. "ring-of-rings:8x8", "ring-of-rings:48x48x48+10",
+/// "ring-of-trees:4x8@2".  `@h` materializes h hosts per leaf switch;
+/// `+m` additionally *accounts* m modeled-but-unmaterialized hosts per
+/// leaf switch (scale runs keep hosts virtual except on foreground
+/// slots).
+struct CompositeSpec {
+  std::string kind = "ring-of-rings";  ///< "ring-of-rings" | "ring-of-trees"
+  std::vector<int> dims;               ///< outermost level first
+  int hosts_per_switch = 0;
+  int modeled_hosts_per_switch = 0;
+
+  int levels() const { return static_cast<int>(dims.size()); }
+  std::int64_t switch_count() const;
+
+  static std::optional<CompositeSpec> parse(std::string_view text, std::string* error = nullptr);
+  /// Canonical form; parse(to_string()) round-trips.
+  std::string to_string() const;
+};
+
+// ---------------------------------------------------------------------------
+// Builders
+
+struct CompositeParams {
+  CompositeSpec spec;
+  /// Materialize `foreground_hosts_per_switch` hosts on the first
+  /// `foreground_leaf_switches` leaf switches (in build order) even
+  /// when spec.hosts_per_switch is 0 — the packet-level DES islands of
+  /// a hybrid run.
+  int foreground_leaf_switches = 0;
+  int foreground_hosts_per_switch = 0;
+  BitsPerSecond mesh_rate = gigabits_per_second(10);
+  BitsPerSecond trunk_rate = gigabits_per_second(40);
+  TimePs trunk_propagation = nanoseconds(500);
+  int channels_per_mux = 80;
+  SwitchModel switch_model = SwitchModel::ull();
+  LinkDefaults links;
+};
+
+/// Build a homogeneous composed fabric from a spec.  ring-of-rings
+/// yields uniform CompositeMeta (HierOracle-routable); ring-of-trees
+/// composes two-tier pods into rings and yields slot-tagged meta.
+BuiltTopology build_composite(const CompositeParams& params);
+BuiltTopology build_composite(const CompositeSpec& spec);
+
+/// Generic element-in-slot composition: splice arbitrary
+/// BuiltTopologies as the slots of a ring template, full trunk mesh
+/// between every element pair (gateway ports rotate round-robin over
+/// each element's ToR list).  WDM physical-ring indices and racks are
+/// re-based per element so failure analysis stays per-element-correct.
+/// Produces uniform meta when every element is the same-size plain
+/// Quartz ring or carries identical uniform meta; otherwise slot tags.
+struct ComposeParams {
+  std::string name = "composite";
+  BitsPerSecond trunk_rate = gigabits_per_second(40);
+  TimePs trunk_propagation = nanoseconds(500);
+  int trunks_per_pair = 1;
+};
+BuiltTopology compose_in_ring(std::vector<BuiltTopology> elements,
+                              const ComposeParams& params = {});
+
+}  // namespace quartz::topo

@@ -1,6 +1,8 @@
 #include "topo/failures.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <set>
 
 #include "common/check.hpp"
@@ -12,21 +14,25 @@ namespace {
 
 /// Map each (src_index, dst_index) ring pair to whether any cut severs
 /// it, by re-deriving the deterministic channel plan the builder used.
-std::set<std::pair<int, int>> severed_pairs(int ring_size, int physical_rings,
-                                            const std::vector<FiberCut>& cuts) {
-  const wavelength::Assignment plan = wavelength::greedy_assign(ring_size);
-  std::vector<std::uint64_t> failed_mask(static_cast<std::size_t>(physical_rings), 0);
+/// `phys_base`/`phys_count` are the physical-ring range this logical
+/// ring's channels were striped over (add_quartz_mesh numbering).
+std::set<std::pair<int, int>> severed_pairs(int ring_size, int phys_base, int phys_count,
+                                            const std::vector<FiberCut>& cuts,
+                                            const wavelength::Assignment& plan) {
+  std::vector<std::uint64_t> failed_mask(static_cast<std::size_t>(phys_count), 0);
+  bool any = false;
   for (const FiberCut& cut : cuts) {
-    QUARTZ_REQUIRE(cut.ring >= 0 && cut.ring < physical_rings, "cut ring out of range");
+    if (cut.ring < phys_base || cut.ring >= phys_base + phys_count) continue;
     QUARTZ_REQUIRE(cut.segment >= 0 && cut.segment < ring_size, "cut segment out of range");
-    failed_mask[static_cast<std::size_t>(cut.ring)] |= (1ull << cut.segment);
+    failed_mask[static_cast<std::size_t>(cut.ring - phys_base)] |= (1ull << cut.segment);
+    any = true;
   }
 
   std::set<std::pair<int, int>> severed;
+  if (!any) return severed;
   for (const auto& path : plan.paths) {
-    const int ring = wavelength::ring_for_channel(path.channel, physical_rings);
-    const std::uint64_t arc =
-        wavelength::segment_mask(ring_size, path.src, path.dst, path.dir);
+    const int ring = wavelength::ring_for_channel(path.channel, phys_count);
+    const std::uint64_t arc = wavelength::segment_mask(ring_size, path.src, path.dst, path.dir);
     if ((arc & failed_mask[static_cast<std::size_t>(ring)]) != 0) {
       severed.insert({path.src, path.dst});
     }
@@ -40,6 +46,73 @@ int physical_ring_count(const BuiltTopology& topo) {
     rings = std::max(rings, link.wdm_ring + 1);
   }
   return std::max(rings, 1);
+}
+
+/// Per-node (ring ordinal, slot) membership plus, per logical ring,
+/// the physical-ring range its mesh links occupy and its severed set.
+struct RingSurgery {
+  std::vector<int> ring_of;  ///< node -> logical ring ordinal, -1 outside
+  std::vector<int> slot_of;  ///< node -> slot within its ring
+  /// severed[r] holds (slot, slot) pairs with slot_a < slot_b.
+  std::vector<std::set<std::pair<int, int>>> severed;
+};
+
+RingSurgery plan_surgery(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
+  QUARTZ_REQUIRE(!topo.quartz_rings.empty(), "fiber-cut surgery expects Quartz rings");
+  const int total_phys = physical_ring_count(topo);
+  for (const FiberCut& cut : cuts) {
+    QUARTZ_REQUIRE(cut.ring >= 0 && cut.ring < total_phys, "cut ring out of range");
+  }
+
+  RingSurgery surgery;
+  surgery.ring_of.assign(topo.graph.node_count(), -1);
+  surgery.slot_of.assign(topo.graph.node_count(), -1);
+  const int rings = static_cast<int>(topo.quartz_rings.size());
+  for (int r = 0; r < rings; ++r) {
+    const auto& members = topo.quartz_rings[static_cast<std::size_t>(r)];
+    QUARTZ_REQUIRE(members.size() <= 64, "ring too large for the 64-segment cut mask");
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      surgery.ring_of[static_cast<std::size_t>(members[s])] = r;
+      surgery.slot_of[static_cast<std::size_t>(members[s])] = static_cast<int>(s);
+    }
+  }
+
+  // The physical-ring range of each logical ring, from its mesh links.
+  std::vector<int> base(static_cast<std::size_t>(rings), std::numeric_limits<int>::max());
+  std::vector<int> top(static_cast<std::size_t>(rings), -1);
+  for (const auto& link : topo.graph.links()) {
+    if (link.wdm_ring < 0) continue;
+    const int ra = surgery.ring_of[static_cast<std::size_t>(link.a)];
+    if (ra < 0 || ra != surgery.ring_of[static_cast<std::size_t>(link.b)]) continue;
+    base[static_cast<std::size_t>(ra)] = std::min(base[static_cast<std::size_t>(ra)], link.wdm_ring);
+    top[static_cast<std::size_t>(ra)] = std::max(top[static_cast<std::size_t>(ra)], link.wdm_ring);
+  }
+
+  // Channel plans dedupe by ring size (composed fabrics hold thousands
+  // of same-size leaf rings).
+  std::map<int, wavelength::Assignment> plans;
+  surgery.severed.resize(static_cast<std::size_t>(rings));
+  for (int r = 0; r < rings; ++r) {
+    if (top[static_cast<std::size_t>(r)] < 0) continue;  // no mesh links (ring of < 2)
+    const int size = static_cast<int>(topo.quartz_rings[static_cast<std::size_t>(r)].size());
+    auto [it, inserted] = plans.try_emplace(size);
+    if (inserted) it->second = wavelength::greedy_assign(size);
+    surgery.severed[static_cast<std::size_t>(r)] =
+        severed_pairs(size, base[static_cast<std::size_t>(r)],
+                      top[static_cast<std::size_t>(r)] - base[static_cast<std::size_t>(r)] + 1,
+                      cuts, it->second);
+  }
+  return surgery;
+}
+
+/// Whether a link is a mesh link severed by the planned surgery.
+bool link_severed(const RingSurgery& surgery, const Link& link) {
+  if (link.wdm_channel < 0) return false;
+  const int ra = surgery.ring_of[static_cast<std::size_t>(link.a)];
+  if (ra < 0 || ra != surgery.ring_of[static_cast<std::size_t>(link.b)]) return false;
+  const auto key = std::minmax(surgery.slot_of[static_cast<std::size_t>(link.a)],
+                               surgery.slot_of[static_cast<std::size_t>(link.b)]);
+  return surgery.severed[static_cast<std::size_t>(ra)].contains({key.first, key.second});
 }
 
 int count_components(const Graph& graph) {
@@ -70,53 +143,29 @@ int count_components(const Graph& graph) {
 
 std::vector<std::pair<NodeId, NodeId>> severed_lightpaths(const BuiltTopology& topo,
                                                           const std::vector<FiberCut>& cuts) {
-  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
-  const auto& ring = topo.quartz_rings[0];
-  const auto severed =
-      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
-
+  const RingSurgery surgery = plan_surgery(topo, cuts);
   std::vector<std::pair<NodeId, NodeId>> out;
-  for (const auto& [src, dst] : severed) {
-    out.emplace_back(ring[static_cast<std::size_t>(src)], ring[static_cast<std::size_t>(dst)]);
+  for (std::size_t r = 0; r < topo.quartz_rings.size(); ++r) {
+    const auto& ring = topo.quartz_rings[r];
+    for (const auto& [src, dst] : surgery.severed[r]) {
+      out.emplace_back(ring[static_cast<std::size_t>(src)], ring[static_cast<std::size_t>(dst)]);
+    }
   }
   return out;
 }
 
 std::vector<LinkId> severed_links(const BuiltTopology& topo, const std::vector<FiberCut>& cuts) {
-  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
-  const auto& ring = topo.quartz_rings[0];
-  const auto severed =
-      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
-
-  std::vector<int> ring_index(topo.graph.node_count(), -1);
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    ring_index[static_cast<std::size_t>(ring[i])] = static_cast<int>(i);
-  }
-
+  const RingSurgery surgery = plan_surgery(topo, cuts);
   std::vector<LinkId> out;
   for (const auto& link : topo.graph.links()) {
-    const int ia = ring_index[static_cast<std::size_t>(link.a)];
-    const int ib = ring_index[static_cast<std::size_t>(link.b)];
-    if (link.wdm_channel >= 0 && ia >= 0 && ib >= 0) {
-      const auto key = std::minmax(ia, ib);
-      if (severed.contains({key.first, key.second})) out.push_back(link.id);
-    }
+    if (link_severed(surgery, link)) out.push_back(link.id);
   }
   return out;
 }
 
 SurvivalOutcome try_survive_fiber_cuts(const BuiltTopology& topo,
                                        const std::vector<FiberCut>& cuts) {
-  QUARTZ_REQUIRE(topo.quartz_rings.size() == 1, "fiber-cut surgery expects one Quartz ring");
-  const auto& ring = topo.quartz_rings[0];
-  const auto severed =
-      severed_pairs(static_cast<int>(ring.size()), physical_ring_count(topo), cuts);
-
-  // Node index within the ring, or -1 for hosts.
-  std::vector<int> ring_index(topo.graph.node_count(), -1);
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    ring_index[static_cast<std::size_t>(ring[i])] = static_cast<int>(i);
-  }
+  const RingSurgery surgery = plan_surgery(topo, cuts);
 
   SurvivalOutcome outcome;
   BuiltTopology& survivor = outcome.degraded;
@@ -148,14 +197,9 @@ SurvivalOutcome try_survive_fiber_cuts(const BuiltTopology& topo,
   }
 
   for (const auto& link : topo.graph.links()) {
-    const int ia = ring_index[static_cast<std::size_t>(link.a)];
-    const int ib = ring_index[static_cast<std::size_t>(link.b)];
-    if (link.wdm_channel >= 0 && ia >= 0 && ib >= 0) {
-      const auto key = std::minmax(ia, ib);
-      if (severed.contains({key.first, key.second})) {  // cut
-        ++outcome.severed;
-        continue;
-      }
+    if (link_severed(surgery, link)) {
+      ++outcome.severed;
+      continue;
     }
     graph.add_link(link.a, link.b, link.rate, link.propagation, link.wdm_ring,
                    link.wdm_channel);
@@ -167,6 +211,7 @@ SurvivalOutcome try_survive_fiber_cuts(const BuiltTopology& topo,
   survivor.cores = topo.cores;
   survivor.quartz_rings = topo.quartz_rings;
   survivor.host_groups = topo.host_groups;
+  survivor.composite = topo.composite;
   outcome.components = count_components(graph);
   outcome.partitioned = outcome.components > 1;
   return outcome;

@@ -21,10 +21,14 @@ struct FiberCut {
 };
 
 /// Rebuild `topo` with every mesh link severed by `cuts` removed.
-/// Works on single-ring Quartz topologies built by quartz_ring()
-/// (the channel plan is re-derived deterministically to map each
-/// lightpath to the segments it crosses).  Host links and non-WDM
-/// links are untouched.  Throws if the surviving graph is disconnected
+/// Works on any topology whose quartz_rings each stripe their channels
+/// over a contiguous physical-ring range (quartz_ring(), and composed
+/// fabrics, whose builder keeps per-leaf-ring ranges disjoint via
+/// add_quartz_mesh's phys_ring_base); the channel plan is re-derived
+/// deterministically to map each lightpath to the segments it crosses.
+/// Legacy multi-ring builders that number every ring from zero share
+/// cut fate across rings with overlapping ranges.  Host links and
+/// non-WDM links are untouched.  Throws if the surviving graph is disconnected
 /// (the Fig. 6 partition case) — callers wanting to observe partitions
 /// should use try_survive_fiber_cuts or core::evaluate_failures.
 BuiltTopology survive_fiber_cuts(const BuiltTopology& topo, const std::vector<FiberCut>& cuts);

@@ -73,6 +73,8 @@ class Graph {
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<Link>& links() const { return links_; }
   const SwitchModel& model_of(NodeId id) const;
+  /// Registered switch-model table (indexable by Node::model).
+  const std::vector<SwitchModel>& models() const { return models_; }
 
   std::span<const Adjacency> neighbors(NodeId id) const;
   /// Ports in use on a node (its degree).

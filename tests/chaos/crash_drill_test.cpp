@@ -43,6 +43,24 @@ TEST(CrashDrill, KilledChildRecoversBitExactly) {
   fs::remove_all(dir);
 }
 
+TEST(CrashDrill, HybridStormSurvivesTheKill) {
+  // Hybrid slice of the drill: the fluid background's epoch timer and
+  // bias vector must survive SIGKILL + restore-from-checkpoint with the
+  // same bit-exactness guarantee as the packet state.
+  const std::string dir = (fs::temp_directory_path() / "crash_drill_hybrid").string();
+  fs::remove_all(dir);
+  CrashDrillParams params = quick_drill(13, dir);
+  params.storm.hybrid_background = true;
+  const CrashDrillReport report = run_crash_drill(params);
+  EXPECT_TRUE(report.child_killed);
+  EXPECT_TRUE(report.digests_match) << report.summary();
+  EXPECT_GT(report.recovered.fluid_epochs, 0u);
+  EXPECT_EQ(report.recovered.fluid_epochs, report.reference.fluid_epochs);
+  EXPECT_EQ(report.recovered.fluid_digest, report.reference.fluid_digest);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  fs::remove_all(dir);
+}
+
 TEST(CrashDrill, RecoversPastACorruptedNewestCheckpoint) {
   // Run the drill, then damage the newest checkpoint on disk and prove
   // the fallback still restores (from the previous one) with a warning.

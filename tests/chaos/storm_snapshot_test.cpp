@@ -40,6 +40,8 @@ void expect_identical(const StormReport& a, const StormReport& b) {
   EXPECT_EQ(a.max_hops, b.max_hops);
   EXPECT_EQ(a.baseline_mean_us, b.baseline_mean_us);
   EXPECT_EQ(a.tail_mean_us, b.tail_mean_us);
+  EXPECT_EQ(a.fluid_epochs, b.fluid_epochs);
+  EXPECT_EQ(a.fluid_digest, b.fluid_digest);
   EXPECT_EQ(a.passed(), b.passed());
 }
 
@@ -79,6 +81,38 @@ TEST(StormSnapshot, SweepWithRehearsalIsJobsInvariant) {
     expect_identical(jobs1[i], jobs2[i]);
     expect_identical(jobs1[i], jobs8[i]);
   }
+}
+
+TEST(StormSnapshot, HybridStormRestoresBitExact) {
+  // Hybrid slice: the fluid background's epoch chain and bias state
+  // ride the mid-storm snapshot, so a restored run must reproduce the
+  // fluid digest along with the packet digests.
+  StormParams params = quick_params(606);
+  params.hybrid_background = true;
+  const StormReport plain = run_storm(params);
+  EXPECT_TRUE(plain.passed()) << plain.summary();
+  EXPECT_GT(plain.fluid_epochs, 0u);
+  StormParams rehearsed = params;
+  rehearsed.restore_rehearsal = true;
+  const StormReport resumed = run_storm(rehearsed);
+  expect_identical(plain, resumed);
+}
+
+TEST(StormSnapshot, RestoreRefusesHybridMismatch) {
+  // A snapshot from a hybrid storm must not restore into a plain run:
+  // the handler map (and the FLUI chunk) would not line up.
+  StormParams hybrid = quick_params(707);
+  hybrid.hybrid_background = true;
+  StormRun run(hybrid);
+  run.arm();
+  run.run_to(milliseconds(20));
+  snapshot::Writer w;
+  run.save(w);
+  std::string error;
+  auto reader = snapshot::Reader::from_bytes(snapshot::file_bytes(w, 0), &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  StormRun plain(quick_params(707));
+  EXPECT_THROW(plain.restore(*reader), std::invalid_argument);
 }
 
 TEST(StormSnapshot, RestoreRefusesDifferentParams) {

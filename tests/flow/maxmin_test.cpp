@@ -200,6 +200,101 @@ TEST(Routes, DetourCountIsRingMinusTwo) {
   for (std::size_t i = 1; i < routes.size(); ++i) EXPECT_EQ(routes[i].hops(), 4u);
 }
 
+TEST(MaxMinSolver, MatchesFreeFunctionAndReuses) {
+  const auto t = dumbbell();
+  std::vector<Flow> flows(2);
+  flows[0].src = t.host_groups[0][0];
+  flows[0].dst = t.host_groups[1][0];
+  flows[1].src = t.host_groups[0][1];
+  flows[1].dst = t.host_groups[1][1];
+  for (auto& f : flows) f.routes = {shortest_route(t.graph, f.src, f.dst)};
+
+  const auto reference = max_min_fair(t.graph, flows);
+  MaxMinSolver solver(t.graph);
+  // Repeated solves on one instance reuse the flat workspaces; every
+  // solve must still match the one-shot free function exactly.
+  for (int round = 0; round < 3; ++round) {
+    const auto& result = solver.solve(flows);
+    ASSERT_EQ(result.flow_rate.size(), reference.flow_rate.size());
+    for (std::size_t i = 0; i < result.flow_rate.size(); ++i) {
+      EXPECT_EQ(result.flow_rate[i], reference.flow_rate[i]);
+    }
+    EXPECT_EQ(result.aggregate, reference.aggregate);
+  }
+}
+
+TEST(MaxMinSolver, PermutationStableThroughBottleneckTies) {
+  // Four flows pinned to the same 10G mesh lightpath freeze in an exact
+  // four-way bottleneck tie (2.5G each).  The solver promises rates are
+  // a function of the flow *set*, not the input order — bit for bit,
+  // even through the tie.
+  topo::QuartzRingParams p;
+  p.switches = 2;
+  p.hosts_per_switch = 4;
+  p.mesh_rate = gigabits_per_second(10);
+  p.links.host_rate = gigabits_per_second(10);
+  const auto t = topo::quartz_ring(p);
+
+  std::vector<Flow> flows(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    flows[i].src = t.host_groups[0][i];
+    flows[i].dst = t.host_groups[1][i];
+    flows[i].routes = {shortest_route(t.graph, flows[i].src, flows[i].dst)};
+  }
+
+  MaxMinSolver solver(t.graph);
+  const auto base = solver.solve(flows);  // copy: next solve invalidates
+  const std::vector<double> base_rates = base.flow_rate;
+
+  const std::vector<std::vector<std::size_t>> orders = {
+      {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  for (const auto& order : orders) {
+    std::vector<Flow> permuted;
+    for (const std::size_t i : order) permuted.push_back(flows[i]);
+    const auto& result = solver.solve(permuted);
+    for (std::size_t slot = 0; slot < order.size(); ++slot) {
+      EXPECT_EQ(result.flow_rate[slot], base_rates[order[slot]])
+          << "flow " << order[slot] << " changed rate when solved at slot " << slot;
+    }
+  }
+}
+
+TEST(MaxMinSolver, DemandCapFreezesFlowEarly) {
+  // A capped flow stops rising at its offered load; the freed capacity
+  // goes to the greedy flow sharing its bottleneck.
+  const auto t = dumbbell();
+  std::vector<Flow> flows(2);
+  flows[0].src = t.host_groups[0][0];
+  flows[0].dst = t.host_groups[1][0];
+  flows[0].demand = 2e9;
+  flows[1].src = t.host_groups[0][1];
+  flows[1].dst = t.host_groups[1][1];
+  for (auto& f : flows) f.routes = {shortest_route(t.graph, f.src, f.dst)};
+
+  MaxMinSolver solver(t.graph);
+  const auto& result = solver.solve(flows);
+  EXPECT_NEAR(result.flow_rate[0], 2e9, 1e3);
+  EXPECT_NEAR(result.flow_rate[1], 8e9, 1e3);
+  EXPECT_NEAR(result.aggregate, 1e10, 1e3);
+}
+
+TEST(MaxMinSolver, UsedLinesCoverOnlyTheRouteFootprint) {
+  // One flow crosses host link, mesh link, host link — exactly three
+  // directed lines; the compact used-line set must not touch the rest.
+  const auto t = dumbbell();
+  Flow flow;
+  flow.src = t.host_groups[0][0];
+  flow.dst = t.host_groups[1][0];
+  flow.routes = {shortest_route(t.graph, flow.src, flow.dst)};
+
+  MaxMinSolver solver(t.graph);
+  const auto& result = solver.solve({flow});
+  EXPECT_EQ(solver.used_lines().size(), 3u);
+  for (const std::size_t line : solver.used_lines()) {
+    EXPECT_NEAR(result.line_used[line], 1e10, 1);
+  }
+}
+
 class MaxMinInvariantSweep
     : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
 

@@ -1,0 +1,261 @@
+// Hierarchical composition (topo/composite.hpp): spec grammar, the
+// hand-countable 4x4 ring-of-rings, level-tagged metadata, analytic
+// properties, flow-level bisection and per-element fiber-cut fate.
+#include "topo/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flow/maxmin.hpp"
+#include "routing/hierarchical.hpp"
+#include "topo/failures.hpp"
+#include "topo/properties.hpp"
+
+namespace quartz::topo {
+namespace {
+
+TEST(CompositeSpec, ParseRoundTrips) {
+  const char* specs[] = {
+      "ring-of-rings:4x4",
+      "ring-of-rings:8x8@2",
+      "ring-of-rings:48x48x48+10",
+      "ring-of-rings:4x4x4@1+10",
+      "ring-of-trees:4x8@2",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    std::string error;
+    const auto spec = CompositeSpec::parse(text, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(spec->to_string(), text);
+    const auto again = CompositeSpec::parse(spec->to_string());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->kind, spec->kind);
+    EXPECT_EQ(again->dims, spec->dims);
+    EXPECT_EQ(again->hosts_per_switch, spec->hosts_per_switch);
+    EXPECT_EQ(again->modeled_hosts_per_switch, spec->modeled_hosts_per_switch);
+  }
+}
+
+TEST(CompositeSpec, ParseFields) {
+  const auto spec = CompositeSpec::parse("ring-of-rings:4x6x8@2+10");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->kind, "ring-of-rings");
+  EXPECT_EQ(spec->dims, (std::vector<int>{4, 6, 8}));
+  EXPECT_EQ(spec->hosts_per_switch, 2);
+  EXPECT_EQ(spec->modeled_hosts_per_switch, 10);
+  EXPECT_EQ(spec->levels(), 3);
+  EXPECT_EQ(spec->switch_count(), 4 * 6 * 8);
+}
+
+TEST(CompositeSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                        // empty
+      "ring-of-rings",           // no colon
+      "quartz:4x4",              // unknown kind
+      "ring-of-rings:",          // no dims
+      "ring-of-rings:1x4",       // dim below 2
+      "ring-of-rings:4x5000",    // dim above 4096
+      "ring-of-rings:4xfour",    // non-integer dim
+      "ring-of-rings:4x4@0",     // zero hosts
+      "ring-of-rings:4x4+0",     // zero modeled hosts
+      "ring-of-rings:4x4@-1",    // negative hosts
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    std::string error;
+    EXPECT_FALSE(CompositeSpec::parse(text, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+/// The hand-countable fabric: a ring of 4 elements, each a 4-switch
+/// Quartz ring, two hosts per switch.
+BuiltTopology four_by_four() {
+  const auto spec = CompositeSpec::parse("ring-of-rings:4x4@2");
+  return build_composite(*spec);
+}
+
+TEST(Composite, FourByFourHandCounts) {
+  const auto t = four_by_four();
+  // 16 switches; 4 leaf full meshes of C(4,2)=6 lightpaths, C(4,2)=6
+  // trunks between the 4 elements, and 32 host access links.
+  EXPECT_EQ(t.tors.size(), 16u);
+  EXPECT_EQ(t.hosts.size(), 32u);
+  std::size_t mesh = 0, trunk = 0, host = 0;
+  for (const auto& link : t.graph.links()) {
+    const bool host_link = t.graph.is_host(link.a) || t.graph.is_host(link.b);
+    if (host_link) {
+      ++host;
+    } else if (link.wdm_channel >= 0) {
+      ++mesh;
+    } else {
+      ++trunk;
+    }
+  }
+  EXPECT_EQ(mesh, 4u * 6u);
+  EXPECT_EQ(trunk, 6u);
+  EXPECT_EQ(host, 32u);
+  EXPECT_EQ(t.graph.links().size(), 24u + 6u + 32u);
+}
+
+TEST(Composite, MetaIsLevelTagged) {
+  const auto t = four_by_four();
+  ASSERT_NE(t.composite, nullptr);
+  const CompositeMeta& meta = *t.composite;
+  EXPECT_TRUE(meta.uniform);
+  EXPECT_EQ(meta.arity, (std::vector<int>{4, 4}));
+  EXPECT_EQ(meta.levels(), 2);
+  EXPECT_EQ(meta.parent_count, (std::vector<std::int64_t>{1, 4}));
+  EXPECT_EQ(meta.group_universe(), 8);
+  EXPECT_EQ(meta.leaf_members.size(), 16u);
+  EXPECT_EQ(meta.modeled_hosts, 32);
+
+  // Every switch carries a (element, slot) path; hosts inherit their
+  // attachment switch's path.
+  for (int e = 0; e < 4; ++e) {
+    for (int s = 0; s < 4; ++s) {
+      const NodeId node = meta.leaf_members[static_cast<std::size_t>(e * 4 + s)];
+      EXPECT_EQ(meta.path_at(node, 0), e);
+      EXPECT_EQ(meta.path_at(node, 1), s);
+    }
+  }
+
+  // Trunks: every off-diagonal element pair has a live link, shared by
+  // both directions; diagonal entries stay unset.
+  std::set<LinkId> trunk_links;
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      const TrunkEntry& entry = meta.trunk(0, 0, from, to);
+      if (from == to) {
+        EXPECT_EQ(entry.link, kInvalidLink);
+        continue;
+      }
+      ASSERT_NE(entry.link, kInvalidLink);
+      EXPECT_EQ(entry.link, meta.trunk(0, 0, to, from).link);
+      EXPECT_EQ(meta.path_at(entry.gateway, 0), from);
+      EXPECT_EQ(meta.path_at(entry.peer_gateway, 0), to);
+      trunk_links.insert(entry.link);
+    }
+  }
+  EXPECT_EQ(trunk_links.size(), 6u);
+
+  // group_of: co-located pairs need no FIB entry; same-element pairs
+  // key on the leaf level; cross-element pairs on the outer level.
+  const NodeId a = meta.leaf_members[0];   // element 0, slot 0
+  const NodeId b = meta.leaf_members[1];   // element 0, slot 1
+  const NodeId c = meta.leaf_members[9];   // element 2, slot 1
+  EXPECT_EQ(meta.group_of(a, a), -1);
+  EXPECT_EQ(meta.group_of(a, b), 4 + 1);  // level_offset[1] + slot
+  EXPECT_EQ(meta.group_of(a, c), 0 + 2);  // level_offset[0] + element
+  EXPECT_EQ(meta.divergence_level(a, b), 1);
+  EXPECT_EQ(meta.divergence_level(a, c), 0);
+}
+
+TEST(Composite, ModeledHostsAccountVirtualSlots) {
+  const auto spec = CompositeSpec::parse("ring-of-rings:4x4@2+10");
+  const auto t = build_composite(*spec);
+  // 32 materialized + 10 virtual on each of 16 leaf switches.
+  EXPECT_EQ(t.hosts.size(), 32u);
+  ASSERT_NE(t.composite, nullptr);
+  EXPECT_EQ(t.composite->modeled_hosts, 32 + 16 * 10);
+  EXPECT_EQ(t.composite->virtual_hosts_per_switch, 10);
+}
+
+TEST(Composite, PropertiesMatchHandComputedDiameter) {
+  const auto props = analyze(four_by_four());
+  EXPECT_EQ(props.switch_count, 16);
+  EXPECT_EQ(props.host_count, 32);
+  // Worst pair: non-gateway switch -> leaf mesh hop to its gateway ->
+  // trunk -> leaf mesh hop from the peer gateway -> non-gateway switch,
+  // i.e. 4 switches on the path (diameter 3 switch-to-switch hops).
+  EXPECT_EQ(props.switch_hops, 4);
+  EXPECT_EQ(props.server_hops, 0);
+  EXPECT_GT(props.zero_load_latency, 0);
+  // Each element reaches the rest of the fabric over its 3 trunk
+  // gateways (edge-disjoint), so the farthest pair still has 3
+  // switch-disjoint paths.
+  EXPECT_EQ(props.path_diversity, 3);
+}
+
+TEST(Composite, BisectionIsTrunkLimited) {
+  // Two elements joined by a single 40G trunk: four greedy 10G host
+  // flows crossing the trunk waterfill to exactly the trunk rate.
+  const auto spec = CompositeSpec::parse("ring-of-rings:2x4@1");
+  const auto t = build_composite(*spec);
+  routing::HierOracle oracle(t);
+
+  std::vector<flow::Flow> flows;
+  for (std::size_t i = 0; i < 4; ++i) {
+    flow::Flow f;
+    f.src = t.hosts[i];          // element 0
+    f.dst = t.hosts[4 + i];      // element 1
+    const auto path = oracle.route(f.src, f.dst);
+    flow::Route route;
+    route.links = path.links;
+    route.directions = path.directions;
+    f.routes.push_back(std::move(route));
+    flows.push_back(std::move(f));
+  }
+  const auto result = flow::max_min_fair(t.graph, flows);
+  EXPECT_NEAR(result.aggregate, 4e10, 1e4);
+  for (const double rate : result.flow_rate) EXPECT_NEAR(rate, 1e10, 1e4);
+}
+
+TEST(Composite, FiberCutsStayPerElement) {
+  // The builder keeps each leaf ring's physical-ring range disjoint, so
+  // a cut on one element's fiber severs only that element's lightpaths.
+  const auto t = four_by_four();
+  ASSERT_NE(t.composite, nullptr);
+  for (int ring = 0; ring < 4; ++ring) {
+    SCOPED_TRACE(ring);
+    const auto severed = severed_links(t, {FiberCut{ring, 0}});
+    ASSERT_FALSE(severed.empty());
+    for (const LinkId id : severed) {
+      const auto& link = t.graph.link(id);
+      EXPECT_EQ(t.composite->path_at(link.a, 0), ring);
+      EXPECT_EQ(t.composite->path_at(link.b, 0), ring);
+    }
+  }
+}
+
+TEST(Composite, SurvivesSingleElementCutConnected) {
+  const auto t = four_by_four();
+  const auto outcome = try_survive_fiber_cuts(t, {FiberCut{0, 0}});
+  EXPECT_FALSE(outcome.partitioned);
+  EXPECT_GT(outcome.severed, 0u);
+  EXPECT_EQ(outcome.components, 1);
+}
+
+TEST(Composite, HeterogeneousComposeGetsSlotTags) {
+  // Splicing different-size rings still tags every node with its slot,
+  // but cannot promise the uniform closed-form gateway rule.
+  QuartzRingParams small;
+  small.switches = 4;
+  small.hosts_per_switch = 1;
+  QuartzRingParams big;
+  big.switches = 6;
+  big.hosts_per_switch = 1;
+  std::vector<BuiltTopology> elements;
+  elements.push_back(quartz_ring(small));
+  elements.push_back(quartz_ring(big));
+  const auto t = compose_in_ring(std::move(elements));
+
+  ASSERT_NE(t.composite, nullptr);
+  EXPECT_FALSE(t.composite->uniform);
+  EXPECT_EQ(t.composite->levels(), 1);
+  EXPECT_EQ(t.composite->arity, (std::vector<int>{2}));
+  EXPECT_EQ(t.tors.size(), 10u);
+  // Slot tags partition the switches 4 / 6.
+  int slot0 = 0, slot1 = 0;
+  for (const NodeId tor : t.tors) {
+    (t.composite->path_at(tor, 0) == 0 ? slot0 : slot1) += 1;
+  }
+  EXPECT_EQ(slot0, 4);
+  EXPECT_EQ(slot1, 6);
+}
+
+}  // namespace
+}  // namespace quartz::topo
