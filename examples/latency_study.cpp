@@ -6,10 +6,14 @@
 //   $ ./latency_study [--tasks=N] [--duration-ms=D]
 //   $ ./latency_study --trace                # adds the per-component breakdown
 //   $ ./latency_study --metrics-out=m.csv    # dumps the metric registry
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <cstdlib>
 #include <fstream>
+#include <utility>
+
+#include "chaos/sharded_storm.hpp"
 #include <memory>
 #include <string>
 #include <string_view>
@@ -43,12 +47,12 @@ int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto unknown =
       flags.unknown_keys({"tasks", "duration-ms", "trace", "sample-every", "metrics-out",
-                          "jobs", "fib", "telemetry", "topology", "help"});
+                          "jobs", "shards", "fib", "telemetry", "topology", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     std::printf(
         "usage: %s [--tasks=N] [--duration-ms=D] [--trace] [--sample-every=N]\n"
-        "          [--metrics-out=FILE] [--jobs=N] [--fib=on|off]\n"
+        "          [--metrics-out=FILE] [--jobs=N] [--shards=N] [--fib=on|off]\n"
         "          [--telemetry=binary|jsonl|off] [--topology=composite:SPEC]\n"
         "\n"
         "  --topology=composite:SPEC  add a hierarchical composed fabric as a\n"
@@ -63,6 +67,10 @@ int run(int argc, char** argv) {
         "            hardware threads); results are byte-identical for every\n"
         "            value.  --metrics-out needs --jobs=1 (the registry is\n"
         "            thread-confined).\n"
+        "  --shards=N  append a parallel-engine cross-check: run the composite\n"
+        "            column's fabric through the intra-run sharded engine at\n"
+        "            1 and N shards and verify the delivery digests match\n"
+        "            (needs --topology=composite:SPEC; see docs/performance.md)\n"
         "  --fib=on|off  route through the compiled FIB (default on); results\n"
         "            are bit-identical either way, only speed differs.\n",
         argv[0]);
@@ -101,6 +109,17 @@ int run(int argc, char** argv) {
     positional_tasks = static_cast<int>(v);
   }
   const int tasks = static_cast<int>(flags.get_int("tasks", positional_tasks));
+  const int shards = static_cast<int>(flags.get_int("shards", 1));
+  if (shards < 1) {
+    std::printf("--shards must be positive, got %d\n", shards);
+    return 1;
+  }
+  if (shards > 1 && composite_spec.empty()) {
+    std::printf("--shards=%d needs --topology=composite:SPEC (the sharded engine\n"
+                "partitions one composed element per core)\n",
+                shards);
+    return 1;
+  }
   const std::int64_t duration_ms = flags.get_int("duration-ms", 10);
   const bool trace = flags.get_bool("trace");
   const int jobs = static_cast<int>(flags.get_int("jobs", 1));
@@ -256,6 +275,42 @@ int run(int argc, char** argv) {
       "where the gap comes from: the tree's cross-pod paths traverse a 6 us\n"
       "store-and-forward core plus two shared aggregation hops; the Quartz\n"
       "design rides dedicated cut-through lightpaths end to end.\n");
+
+  if (shards > 1) {
+    // Parallel-engine cross-check: the composite fabric through the
+    // intra-run sharded engine, serial vs sharded, digests compared.
+    chaos::ShardedStormParams storm;
+    storm.composite = composite_spec;
+    storm.cuts = 0;
+    storm.gray_links = 0;
+    storm.flapping_links = 0;
+    storm.storm_start = 0;
+    storm.storm_end = 0;
+    storm.shards = 1;
+    auto timed = [&storm] {
+      const auto start = std::chrono::steady_clock::now();
+      const chaos::ShardedStormResult result = chaos::run_sharded_storm(storm);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return std::make_pair(result, wall);
+    };
+    const auto [serial, serial_wall] = timed();
+    storm.shards = shards;
+    const auto [sharded, sharded_wall] = timed();
+    const bool match = serial.delivery_digest == sharded.delivery_digest &&
+                       serial.drop_digest == sharded.drop_digest;
+    std::printf("\nparallel engine (%s, %s partition, lookahead %.0f ns):\n",
+                composite_spec.c_str(), sharded.strategy.c_str(),
+                static_cast<double>(sharded.lookahead) * 1e-3);
+    std::printf("  shards=1: %.0f events/s   shards=%d: %.0f events/s\n",
+                serial_wall > 0 ? static_cast<double>(serial.events) / serial_wall : 0.0,
+                shards,
+                sharded_wall > 0 ? static_cast<double>(sharded.events) / sharded_wall : 0.0);
+    std::printf("  delivery digest %016llx %s\n",
+                static_cast<unsigned long long>(sharded.delivery_digest),
+                match ? "(byte-identical to serial)" : "(MISMATCH vs serial)");
+    if (!match) return 1;
+  }
 
   if (metrics.enabled()) {
     const std::string path = flags.get("metrics-out");

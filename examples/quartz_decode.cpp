@@ -34,10 +34,13 @@ using namespace quartz::telemetry;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--format=jsonl|csv|summary] [--out=FILE] [--digest] FILE.qtz...\n"
+               "usage: %s [--format=jsonl|csv|summary] [--canonical] [--out=FILE] [--digest] "
+               "FILE.qtz...\n"
                "  --format=jsonl    one JSON object per event (default)\n"
                "  --format=csv      one row per event, sparse columns\n"
                "  --format=summary  per-event counts, stream stats and gaps\n"
+               "  --canonical       shard-invariant merge order: a capture taken at\n"
+               "                    --shards=N decodes byte-identical to --shards=1\n"
                "  --out=FILE        write there instead of stdout\n"
                "  --digest          also print fnv1a:<hex> of the formatted output\n",
                argv0);
@@ -151,7 +154,7 @@ void report_gaps(const DecodeStats& stats) {
 
 int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  const auto unknown = flags.unknown_keys({"format", "out", "digest", "help"});
+  const auto unknown = flags.unknown_keys({"format", "canonical", "out", "digest", "help"});
   if (!unknown.empty() || flags.get_bool("help")) {
     for (const auto& key : unknown) std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
@@ -182,17 +185,19 @@ int run(int argc, char** argv) {
   std::ostringstream buffer;
   DecodeStats stats;
   CountingSink counter;
+  DecodeOptions options;
+  options.canonical = flags.get_bool("canonical");
   if (format == "jsonl") {
     JsonlEventWriter writer(buffer);
     std::vector<TelemetrySink*> sinks = {&writer};
-    stats = decode_streams(inputs, sinks);
+    stats = decode_streams(inputs, sinks, options);
   } else if (format == "csv") {
     CsvEventWriter writer(buffer);
     std::vector<TelemetrySink*> sinks = {&writer};
-    stats = decode_streams(inputs, sinks);
+    stats = decode_streams(inputs, sinks, options);
   } else {
     std::vector<TelemetrySink*> sinks = {&counter};
-    stats = decode_streams(inputs, sinks);
+    stats = decode_streams(inputs, sinks, options);
     buffer << "streams: " << stats.streams << "\npages: " << stats.pages
            << "\nrecords: " << stats.records << "\nrecord_bytes: " << stats.record_bytes
            << "\norphan_records: " << stats.orphan_records << "\ngaps: " << stats.gaps.size()

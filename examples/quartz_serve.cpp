@@ -62,7 +62,9 @@ int usage(const char* argv0) {
       "               needs --checkpoint-dir)\n"
       "  --telemetry=binary  capture the defended run's event stream in\n"
       "               <metrics-out>.qtz (decode with quartz_decode); jsonl\n"
-      "               writes <metrics-out>.events.jsonl instead\n",
+      "               writes <metrics-out>.events.jsonl instead\n"
+      "  --shards=1   accepted for CLI symmetry; the serve loop is a single\n"
+      "               closed control loop and refuses --shards>1\n",
       argv0);
   return 1;
 }
@@ -106,11 +108,23 @@ int main(int argc, char** argv) {
        flags.unknown_keys({"switches", "hosts", "arrivals", "duration-ms", "hot", "shift-ms",
                            "seed", "no-admission", "no-retry-budget", "no-regroom", "blackhole",
                            "duel", "metrics-out", "telemetry", "checkpoint-dir",
-                           "checkpoint-every-ms", "restore", "kill-at-us"})) {
+                           "checkpoint-every-ms", "restore", "kill-at-us", "shards"})) {
     std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
   }
   if (!flags.positional().empty()) return usage(argv[0]);
+  if (flags.get_int("shards", 1) != 1) {
+    // The serve loop's admission controller, retry budgets and
+    // re-groomer are one closed feedback loop over the whole fabric;
+    // replicating them per shard would change admission decisions.
+    // Intra-run sharding stays a simulate/latency_study capability.
+    std::fprintf(stderr,
+                 "--shards=%lld: the serve loop is a single closed control loop and "
+                 "does not shard; use --shards on simulate/latency_study, or run "
+                 "independent serve processes\n",
+                 static_cast<long long>(flags.get_int("shards", 1)));
+    return 1;
+  }
 
   serve::ServeConfig config;
   config.ring.switches = static_cast<int>(flags.get_int("switches", 4));

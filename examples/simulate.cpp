@@ -5,6 +5,8 @@
 //   $ ./simulate --fabric=quartz-edge-core --pattern=scatter --tasks=4
 //   $ ./simulate --fabric=three-tier --pattern=gather --tasks=8 --csv
 //   $ ./simulate --list
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -13,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "chaos/sharded_storm.hpp"
 #include "common/flags.hpp"
 #include "sim/experiments.hpp"
 #include "topo/composite.hpp"
@@ -45,8 +48,9 @@ int usage(const char* argv0) {
       "usage: %s [--fabric=NAME] [--topology=composite:SPEC] [--pattern=NAME]\n"
       "          [--tasks=N] [--fanout=N] [--rate-mbps=R] [--duration-ms=D]\n"
       "          [--seed=S] [--localized] [--vlb=K] [--fib=on|off] [--csv]\n"
-      "          [--list] [--replicas=N] [--jobs=N] [--trace] [--sample-every=N]\n"
-      "          [--metrics-out=FILE] [--telemetry=binary|jsonl|off]\n"
+      "          [--list] [--replicas=N] [--jobs=N] [--shards=N] [--trace]\n"
+      "          [--sample-every=N] [--metrics-out=FILE]\n"
+      "          [--telemetry=binary|jsonl|off]\n"
       "\n"
       "  --topology=composite:SPEC  hierarchical composed fabric instead of a\n"
       "                named --fabric; SPEC is kind:D0xD1[...][@h][+m], e.g.\n"
@@ -61,7 +65,13 @@ int usage(const char* argv0) {
       "                --seed) and report across-replica statistics\n"
       "  --jobs=N      worker threads for the replica sweep (0 = all\n"
       "                hardware threads); results are byte-identical for\n"
-      "                every value\n",
+      "                every value\n"
+      "  --shards=N    intra-run sharding: partition ONE simulation across\n"
+      "                N cores (conservative time windows; see\n"
+      "                docs/performance.md).  Needs --topology=composite:SPEC\n"
+      "                and runs the shard-invariant uniform workload — task\n"
+      "                patterns are sequential state machines and stay on the\n"
+      "                serial engine.  Results are byte-identical at every N\n",
       argv0);
   return 1;
 }
@@ -82,7 +92,7 @@ int run(int argc, char** argv) {
   const auto unknown = flags.unknown_keys(
       {"fabric", "topology", "pattern", "tasks", "fanout", "rate-mbps", "duration-ms", "seed",
        "csv", "localized", "vlb", "fib", "list", "trace", "sample-every", "metrics-out",
-       "replicas", "jobs", "telemetry"});
+       "replicas", "jobs", "shards", "telemetry"});
   if (!unknown.empty()) {
     for (const auto& key : unknown) std::printf("unknown flag --%s\n", key.c_str());
     return usage(argv[0]);
@@ -166,6 +176,79 @@ int run(int argc, char** argv) {
   if (replicas < 1 || jobs < 0) {
     std::printf("--replicas must be positive, --jobs non-negative\n");
     return usage(argv[0]);
+  }
+  const int shards = static_cast<int>(flags.get_int("shards", 1));
+  if (shards < 1) {
+    std::printf("--shards must be positive, got %d\n", shards);
+    return usage(argv[0]);
+  }
+  if (shards > 1) {
+    // Intra-run sharding: ONE simulation partitioned across cores.
+    // The partition planner needs a composed fabric (one shard per
+    // top-level element), and the sharded engine runs the
+    // shard-invariant uniform workload, so the sequential experiment
+    // options below do not apply.
+    if (composite_spec.empty()) {
+      std::printf("--shards=%d needs --topology=composite:SPEC (the partition planner\n"
+                  "shards one composed element per core; named fabrics stay serial)\n",
+                  shards);
+      return usage(argv[0]);
+    }
+    if (replicas > 1 || flags.has("metrics-out") || flags.get_bool("trace") ||
+        flags.get("telemetry", "off") != "off") {
+      std::printf("--shards is the intra-run engine: combine with --replicas/--jobs by\n"
+                  "running one process per replica; --metrics-out, --trace and\n"
+                  "--telemetry are serial-engine options\n");
+      return usage(argv[0]);
+    }
+    chaos::ShardedStormParams storm;
+    storm.composite = composite_spec;
+    storm.shards = shards;
+    storm.seed = config.seed;
+    storm.cuts = 0;
+    storm.gray_links = 0;
+    storm.flapping_links = 0;
+    storm.storm_start = 0;
+    storm.storm_end = 0;
+    storm.run_until = milliseconds(flags.get_int("duration-ms", 10));
+    // Per-host send cadence from the requested per-flow rate.
+    const double rate_mbps = flags.get_double("rate-mbps", 200.0);
+    storm.packet_gap = std::max<TimePs>(
+        1, static_cast<TimePs>(static_cast<double>(storm.packet_size) * 1e6 / rate_mbps));
+    storm.packets_per_host =
+        static_cast<int>(std::min<std::int64_t>(100000, storm.run_until / storm.packet_gap));
+    const auto wall_start = std::chrono::steady_clock::now();
+    const chaos::ShardedStormResult result = chaos::run_sharded_storm(storm);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    const double events_per_s =
+        wall_s > 0.0 ? static_cast<double>(result.events) / wall_s : 0.0;
+    if (flags.get_bool("csv")) {
+      std::printf("fabric,shards,strategy,lookahead_ns,mean_us,p99_us,deliveries,drops,events,"
+                  "events_per_sec,delivery_digest\n");
+      std::printf("%s,%d,%s,%.3f,%.4f,%.4f,%llu,%llu,%llu,%.0f,%016llx\n", fabric_name.c_str(),
+                  result.shards, result.strategy.c_str(),
+                  static_cast<double>(result.lookahead) * 1e-3, result.mean_latency_us,
+                  result.p99_latency_us, static_cast<unsigned long long>(result.deliveries),
+                  static_cast<unsigned long long>(result.drops),
+                  static_cast<unsigned long long>(result.events), events_per_s,
+                  static_cast<unsigned long long>(result.delivery_digest));
+    } else {
+      std::printf("%s, sharded engine (%d shards, %s partition, lookahead %.0f ns):\n",
+                  fabric_name.c_str(), result.shards, result.strategy.c_str(),
+                  static_cast<double>(result.lookahead) * 1e-3);
+      std::printf("  mean %.2f us   p99 %.2f us   (uniform shard-invariant workload)\n",
+                  result.mean_latency_us, result.p99_latency_us);
+      std::printf("  %llu delivered, %llu dropped, %llu events (%.0f events/s, %llu "
+                  "cross-shard)\n",
+                  static_cast<unsigned long long>(result.deliveries),
+                  static_cast<unsigned long long>(result.drops),
+                  static_cast<unsigned long long>(result.events), events_per_s,
+                  static_cast<unsigned long long>(result.mail_posted));
+      std::printf("  delivery digest %016llx (byte-identical at every --shards)\n",
+                  static_cast<unsigned long long>(result.delivery_digest));
+    }
+    return 0;
   }
 
   telemetry::MetricRegistry metrics(flags.has("metrics-out"));

@@ -64,6 +64,7 @@ void EventQueue::save(snapshot::Writer& w, const HandlerMap& handlers) const {
   w.put_u64(entries.size());
   for (const HeapEntry& e : entries) {
     w.put_i64(e.time);
+    w.put_u64(e.stamp);
     w.put_u64(e.seq);
     w.put_u8(static_cast<std::uint8_t>(e.type));
     switch (e.type) {
@@ -122,6 +123,7 @@ void EventQueue::restore(snapshot::Reader& r, const HandlerMap& handlers) {
   const std::uint64_t count = r.get_u64();
   for (std::uint64_t i = 0; i < count; ++i) {
     const TimePs time = r.get_i64();
+    const std::uint64_t stamp = r.get_u64();
     const std::uint64_t seq = r.get_u64();
     const auto type = static_cast<EventType>(r.get_u8());
     switch (type) {
@@ -137,7 +139,7 @@ void EventQueue::restore(snapshot::Reader& r, const HandlerMap& handlers) {
         ev.t1 = r.get_i64();
         const std::uint32_t slot = packets_.acquire();
         packets_[slot] = ev;
-        push_entry_at(time, seq, type, slot);
+        push_entry_at(time, stamp, seq, type, slot);
         break;
       }
       case EventType::kFaultTransition: {
@@ -147,7 +149,7 @@ void EventQueue::restore(snapshot::Reader& r, const HandlerMap& handlers) {
         ev.dead = r.get_bool();
         const std::uint32_t slot = faults_.acquire();
         faults_[slot] = ev;
-        push_entry_at(time, seq, type, slot);
+        push_entry_at(time, stamp, seq, type, slot);
         break;
       }
       case EventType::kProbe: {
@@ -159,7 +161,7 @@ void EventQueue::restore(snapshot::Reader& r, const HandlerMap& handlers) {
         ev.corrupted = r.get_bool();
         const std::uint32_t slot = probes_.acquire();
         probes_[slot] = ev;
-        push_entry_at(time, seq, type, slot);
+        push_entry_at(time, stamp, seq, type, slot);
         break;
       }
       case EventType::kTimer: {
@@ -170,7 +172,7 @@ void EventQueue::restore(snapshot::Reader& r, const HandlerMap& handlers) {
         ev.b = r.get_u64();
         const std::uint32_t slot = timers_.acquire();
         timers_[slot] = ev;
-        push_entry_at(time, seq, type, slot);
+        push_entry_at(time, stamp, seq, type, slot);
         break;
       }
       case EventType::kCallback:

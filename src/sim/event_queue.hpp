@@ -1,8 +1,16 @@
 // Deterministic discrete-event engine.
 //
-// Events fire in (time, insertion-sequence) order, so two events at the
-// same picosecond run in the order they were scheduled and every
-// simulation is bit-reproducible from its seed.
+// Events fire in (time, stamp, insertion-sequence) order.  The stamp is
+// an opaque 64-bit tie-breaker that defaults to zero, in which case the
+// order degenerates to the classic (time, seq): two events at the same
+// picosecond run in the order they were scheduled and every simulation
+// is bit-reproducible from its seed.  The sharded engine (sim/sharded.hpp)
+// stamps every packet event with a hash of the packet id instead, so
+// same-time ties resolve identically no matter which shard scheduled
+// the event first — the property that makes one simulation digest
+// byte-identical at every shard count.  Stamp zero sorts before every
+// packet stamp, so control-plane events (faults, probes, timers) keep
+// running ahead of data packets at equal times.
 //
 // The hot path carries a small closed set of typed POD events
 // (header-decision, transmit-complete, delivery, fault-transition,
@@ -214,13 +222,18 @@ class EventQueue {
     push_entry(when, EventType::kCallback, slot);
   }
 
-  void schedule_packet(TimePs when, EventType type, const PacketEvent& event) {
+  /// `stamp` is the (time, stamp, seq) tie-breaker; 0 (the default)
+  /// preserves pure scheduling order, non-zero values give same-time
+  /// packet events a schedule-order-independent total order (see file
+  /// comment and sim/sharded.hpp).
+  void schedule_packet(TimePs when, EventType type, const PacketEvent& event,
+                       std::uint64_t stamp = 0) {
     QUARTZ_CHECK(type == EventType::kHeaderDecision || type == EventType::kTransmitComplete ||
                      type == EventType::kDelivery,
                  "not a packet event type");
     const std::uint32_t slot = packets_.acquire();
     packets_[slot] = event;
-    push_entry(when, type, slot);
+    push_entry_at(when, stamp, next_seq_++, type, slot);
   }
 
   void schedule_fault(TimePs when, const FaultEvent& event) {
@@ -293,6 +306,27 @@ class EventQueue {
     return true;
   }
 
+  /// Run every event with time STRICTLY below `end`; now() lands on
+  /// `end`.  This is the conservative-window primitive: a sharded
+  /// driver runs each shard to the barrier exclusively, exchanges
+  /// mailboxes, and events exactly at the barrier execute in the next
+  /// window — after every cross-shard event with the same time has been
+  /// injected, so the (time, stamp) order stays total across shards.
+  void run_before(TimePs end) {
+    while (run_one_before(end)) {
+    }
+    settle(end);
+  }
+
+  /// run_before() at event granularity; returns whether an event ran.
+  bool run_one_before(TimePs end) {
+    if (size_ == 0) return false;
+    while (active_.empty()) advance_window();
+    if (active_.front().time >= end) return false;
+    run_one();
+    return true;
+  }
+
   /// Land now() on `end` once run_one_until() is exhausted.
   void settle(TimePs end) {
     if (end > now_) now_ = end;
@@ -327,10 +361,11 @@ class EventQueue {
   std::size_t timer_pool_capacity() const { return timers_.capacity(); }
 
  private:
-  /// One pending event: tiers order these 24-byte records by
-  /// (time, seq); payloads stay put in their pools.
+  /// One pending event: tiers order these 32-byte records by
+  /// (time, stamp, seq); payloads stay put in their pools.
   struct HeapEntry {
     TimePs time;
+    std::uint64_t stamp;
     std::uint64_t seq;
     EventType type;
     std::uint32_t slot;
@@ -348,7 +383,9 @@ class EventQueue {
   static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
-    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    if (a.time != b.time) return a.time < b.time;
+    if (a.stamp != b.stamp) return a.stamp < b.stamp;
+    return a.seq < b.seq;
   }
 
   static std::uint64_t bucket_index(TimePs when) {
@@ -356,34 +393,34 @@ class EventQueue {
   }
 
   void push_entry(TimePs when, EventType type, std::uint32_t slot) {
-    push_entry_at(when, next_seq_++, type, slot);
+    push_entry_at(when, 0, next_seq_++, type, slot);
   }
 
-  /// Tier-routing core, with an explicit ordering sequence so restore
-  /// can re-push entries under their original (time, seq) keys.  The
+  /// Tier-routing core, with an explicit ordering key so restore can
+  /// re-push entries under their original (time, stamp, seq) keys.  The
   /// tiers partition time by bucket index, so placement relative to the
   /// cursor is a pure function of `when` — re-pushing in any order
   /// reproduces an equivalent pending set.
-  void push_entry_at(TimePs when, std::uint64_t seq, EventType type,
+  void push_entry_at(TimePs when, std::uint64_t stamp, std::uint64_t seq, EventType type,
                      std::uint32_t slot) {
     QUARTZ_REQUIRE(when >= now_, "cannot schedule into the past");
     const std::uint64_t idx = bucket_index(when);
     ++size_;
     if (idx <= cursor_) {
       // Inside (or behind) the active window: exact heap.
-      heap_push(active_, HeapEntry{when, seq, type, slot});
+      heap_push(active_, HeapEntry{when, stamp, seq, type, slot});
     } else if (idx - cursor_ <= kBucketCount) {
       // Within the wheel horizon: O(1) append.  Each slot holds at
       // most one bucket index at a time because the live range
       // (cursor_, cursor_ + kBucketCount] is exactly one revolution.
       const std::size_t b = idx & kBucketMask;
-      buckets_[b].push_back(HeapEntry{when, seq, type, slot});
+      buckets_[b].push_back(HeapEntry{when, stamp, seq, type, slot});
       bitmap_[b >> 6] |= std::uint64_t{1} << (b & 63);
       ++wheel_count_;
     } else {
       // Beyond the horizon: overflow heap, migrated when its window
       // becomes active.
-      heap_push(far_, HeapEntry{when, seq, type, slot});
+      heap_push(far_, HeapEntry{when, stamp, seq, type, slot});
     }
   }
 

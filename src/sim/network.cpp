@@ -9,6 +9,26 @@
 #include "telemetry/stream_sink.hpp"
 
 namespace quartz::sim {
+namespace {
+
+/// Counter-free gray-failure sampling for shard mode: a uniform draw
+/// keyed by (seed, packet id, hop count, link), so the decision for a
+/// given head-arrival is identical no matter which shard executes it
+/// or how many corruption checks ran before it.  Serial (unbound) runs
+/// keep the historical sequential RNG stream.
+double hashed_corruption_u01(std::uint64_t seed, std::uint64_t id, std::uint64_t hops_link) {
+  auto mix = [](std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t x = mix(seed + 0x9e3779b97f4a7c15ull);
+  x = mix(x + id);
+  x = mix(x + hops_link);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 Network::Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& oracle,
                  SimConfig config)
@@ -43,14 +63,34 @@ void Network::set_stream_sink(telemetry::BinaryStreamSink* sink) {
   stream_ = sink;
 }
 
+void Network::bind_shard(const ShardBinding& binding) {
+  assert_owning_thread();
+  QUARTZ_REQUIRE(!shard_bound_, "already bound to a shard");
+  QUARTZ_REQUIRE(packets_sent_ == 0 && events_.events_run() == 0,
+                 "bind_shard must precede all traffic");
+  QUARTZ_REQUIRE(binding.shard >= 0 && binding.shard < binding.shard_count, "shard out of range");
+  QUARTZ_REQUIRE(binding.owner != nullptr && binding.owner->size() == topo_->graph.node_count(),
+                 "shard owner map does not match the topology");
+  QUARTZ_REQUIRE(binding.shard_count == 1 || binding.outboxes != nullptr,
+                 "multi-shard binding needs outboxes");
+  shard_bound_ = true;
+  shard_ = binding.shard;
+  shard_count_ = binding.shard_count;
+  shard_owner_ = binding.owner;
+  outboxes_ = binding.outboxes;
+  host_seq_.assign(topo_->graph.node_count(), 0);
+}
+
 void Network::fail_link(topo::LinkId link) {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_up_.size(), "unknown link");
   auto& up = link_up_[static_cast<std::size_t>(link)];
   if (!up) return;
   up = 0;
   ++link_failures_;
-  if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/false, now());
-  for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/false, now());
+  if (emits_link_events(link)) {
+    if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/false, now());
+    for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/false, now());
+  }
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   // The routing plane learns one detection delay later — unless the
   // link's state changed again in the meantime.
@@ -64,8 +104,10 @@ void Network::repair_link(topo::LinkId link) {
   if (up) return;
   up = 1;
   ++link_repairs_;
-  if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/true, now());
-  for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/true, now());
+  if (emits_link_events(link)) {
+    if (stream_ != nullptr) stream_->on_link_state(link, /*up=*/true, now());
+    for (TelemetrySink* sink : sinks_) sink->on_link_state(link, /*up=*/true, now());
+  }
   const std::uint32_t seq = ++link_seq_[static_cast<std::size_t>(link)];
   events_.schedule_fault(now() + config_.failure_detection_delay,
                          FaultEvent{link, seq, /*dead=*/false});
@@ -74,8 +116,10 @@ void Network::repair_link(topo::LinkId link) {
 void Network::on_fault_event(const FaultEvent& event) {
   if (link_seq_[static_cast<std::size_t>(event.link)] != event.link_seq) return;
   failure_view_.set_dead(event.link, event.dead);
-  if (stream_ != nullptr) stream_->on_link_detected(event.link, event.dead, now());
-  for (TelemetrySink* sink : sinks_) sink->on_link_detected(event.link, event.dead, now());
+  if (emits_link_events(event.link)) {
+    if (stream_ != nullptr) stream_->on_link_detected(event.link, event.dead, now());
+    for (TelemetrySink* sink : sinks_) sink->on_link_detected(event.link, event.dead, now());
+  }
 }
 
 bool Network::link_up(topo::LinkId link) const {
@@ -87,8 +131,10 @@ void Network::set_link_loss(topo::LinkId link, double p) {
   QUARTZ_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < link_loss_.size(), "unknown link");
   QUARTZ_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability must be in [0,1]");
   link_loss_[static_cast<std::size_t>(link)] = p;
-  if (stream_ != nullptr) stream_->on_link_degraded(link, p, now());
-  for (TelemetrySink* sink : sinks_) sink->on_link_degraded(link, p, now());
+  if (emits_link_events(link)) {
+    if (stream_ != nullptr) stream_->on_link_degraded(link, p, now());
+    for (TelemetrySink* sink : sinks_) sink->on_link_degraded(link, p, now());
+  }
 }
 
 double Network::link_loss_rate(topo::LinkId link) const {
@@ -103,17 +149,20 @@ routing::LinkHealth Network::link_health(topo::LinkId link) const {
 }
 
 void Network::emit_probe(topo::LinkId link, bool delivered, TimePs when) {
+  if (!emits_link_events(link)) return;
   if (stream_ != nullptr) stream_->on_probe(link, delivered, when);
   for (TelemetrySink* sink : sinks_) sink->on_probe(link, delivered, when);
 }
 
 void Network::emit_health_transition(topo::LinkId link, routing::LinkHealth from,
                                      routing::LinkHealth to, TimePs when) {
+  if (!emits_link_events(link)) return;
   if (stream_ != nullptr) stream_->on_health_transition(link, from, to, when);
   for (TelemetrySink* sink : sinks_) sink->on_health_transition(link, from, to, when);
 }
 
 void Network::emit_flap_damped(topo::LinkId link, TimePs suppressed_until, TimePs when) {
+  if (!emits_link_events(link)) return;
   if (stream_ != nullptr) stream_->on_flap_damped(link, suppressed_until, when);
   for (TelemetrySink* sink : sinks_) sink->on_flap_damped(link, suppressed_until, when);
 }
@@ -168,7 +217,16 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
   assert_owning_thread();
 
   Packet packet;
-  packet.id = next_packet_id_++;
+  if (shard_bound_) {
+    // Host-scoped ids: a pure function of the per-host traffic script,
+    // so a packet keeps its id (and stamp) at every shard count.  The
+    // global counter would depend on cross-host interleaving.
+    QUARTZ_CHECK(owns_node(src), "send() from a host this shard does not own");
+    packet.id = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                host_seq_[static_cast<std::size_t>(src)]++;
+  } else {
+    packet.id = next_packet_id_++;
+  }
   packet.key.src = src;
   packet.key.dst = dst;
   packet.key.flow_hash = routing::mix_hash(flow_id);
@@ -186,7 +244,7 @@ void Network::send(topo::NodeId src, topo::NodeId dst, Bits size, int task,
   event.node = src;
   event.t0 = ready;
   event.t1 = 0;  // min_finish
-  events_.schedule_packet(ready, EventType::kHeaderDecision, event);
+  events_.schedule_packet(ready, EventType::kHeaderDecision, event, stamp_of(packet));
 }
 
 void Network::on_packet_event(EventType type, PacketEvent& event) {
@@ -202,11 +260,22 @@ void Network::on_packet_event(EventType type, PacketEvent& event) {
         return;
       }
       // Gray failure: the link is up but corrupts packets independently
-      // with its drop probability (BER made packet-level).
+      // with its drop probability (BER made packet-level).  Shard mode
+      // hashes the draw so it is independent of check order.
       const double loss = link_loss_[static_cast<std::size_t>(event.link)];
-      if (loss > 0.0 && loss_rng_.next_double() < loss) {
-        drop(event.packet, DropReason::kCorrupted);
-        return;
+      if (loss > 0.0) {
+        const double u =
+            shard_bound_
+                ? hashed_corruption_u01(
+                      config_.corruption_seed, event.packet.id,
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(event.packet.hops))
+                       << 32) |
+                          static_cast<std::uint32_t>(event.link))
+                : loss_rng_.next_double();
+        if (u < loss) {
+          drop(event.packet, DropReason::kCorrupted);
+          return;
+        }
       }
       arrive(std::move(event.packet), event.node, event.t0, event.t1);
       return;
@@ -231,6 +300,7 @@ void Network::on_packet_event(EventType type, PacketEvent& event) {
 
 void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs last_bit) {
   const topo::Graph& graph = topo_->graph;
+  QUARTZ_CHECK(owns_node(node), "packet arrived at a node this shard does not own");
   for (const ArrivalHook& hook : arrival_hooks_) hook(packet, node, first_bit);
   if (stream_ != nullptr) stream_->on_arrival(packet, node, first_bit, last_bit);
   for (TelemetrySink* sink : sinks_) sink->on_arrival(packet, node, first_bit, last_bit);
@@ -241,7 +311,7 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
     event.packet = std::move(packet);
     event.node = node;
     event.t0 = delivered;
-    events_.schedule_packet(delivered, EventType::kDelivery, event);
+    events_.schedule_packet(delivered, EventType::kDelivery, event, stamp_of(event.packet));
     return;
   }
 
@@ -272,11 +342,12 @@ void Network::arrive(Packet packet, topo::NodeId node, TimePs first_bit, TimePs 
   event.node = node;
   event.t0 = decision;
   event.t1 = min_finish;
-  events_.schedule_packet(decision, EventType::kHeaderDecision, event);
+  events_.schedule_packet(decision, EventType::kHeaderDecision, event, stamp_of(event.packet));
 }
 
 void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs min_finish) {
   const topo::Graph& graph = topo_->graph;
+  QUARTZ_CHECK(owns_node(node), "transmit at a node this shard does not own");
   const topo::LinkId link_id =
       fib_ != nullptr ? fib_->next_link(node, packet.key) : oracle_->next_link(node, packet.key);
   const topo::Link& link = graph.link(link_id);
@@ -330,7 +401,17 @@ void Network::transmit(Packet packet, topo::NodeId node, TimePs ready, TimePs mi
   event.link_seq = link_seq_[static_cast<std::size_t>(link_id)];
   event.t0 = first_bit;
   event.t1 = last_bit;
-  events_.schedule_packet(first_bit, EventType::kTransmitComplete, event);
+  const std::uint64_t stamp = stamp_of(event.packet);
+  if (shard_bound_ && !owns_node(peer)) {
+    // The head lands in another shard: hand the transit over through
+    // that shard's inbox.  first_bit >= (window start) + lookahead, so
+    // the consumer — at most one window behind — never sees its past.
+    const std::int32_t dest = (*shard_owner_)[static_cast<std::size_t>(peer)];
+    outboxes_[dest]->push(event, first_bit, stamp);
+    ++mail_posted_;
+    return;
+  }
+  events_.schedule_packet(first_bit, EventType::kTransmitComplete, event, stamp);
 }
 
 void Network::save(snapshot::Writer& w, const HandlerMap& handlers) const {
@@ -355,6 +436,12 @@ void Network::save(snapshot::Writer& w, const HandlerMap& handlers) const {
   for (const std::uint64_t n : dropped_by_reason_) w.put_u64(n);
   w.put_u64(link_failures_);
   w.put_u64(link_repairs_);
+  w.put_bool(shard_bound_);
+  if (shard_bound_) {
+    w.put_u64(host_seq_.size());
+    for (const std::uint32_t seq : host_seq_) w.put_u32(seq);
+    w.put_u64(mail_posted_);
+  }
   events_.save(w, handlers);
 }
 
@@ -389,6 +476,14 @@ void Network::restore(snapshot::Reader& r, const HandlerMap& handlers) {
   for (std::uint64_t& n : dropped_by_reason_) n = r.get_u64();
   link_failures_ = r.get_u64();
   link_repairs_ = r.get_u64();
+  QUARTZ_REQUIRE(r.get_bool() == shard_bound_,
+                 "snapshot shard mode does not match this network; bind_shard "
+                 "before restore (or not at all) exactly as when saving");
+  if (shard_bound_) {
+    QUARTZ_REQUIRE(r.get_u64() == host_seq_.size(), "snapshot host-seq table mismatch");
+    for (std::uint32_t& seq : host_seq_) seq = r.get_u32();
+    mail_posted_ = r.get_u64();
+  }
   events_.restore(r, handlers);
 }
 

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "routing/oracle.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/packet.hpp"
 #include "telemetry/sink.hpp"
 #include "topo/builders.hpp"
@@ -83,12 +84,34 @@ using DropHandler = std::function<void(const Packet&, DropReason)>;
 /// route-conformance checks; adds a branch per hop, nothing more.
 using ArrivalHook = std::function<void(const Packet&, topo::NodeId node, TimePs first_bit)>;
 
+/// How one Network participates in a sharded run (sim/sharded.hpp).
+/// The bound network restricts itself to the nodes it owns, stamps
+/// every packet event with shard_stamp(packet.id), allocates packet
+/// ids per source host (so ids are shard-count invariant), samples
+/// gray-failure corruption by hashing instead of drawing from the
+/// sequential RNG, posts cross-shard transits into the destination
+/// shard's mailbox, and emits link-scoped telemetry only for links
+/// whose `a` endpoint it owns (every shard replicates the control
+/// plane, so without the filter each link event would appear once per
+/// shard).  shard_count == 1 exercises the identical code path — that
+/// run IS the determinism reference for every other shard count.
+struct ShardBinding {
+  int shard = 0;
+  int shard_count = 1;
+  /// Node -> owning shard (PartitionPlan::owner); must outlive the run.
+  const std::vector<std::int32_t>* owner = nullptr;
+  /// Outboxes indexed by destination shard (own slot unused / null);
+  /// array of `shard_count` pointers, must outlive the run.
+  Mailbox* const* outboxes = nullptr;
+};
+
 /// A Network (and the EventQueue engine inside it, and every telemetry
 /// sink attached to it) is THREAD-CONFINED: it must be driven by the
 /// thread that constructed it.  SweepRunner gives each worker its own
-/// engine, so sinks never need locks; this contract is asserted at the
-/// driving entry points (send / run_until / add_sink).  See
-/// docs/performance.md.
+/// engine; the sharded engine builds each shard's Network inside its
+/// worker thread so the same assert covers per-shard ownership.  Sinks
+/// never need locks; this contract is asserted at the driving entry
+/// points (send / run_until / add_sink).  See docs/performance.md.
 class Network : public routing::LoadProbe, public routing::Clock, private EventHandler {
  public:
   Network(const topo::BuiltTopology& topo, const routing::RoutingOracle& oracle,
@@ -155,8 +178,35 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
     return events_.run_one_until(end);
   }
 
+  /// Run every event with time STRICTLY below `end` and land now() on
+  /// `end` — the conservative-window primitive (see sim/sharded.hpp).
+  void run_before(TimePs end) {
+    assert_owning_thread();
+    events_.run_before(end);
+  }
+
   /// Land now() on `end` after step_until() is exhausted.
   void settle(TimePs end) { events_.settle(end); }
+
+  // --- sharding (sim/sharded.hpp drives these) -------------------------------
+
+  /// Enter shard mode.  Call once, before any traffic, from the owning
+  /// thread.  See ShardBinding for the behavioral contract.
+  void bind_shard(const ShardBinding& binding);
+  bool shard_bound() const { return shard_bound_; }
+  int shard() const { return shard_; }
+  bool owns_node(topo::NodeId node) const {
+    return !shard_bound_ || (*shard_owner_)[static_cast<std::size_t>(node)] == shard_;
+  }
+  /// Inject one cross-shard transit drained from an inbox.  Only valid
+  /// between windows: entry.time must be >= now().
+  void deliver_mail(const Mailbox::Entry& entry) {
+    assert_owning_thread();
+    QUARTZ_CHECK(shard_bound_, "deliver_mail requires shard mode");
+    events_.schedule_packet(entry.time, EventType::kTransmitComplete, entry.event, entry.stamp);
+  }
+  /// Cross-shard transits this shard has posted (diagnostic).
+  std::uint64_t mail_posted() const { return mail_posted_; }
 
   /// Schedule a typed probe event (the ProbePlane's zero-allocation
   /// path; the event carries its own handler).
@@ -292,6 +342,18 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   /// Account a drop (global, per-reason, per-task) and fire the hook.
   void drop(const Packet& packet, DropReason reason);
 
+  /// Tie-break stamp for a packet event: shard_stamp in shard mode
+  /// (schedule-order independent), 0 otherwise (pure schedule order).
+  std::uint64_t stamp_of(const Packet& packet) const {
+    return shard_bound_ ? shard_stamp(packet.id) : 0;
+  }
+
+  /// Link-scoped telemetry dedup: in shard mode only the shard owning
+  /// the link's `a` endpoint reports the (replicated) link events.
+  bool emits_link_events(topo::LinkId link) const {
+    return !shard_bound_ || owns_node(topo_->graph.link(link).a);
+  }
+
   /// Thread-confinement contract: the constructing thread drives the
   /// whole simulation (engine, sinks, hooks).
   void assert_owning_thread() const {
@@ -334,6 +396,17 @@ class Network : public routing::LoadProbe, public routing::Clock, private EventH
   std::uint64_t dropped_by_reason_[telemetry::kDropReasonCount] = {};
   std::uint64_t link_failures_ = 0;
   std::uint64_t link_repairs_ = 0;
+  // Shard mode (bind_shard); inert until bound.
+  bool shard_bound_ = false;
+  int shard_ = 0;
+  int shard_count_ = 1;
+  const std::vector<std::int32_t>* shard_owner_ = nullptr;
+  Mailbox* const* outboxes_ = nullptr;
+  /// Per-source-host packet id sequence (shard mode): id =
+  /// (src << 32) | seq, a pure function of the traffic script, so ids
+  /// (and their stamps) match at every shard count.
+  std::vector<std::uint32_t> host_seq_;
+  std::uint64_t mail_posted_ = 0;
   std::thread::id owner_ = std::this_thread::get_id();
 };
 

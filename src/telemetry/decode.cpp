@@ -415,10 +415,44 @@ class StreamReplayer {
   std::uint64_t orphans_ = 0;
 };
 
+/// Sort class + entity for the canonical order.  Class 0 (link /
+/// control events) precedes class 1 (packet events) at equal times —
+/// the decode-side mirror of the engine rule that stamp-0 control
+/// events run before stamped packet events.
+struct CanonClass {
+  int cls = 0;
+  std::uint64_t entity = 0;
+};
+
+CanonClass canon_class(const Rec& rec) {
+  switch (static_cast<StreamEventId>(rec.id)) {
+    case StreamEventId::kSend:
+    case StreamEventId::kTransmit:
+    case StreamEventId::kTransmitWide:
+    case StreamEventId::kArrival:
+    case StreamEventId::kForward:
+    case StreamEventId::kForwardWide:
+    case StreamEventId::kDelivery:
+    case StreamEventId::kDrop:
+      return {1, rec.w[0]};  // packet id
+    case StreamEventId::kLinkState:
+    case StreamEventId::kLinkDetected:
+    case StreamEventId::kProbe:
+      return {0, rec.w[0] >> 1};  // link id (low bit is a flag)
+    case StreamEventId::kHealthTransition:
+      return {0, rec.w[0] >> 8};
+    case StreamEventId::kLinkDegraded:
+    case StreamEventId::kFlapDamped:
+      return {0, rec.w[0]};
+  }
+  return {0, rec.w[0]};
+}
+
 }  // namespace
 
 DecodeStats decode_streams(const std::vector<std::istream*>& files,
-                           const std::vector<TelemetrySink*>& sinks) {
+                           const std::vector<TelemetrySink*>& sinks,
+                           const DecodeOptions& options) {
   DecodeStats stats;
 
   // Load and page-scan every file.  The decoder is offline tooling:
@@ -444,6 +478,32 @@ DecodeStats decode_streams(const std::vector<std::istream*>& files,
     streams.push_back(parse_stream(pages, key.first, stats));
   }
 
+  if (options.canonical) {
+    // Shard-invariant total order: flatten, sort, replay through one
+    // shared replayer (a packet's records may span streams).
+    struct Flat {
+      const Rec* rec;
+      CanonClass canon;
+      std::size_t stream;
+    };
+    std::vector<Flat> flat;
+    flat.reserve(stats.records);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      for (const Rec& rec : streams[s]) flat.push_back(Flat{&rec, canon_class(rec), s});
+    }
+    std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+      if (a.rec->t != b.rec->t) return a.rec->t < b.rec->t;
+      if (a.canon.cls != b.canon.cls) return a.canon.cls < b.canon.cls;
+      if (a.canon.entity != b.canon.entity) return a.canon.entity < b.canon.entity;
+      if (a.rec->seq != b.rec->seq) return a.rec->seq < b.rec->seq;
+      return a.stream < b.stream;
+    });
+    StreamReplayer replayer(sinks);
+    for (const Flat& item : flat) replayer.replay(*item.rec);
+    stats.orphan_records += replayer.orphans();
+    return stats;
+  }
+
   std::vector<StreamReplayer> replayers(streams.size(), StreamReplayer(sinks));
   using HeapItem = std::tuple<TimePs, std::size_t, std::uint64_t>;  // (time, stream, seq)
   const auto greater = [](const HeapItem& a, const HeapItem& b) { return a > b; };
@@ -464,6 +524,11 @@ DecodeStats decode_streams(const std::vector<std::istream*>& files,
   }
   for (const StreamReplayer& replayer : replayers) stats.orphan_records += replayer.orphans();
   return stats;
+}
+
+DecodeStats decode_streams(const std::vector<std::istream*>& files,
+                           const std::vector<TelemetrySink*>& sinks) {
+  return decode_streams(files, sinks, DecodeOptions{});
 }
 
 DecodeStats decode_stream(std::istream& in, const std::vector<TelemetrySink*>& sinks) {

@@ -48,9 +48,30 @@ struct DecodeStats {
   std::vector<StreamGap> gaps;
 };
 
+struct DecodeOptions {
+  /// Canonical merge: instead of the per-stream (time, stream, seq)
+  /// heap, flatten every record and sort by (time, class — link
+  /// events before packet events, mirroring the engine's control-
+  /// events-first stamp rule — entity id, record seq, stream), then
+  /// replay through ONE shared replayer so a packet whose records
+  /// span streams (a sharded capture: kSend lands in the source
+  /// shard's stream, later hops elsewhere) still rebuilds coherent
+  /// state.  The output is a total order independent of how the
+  /// capture was sharded: a --shards=8 capture decodes byte-identical
+  /// to the --shards=1 capture of the same run.  Within one (time,
+  /// entity) group every record comes from the single stream that
+  /// owned the entity at that instant, so the per-stream seq tiebreak
+  /// reproduces the engine's intra-entity order in both captures.
+  bool canonical = false;
+};
+
 /// Decode every stream in `files`, merge by (time, file, stream id,
-/// record seq) and replay into each sink in order.  Sinks may be
+/// record seq) — or the canonical shard-invariant order, see
+/// DecodeOptions — and replay into each sink in order.  Sinks may be
 /// empty (pure validation / stats pass).
+DecodeStats decode_streams(const std::vector<std::istream*>& files,
+                           const std::vector<TelemetrySink*>& sinks,
+                           const DecodeOptions& options);
 DecodeStats decode_streams(const std::vector<std::istream*>& files,
                            const std::vector<TelemetrySink*>& sinks);
 

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 namespace quartz::snapshot {
@@ -13,9 +14,15 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// ctest runs each TEST as its own process, possibly concurrently, so the
+// scratch directory must be per-process or the checkpoint-listing tests
+// race on each other's ckpt-*.qsnap files.
 class TempDir {
  public:
-  TempDir() : path_((fs::temp_directory_path() / "qsnap_io_test").string()) {
+  TempDir()
+      : path_((fs::temp_directory_path() /
+               ("qsnap_io_test." + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(path_);
     fs::create_directories(path_);
   }
